@@ -1,0 +1,68 @@
+"""Related-work comparison: IPDS vs. syscall-granularity n-gram FSA.
+
+The paper's introduction argues that (a) coarse-granularity anomaly
+detectors miss attacks and (b) making them finer-grained "could lead to
+a high false positive rate", while IPDS is both fine-grained and
+zero-FP by construction.  This bench makes that quantitative: a
+call-site-aware n-gram detector (the strong end of the FSA family,
+[10]) is trained on clean sessions and evaluated against the same
+attack recipe as Figure 7.
+"""
+
+import os
+
+import pytest
+
+from repro.baselines import compare_detectors
+from repro.workloads import all_workloads
+
+ATTACKS = int(os.environ.get("REPRO_BASELINE_ATTACKS", "25"))
+WORKLOADS = ["telnetd", "httpd", "sendmail", "sshd"]
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_baseline_comparison(benchmark, compiled_workloads, name):
+    workload, program = compiled_workloads[name]
+
+    def run():
+        return compare_detectors(
+            workload,
+            attacks=ATTACKS,
+            train_sessions=30,
+            test_sessions=30,
+            program=program,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = result
+    benchmark.extra_info["ngram_fp_rate"] = result.ngram_fp_rate
+    benchmark.extra_info["ipds_det"] = result.ipds_detection_of_changed
+    benchmark.extra_info["ngram_det"] = result.ngram_detection_of_changed
+
+
+def test_baseline_summary(benchmark):
+    if len(_RESULTS) < len(WORKLOADS):
+        pytest.skip("per-workload comparisons did not run")
+    results = benchmark.pedantic(
+        lambda: [_RESULTS[n] for n in WORKLOADS], rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"{'workload':10s} {'ngram FP':>9s} {'ngram det/chg':>14s} "
+        f"{'IPDS FP':>8s} {'IPDS det/chg':>13s}"
+    )
+    for r in results:
+        print(
+            f"{r.workload:10s} {r.ngram_fp_rate:8.1f}% "
+            f"{r.ngram_detection_of_changed:13.1f}% "
+            f"{'0.0%':>8s} {r.ipds_detection_of_changed:12.1f}%"
+        )
+    # The structural claim: IPDS has zero false positives (asserted
+    # inside compare_detectors); the trained baseline pays for its
+    # detection with a nonzero FP rate on at least one server.
+    assert any(r.ngram_false_positives > 0 for r in results)
+    # And the baseline is a real detector, not a strawman: it catches
+    # a nontrivial share of control-flow-changing attacks somewhere.
+    assert any(r.ngram_detection_of_changed > 20.0 for r in results)

@@ -1,0 +1,31 @@
+"""§6: "the compilation time for all benchmarks is up to a few seconds".
+
+Times the full compiler path (parse → lower → verify → alias → purity →
+Fig. 5 construction → hashing) per workload and for the whole set.
+"""
+
+import pytest
+
+from repro.pipeline import compile_program
+from repro.workloads import all_workloads, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_compile_time_per_workload(benchmark, name):
+    workload = next(w for w in all_workloads() if w.name == name)
+    program = benchmark(compile_program, workload.source, name)
+    assert program.tables.total_branches > 0
+
+
+def test_compile_all_benchmarks_within_seconds(benchmark):
+    def compile_all():
+        return [
+            compile_program(w.source, w.name).tables.total_checked
+            for w in all_workloads()
+        ]
+
+    checked = benchmark.pedantic(compile_all, rounds=1, iterations=1)
+    assert sum(checked) > 0
+    # The paper's bound, generously interpreted for Python: the whole
+    # ten-benchmark set compiles in seconds, not minutes.
+    assert benchmark.stats.stats.max < 30.0

@@ -1,0 +1,62 @@
+"""§5.4 ablation: context-switch cost, eager vs. lazy table swapping.
+
+The paper: "we can swap the top of BSV and BAT stacks (around 1K bits)
+first and let the new process start.  Lower layers of stacks are
+context switched in parallel with the execution of the new process to
+reduce context switch latency."  This ablation quantifies that: with
+frequent context switches, the lazy scheme's program-visible stall is
+a fraction of the eager scheme's.
+"""
+
+import pytest
+
+from repro.cpu import IPDSHardwareParams, timed_run
+
+INTERVAL = 5_000  # aggressive switching to make the effect visible
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+def test_context_switch_mode(benchmark, compiled_workloads, workload_inputs, mode):
+    _, program = compiled_workloads["crond"]
+    inputs = workload_inputs("crond", scale=10)
+    params = IPDSHardwareParams(
+        context_switch_interval=INTERVAL,
+        lazy_context_switch=(mode == "lazy"),
+    )
+
+    def run():
+        return timed_run(program, inputs, ipds_params=params)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[mode] = result
+    assert result.ipds_stats.context_switches > 0
+    benchmark.extra_info["switch_stall_cycles"] = (
+        result.ipds_stats.context_switch_stall_cycles
+    )
+
+
+def test_lazy_switching_beats_eager(benchmark):
+    if len(_RESULTS) < 2:
+        pytest.skip("mode benches did not run")
+    eager, lazy = benchmark.pedantic(
+        lambda: (_RESULTS["eager"], _RESULTS["lazy"]), rounds=1, iterations=1
+    )
+    print()
+    for mode, result in (("eager", eager), ("lazy", lazy)):
+        stats = result.ipds_stats
+        print(
+            f"  {mode:5s}: {stats.context_switches} switches, "
+            f"{stats.context_switch_stall_cycles} stall cycles, "
+            f"{result.cycles} total cycles"
+        )
+    # Same switch count; the lazy scheme stalls the program less.
+    assert (
+        lazy.ipds_stats.context_switches == eager.ipds_stats.context_switches
+    )
+    assert (
+        lazy.ipds_stats.context_switch_stall_cycles
+        <= eager.ipds_stats.context_switch_stall_cycles
+    )
+    assert lazy.cycles <= eager.cycles

@@ -1,0 +1,68 @@
+"""Figure 7: detection rate for simulated attacks.
+
+Regenerates the paper's headline experiment: every server is attacked
+``ATTACKS`` times independently; we report the share of tamperings that
+change control flow and the share the IPDS detects.  Shape targets
+(paper): roughly half of control-flow-changing tamperings are detected,
+detection varies per benchmark, and false positives are zero by
+construction (the campaign raises on any clean-run alarm).
+
+Run with ``pytest benchmarks/bench_fig7_detection.py --benchmark-only``.
+Set ``REPRO_FIG7_ATTACKS`` to change the per-benchmark attack count
+(default 30 to keep the harness quick; the paper used 100 — use
+``python -m repro.reporting fig7`` for the full run).
+"""
+
+import os
+
+import pytest
+
+from repro.attacks import CampaignSummary, run_workload_campaign
+from repro.reporting import render_figure7
+from repro.workloads import workload_names
+
+ATTACKS = int(os.environ.get("REPRO_FIG7_ATTACKS", "30"))
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_fig7_campaign(benchmark, compiled_workloads, name):
+    workload, program = compiled_workloads[name]
+
+    def campaign():
+        return run_workload_campaign(
+            workload, attacks=ATTACKS, program=program
+        )
+
+    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    _RESULTS[name] = result
+    # Soundness: detection only on control-flow-changing tamperings.
+    assert result.detected <= result.changed <= result.total == ATTACKS
+    benchmark.extra_info["pct_changed"] = result.pct_changed
+    benchmark.extra_info["pct_detected"] = result.pct_detected
+
+
+def test_fig7_summary_shape(benchmark, compiled_workloads):
+    """Aggregate shape assertions + the rendered figure."""
+
+    def summarize():
+        for name in workload_names():
+            if name not in _RESULTS:
+                workload, program = compiled_workloads[name]
+                _RESULTS[name] = run_workload_campaign(
+                    workload, attacks=ATTACKS, program=program
+                )
+        return CampaignSummary([_RESULTS[n] for n in workload_names()])
+
+    summary = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print()
+    print(render_figure7(summary))
+    # Shape: a nontrivial fraction of tamperings change control flow,
+    # and the IPDS catches a sizable share of those.
+    assert summary.avg_pct_changed > 5.0
+    assert summary.avg_pct_detected > 0.0
+    assert summary.avg_pct_detected_of_changed > 20.0
+    # Some detections must exist in several benchmarks, not just one.
+    detecting = [r for r in summary.results if r.detected > 0]
+    assert len(detecting) >= 4

@@ -1,0 +1,47 @@
+"""Figure 8: average sizes (in bits) of the BSV, BCV and BAT tables.
+
+Benchmarks the compiler side (alias → purity → Fig. 5 construction →
+perfect hashing → encoding) per workload and checks the size shape the
+paper reports: BAT ≫ BSV, and BSV exactly twice the BCV (2 bits vs
+1 bit per hash slot).  Absolute sizes are larger than the paper's 34 /
+17 / 393 because our synthetic servers concentrate their branches in
+one dispatch function (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.correlation import build_program_tables, summarize_sizes
+from repro.ir import lower_program
+from repro.lang import parse_program
+from repro.reporting import figure8_data, render_figure8
+from repro.workloads import all_workloads, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_fig8_table_construction(benchmark, name):
+    workload = next(w for w in all_workloads() if w.name == name)
+    ast = parse_program(workload.source, name)
+
+    def construct():
+        module = lower_program(ast)
+        tables, _ = build_program_tables(module)
+        return tables
+
+    tables = benchmark(construct)
+    summary = summarize_sizes(tables)
+    assert summary.avg_bsv_bits > 0
+    benchmark.extra_info["avg_bsv_bits"] = summary.avg_bsv_bits
+    benchmark.extra_info["avg_bat_bits"] = summary.avg_bat_bits
+
+
+def test_fig8_shape(benchmark):
+    rows, average = benchmark.pedantic(figure8_data, rounds=1, iterations=1)
+    print()
+    print(render_figure8(rows, average))
+    # BSV is 2 bits/slot, BCV 1 bit/slot: exactly 2:1.
+    assert average.avg_bsv == pytest.approx(2 * average.avg_bcv)
+    # The BAT dominates, by an order of magnitude (paper: 393 vs 34).
+    assert average.avg_bat > 5 * average.avg_bsv
+    # Every workload individually keeps the ordering BAT > BSV > BCV.
+    for row in rows:
+        assert row.avg_bat > row.avg_bsv > row.avg_bcv

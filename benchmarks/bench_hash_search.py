@@ -1,0 +1,75 @@
+"""§5.2 ablation: the collision-free hash search.
+
+The paper's claim: "the compiler can find a proper combination of hash
+function and hash space quickly" for realistic per-function branch
+counts.  This bench measures search cost and resulting hash-space
+inflation across function sizes, plus the real workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.correlation import find_perfect_hash, minimum_bits
+from repro.ir import CODE_BASE, INSTRUCTION_BYTES
+from repro.workloads import workload_names
+
+
+def synthetic_pcs(count, rng):
+    """Branch PCs scattered through a function like real code."""
+    pcs = set()
+    cursor = CODE_BASE
+    while len(pcs) < count:
+        cursor += INSTRUCTION_BYTES * rng.randint(1, 12)
+        pcs.add(cursor)
+    return sorted(pcs)
+
+
+@pytest.mark.parametrize("count", [1, 4, 16, 64, 256])
+def test_hash_search_speed(benchmark, count):
+    rng = random.Random(f"hash:{count}")
+    pcs = synthetic_pcs(count, rng)
+    result = benchmark(find_perfect_hash, pcs)
+    assert result.collision_free
+    # Verify no collisions for real.
+    slots = {result.params.slot(pc) for pc in pcs}
+    assert len(slots) == count
+    benchmark.extra_info["trials"] = result.trials
+    benchmark.extra_info["space"] = result.params.space
+
+
+@pytest.mark.parametrize("count", [4, 16, 64])
+def test_hash_space_inflation_is_bounded(benchmark, count):
+    """The found space should stay within a few doublings of minimal."""
+
+    def sweep():
+        inflations = []
+        for seed in range(20):
+            pcs = synthetic_pcs(count, random.Random(f"infl:{count}:{seed}"))
+            result = find_perfect_hash(pcs)
+            inflations.append(
+                result.params.space / (1 << minimum_bits(count))
+            )
+        return inflations
+
+    inflations = benchmark(sweep)
+    # A two-parameter shift/XOR family needs roughly birthday-bound
+    # headroom: within a few doublings of minimal, never unbounded.
+    assert max(inflations) <= 8.0
+    assert sum(inflations) / len(inflations) <= 8.0
+
+
+def test_hash_search_on_real_workloads(benchmark, compiled_workloads):
+    def search_all():
+        trials = 0
+        for name in workload_names():
+            _, program = compiled_workloads[name]
+            for tables in program.tables:
+                if tables.branch_pcs:
+                    trials += find_perfect_hash(tables.branch_pcs).trials
+        return trials
+
+    trials = benchmark(search_all)
+    # "in most cases, the compiler can find a proper combination
+    #  ... quickly" — bounded total search effort.
+    assert trials < 5000

@@ -1,0 +1,48 @@
+"""§6 detection latency: branch sent to IPDS → verdict (paper: 11.7 cy).
+
+Measures the mean check latency of the IPDS hardware model across the
+workload traces; the paper's claim is that with a >20-stage pipeline a
+checking request issued at decode returns before retirement, i.e. the
+latency stays in the low tens of cycles.
+"""
+
+import os
+
+import pytest
+
+from repro.cpu import timed_run
+from repro.reporting import render_latency
+from repro.workloads import workload_names
+
+SCALE = int(os.environ.get("REPRO_FIG9_SCALE", "10"))
+
+_LATENCIES = {}
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_detection_latency(benchmark, compiled_workloads, workload_inputs, name):
+    _, program = compiled_workloads[name]
+    inputs = workload_inputs(name, scale=SCALE)
+
+    def run():
+        return timed_run(program, inputs, with_ipds=True)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    latency = result.ipds_stats.avg_check_latency
+    _LATENCIES[name] = latency
+    assert result.ipds_stats.checks > 0, name
+    # Same order as the paper's 11.7 cycles.
+    assert 1.0 <= latency <= 40.0, (name, latency)
+    benchmark.extra_info["avg_check_latency"] = latency
+
+
+def test_latency_average(benchmark):
+    if not _LATENCIES:
+        pytest.skip("per-workload latency benches did not run")
+    avg = benchmark.pedantic(
+        lambda: sum(_LATENCIES.values()) / len(_LATENCIES),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\naverage detection latency: {avg:.1f} cycles (paper: 11.7)")
+    assert 1.0 <= avg <= 30.0

@@ -1,0 +1,71 @@
+"""§6 ablation: the effect of compiler optimization on detection.
+
+The paper notes: "Noticeably, compiler optimizations can remove some
+correlations, reducing the detection rate."  This ablation compiles
+every workload twice — unoptimized and with the standard pipeline
+(constant propagation, store-to-load forwarding, DSE, DCE) — and
+compares the number of checked branches and the campaign detection
+rate.
+"""
+
+import os
+
+import pytest
+
+from repro.attacks import run_workload_campaign
+from repro.pipeline import compile_program
+from repro.workloads import all_workloads, workload_names
+
+ATTACKS = int(os.environ.get("REPRO_FIG7_ATTACKS", "30"))
+
+_CHECKED = {}
+_DETECTED = {}
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_opt_ablation_per_workload(benchmark, name):
+    workload = next(w for w in all_workloads() if w.name == name)
+
+    def compile_both():
+        plain = compile_program(workload.source, name)
+        opt = compile_program(workload.source, name, opt_level=1)
+        return plain, opt
+
+    plain, opt = benchmark.pedantic(compile_both, rounds=1, iterations=1)
+    _CHECKED[name] = (plain.tables.total_checked, opt.tables.total_checked)
+    # Optimization never *adds* checkable branches here (forwarding only
+    # removes loads) — it can only preserve or remove correlations.
+    assert opt.tables.total_checked <= plain.tables.total_checked
+    benchmark.extra_info["checked_plain"] = plain.tables.total_checked
+    benchmark.extra_info["checked_opt"] = opt.tables.total_checked
+
+    plain_result = run_workload_campaign(
+        workload, attacks=ATTACKS, program=plain
+    )
+    opt_result = run_workload_campaign(workload, attacks=ATTACKS, program=opt)
+    _DETECTED[name] = (plain_result.pct_detected, opt_result.pct_detected)
+
+
+def test_opt_ablation_summary(benchmark):
+    if len(_CHECKED) < len(workload_names()):
+        pytest.skip("per-workload ablations did not run")
+    summary = benchmark.pedantic(
+        lambda: (dict(_CHECKED), dict(_DETECTED)), rounds=1, iterations=1
+    )
+    checked, detected = summary
+    print()
+    print(f"{'workload':10s} {'checked':>14s} {'detected %':>16s}")
+    for name in workload_names():
+        cp, co = checked[name]
+        dp, do = detected[name]
+        print(f"{name:10s} {cp:6d} -> {co:4d} {dp:9.1f} -> {do:5.1f}")
+    total_plain = sum(c[0] for c in checked.values())
+    total_opt = sum(c[1] for c in checked.values())
+    print(f"checked branches: {total_plain} -> {total_opt}")
+    # The paper's observation, in aggregate.
+    assert total_opt <= total_plain
+    avg_plain = sum(d[0] for d in detected.values()) / len(detected)
+    avg_opt = sum(d[1] for d in detected.values()) / len(detected)
+    print(f"avg detection: {avg_plain:.1f}% -> {avg_opt:.1f}%")
+    # Detection must not *improve* materially under optimization.
+    assert avg_opt <= avg_plain + 3.0

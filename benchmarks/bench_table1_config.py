@@ -1,0 +1,48 @@
+"""Table 1: the simulated processor configuration.
+
+Table 1 is configuration rather than measurement; this bench renders it
+from the live parameter objects and verifies every row matches the
+paper, so any drift in defaults is caught here.
+"""
+
+from repro.cpu import IPDSHardwareParams, ProcessorParams
+from repro.reporting import render_table1
+
+
+def test_table1_renders(benchmark):
+    text = benchmark(render_table1)
+    print()
+    print(text)
+    for expected in [
+        "1 GHz",
+        "32 entries",
+        "128",
+        "64",
+        "2 Level",
+        "64K, 2 way, 2 cycle, 32B block",
+        "512K, 4 way, 32B block, latency 10 cycles",
+        "first chunk: 80 cycles, inter chunk: 5 cycles",
+        "30 cycles",
+        "2K bits",
+        "1K bits",
+        "32K bits",
+    ]:
+        assert expected in text, expected
+
+
+def test_table1_values_match_paper(benchmark):
+    p, hw = benchmark.pedantic(
+        lambda: (ProcessorParams(), IPDSHardwareParams()),
+        rounds=1,
+        iterations=1,
+    )
+    assert (p.decode_width, p.issue_width, p.commit_width) == (8, 8, 8)
+    assert (p.ruu_size, p.lsq_size) == (128, 64)
+    assert (hw.bsv_stack_bits, hw.bcv_stack_bits, hw.bat_stack_bits) == (
+        2048,
+        1024,
+        32768,
+    )
+    # Total on-chip buffer space: 35K bits (§6).
+    total = hw.bsv_stack_bits + hw.bcv_stack_bits + hw.bat_stack_bits
+    assert total == 35 * 1024

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts; compiled
+programs are cached per session so timing numbers measure the
+experiment, not recompilation.
+"""
+
+import random
+
+import pytest
+
+from repro.pipeline import compile_program
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="session")
+def compiled_workloads():
+    """{name: (Workload, ProtectedProgram)} for all ten servers."""
+    return {
+        w.name: (w, compile_program(w.source, w.name)) for w in all_workloads()
+    }
+
+
+@pytest.fixture(scope="session")
+def workload_inputs():
+    """Deterministic medium-length input sessions for timing runs."""
+
+    def make(name, scale=10):
+        workload = next(w for w in all_workloads() if w.name == name)
+        return workload.make_inputs(random.Random(f"bench:{name}"), scale)
+
+    return make

@@ -1,0 +1,73 @@
+"""Extension studies: optimization effects and the n-gram baseline.
+
+Run:  python examples/optimization_and_baselines.py
+
+Part 1 shows the paper's §6 remark in action — "compiler optimizations
+can remove some correlations, reducing the detection rate": the same
+program compiled with and without optimization, with the checked-branch
+count dropping as store-to-load forwarding erases the re-loads the
+correlations hang off.
+
+Part 2 runs the related-work comparison: a call-site-aware n-gram
+syscall detector (trained on clean sessions) against the IPDS on the
+same attacks — detection vs. the false positives training can't avoid.
+"""
+
+from repro.baselines import compare_detectors
+from repro.pipeline import compile_program
+from repro.workloads import get_workload
+
+DOUBLE_CHECK = """
+int audit;
+void main() {
+  int user = read_int();
+  if (user < 100) { emit(1); } else { emit(2); }
+  audit = audit + 1;
+  if (user < 100) { emit(3); } else { emit(4); }   // correlated re-check
+}
+"""
+
+
+def main() -> None:
+    print("=== part 1: optimization removes correlations ===")
+    plain = compile_program(DOUBLE_CHECK, "double_check.c")
+    opt = compile_program(DOUBLE_CHECK, "double_check.c", opt_level=1)
+    print(f"unoptimized: {plain.tables.total_branches} branches, "
+          f"{plain.tables.total_checked} checked")
+    print(f"optimized  : {opt.tables.total_branches} branches, "
+          f"{opt.tables.total_checked} checked")
+    print("(here the correlation survives: forwarding erased gate 1's")
+    print(" load, but the store of `user` feeds gate 1's register, so")
+    print(" the Fig. 3.b store-based inference still predicts gate 2 —")
+    print(" only correlations whose re-loads span blocks are lost, as")
+    print(" the per-server totals below show)")
+
+    print("\nacross the ten servers:")
+    total_plain = total_opt = 0
+    for name in ("telnetd", "wu-ftpd", "crond", "portmap"):
+        workload = get_workload(name)
+        p = compile_program(workload.source, name)
+        o = compile_program(workload.source, name, opt_level=1)
+        total_plain += p.tables.total_checked
+        total_opt += o.tables.total_checked
+        print(f"  {name:10s} checked branches {p.tables.total_checked:3d} "
+              f"-> {o.tables.total_checked:3d}")
+    print(f"  total: {total_plain} -> {total_opt}")
+
+    print("\n=== part 2: IPDS vs. trained n-gram baseline ===")
+    print(f"{'server':10s} {'ngram FP':>9s} {'ngram det':>10s} "
+          f"{'IPDS FP':>8s} {'IPDS det':>9s}   (det = of control-flow-changing)")
+    for name in ("telnetd", "httpd"):
+        workload = get_workload(name)
+        r = compare_detectors(
+            workload, attacks=25, train_sessions=25, test_sessions=25
+        )
+        print(f"{name:10s} {r.ngram_fp_rate:8.1f}% "
+              f"{r.ngram_detection_of_changed:9.1f}% "
+              f"{'0.0%':>8s} {r.ipds_detection_of_changed:8.1f}%")
+    print("\nthe n-gram detector needs training and pays with false")
+    print("positives; the IPDS needs none and cannot produce one.")
+
+
+if __name__ == "__main__":
+    main()

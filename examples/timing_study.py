@@ -1,0 +1,49 @@
+"""Timing study: what does IPDS protection cost? (Figure 9 style)
+
+Run:  python examples/timing_study.py [workload] [scale]
+
+Simulates one server's trace on the Table 1 processor twice — without
+and with the IPDS hardware — and reports cycles, IPC, the normalized
+performance, detection latency, and an IPDS queue-size sensitivity
+sweep (the design knob that keeps checking off the critical path).
+"""
+
+import random
+import sys
+
+from repro.cpu import IPDSHardwareParams, normalized_performance, timed_run
+from repro.pipeline import compile_program
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "httpd"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 15
+    workload = get_workload(name)
+    program = compile_program(workload.source, name)
+    inputs = workload.make_inputs(random.Random(f"timing:{name}"), scale)
+
+    baseline = timed_run(program, inputs, with_ipds=False)
+    protected = timed_run(program, inputs, with_ipds=True)
+    print(f"workload {name}, {baseline.timing.instructions} instructions")
+    print(f"  baseline : {baseline.cycles:8d} cycles  IPC {baseline.ipc:.2f}")
+    print(f"  with IPDS: {protected.cycles:8d} cycles  IPC {protected.ipc:.2f}")
+    comp = normalized_performance(program, inputs, name)
+    print(f"  normalized performance: {comp.normalized_performance:.4f} "
+          f"({comp.degradation_pct:.3f}% degradation)")
+    stats = protected.ipds_stats
+    print(f"  IPDS: {stats.requests} requests, {stats.checks} checked, "
+          f"mean verdict latency {stats.avg_check_latency:.1f} cycles")
+    print(f"  predictor accuracy {protected.predictor_accuracy:.1%}, "
+          f"L1D miss rate {protected.l1d_miss_rate:.1%}")
+
+    print("\nqueue-size sensitivity:")
+    for queue in (2, 4, 8, 16, 32):
+        params = IPDSHardwareParams(request_queue_size=queue)
+        comp = normalized_performance(program, inputs, name, ipds_params=params)
+        print(f"  queue {queue:2d}: degradation {comp.degradation_pct:6.3f}%  "
+              f"(stalls {comp.commit_stalls})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""IPDS: Infeasible Path Detection System.
+
+A full reproduction of Zhuang, Zhang & Pande, "Using Branch Correlation
+to Identify Infeasible Paths for Anomaly Detection" (MICRO 2006):
+compiler-side branch-correlation analysis (BSV/BCV/BAT construction),
+the hardware runtime checker, a tampering execution substrate, an
+attack-campaign framework, and a SimpleScalar-style timing model.
+
+Quick start::
+
+    from repro import compile_program, monitored_run, TamperSpec
+
+    program = compile_program(SOURCE)
+    result, ipds = monitored_run(program, inputs=[...])
+    print(ipds.alarms)
+"""
+
+from .interp.interpreter import RunResult, RunStatus, TamperSpec
+from .pipeline import (
+    ProtectedProgram,
+    compile_program,
+    monitored_run,
+    unmonitored_run,
+)
+from .runtime.ipds import IPDS, Alarm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alarm",
+    "IPDS",
+    "ProtectedProgram",
+    "RunResult",
+    "RunStatus",
+    "TamperSpec",
+    "compile_program",
+    "monitored_run",
+    "unmonitored_run",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Compiler analyses feeding the branch-correlation pass.
+
+* :mod:`alias` — Andersen-style points-to (stand-in for SUIF's [27]);
+* :mod:`callgraph` / :mod:`purity` — call effects (§5.3 pseudo-stores);
+* :mod:`defs` — definition sites and reaching definitions;
+* :mod:`ranges` — the interval domain for subsumption tests;
+* :mod:`branch_info` — per-branch check/inference predicates.
+"""
+
+from .alias import AliasResult, analyze_aliases
+from .branch_info import (
+    BranchFacts,
+    CheckInfo,
+    InferenceInfo,
+    OutcomeSet,
+    analyze_branch,
+    analyze_branches,
+)
+from .callgraph import CallGraph, build_call_graph
+from .defs import (
+    DefinitionMap,
+    DefSite,
+    ReachingDefinitions,
+    analyze_definitions,
+)
+from .liveness import VariableLiveness
+from .purity import PurityResult, StoreEffect, analyze_purity
+from .ranges import Interval, NEG_INF, POS_INF, taken_partition
+
+__all__ = [
+    "AliasResult",
+    "BranchFacts",
+    "CallGraph",
+    "CheckInfo",
+    "DefSite",
+    "DefinitionMap",
+    "InferenceInfo",
+    "Interval",
+    "NEG_INF",
+    "OutcomeSet",
+    "POS_INF",
+    "PurityResult",
+    "ReachingDefinitions",
+    "StoreEffect",
+    "VariableLiveness",
+    "analyze_aliases",
+    "analyze_branch",
+    "analyze_branches",
+    "analyze_definitions",
+    "analyze_purity",
+    "build_call_graph",
+    "taken_partition",
+]

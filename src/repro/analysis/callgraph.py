@@ -1,0 +1,77 @@
+"""Call graph construction over the IR module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..ir.function import IRModule
+from ..ir.instructions import Call
+
+
+@dataclass
+class CallGraph:
+    """Direct-call graph: our language has no function pointers, so the
+    graph is exact."""
+
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+    builtin_calls: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def callees_of(self, name: str) -> Set[str]:
+        return self.callees.get(name, set())
+
+    def callers_of(self, name: str) -> Set[str]:
+        return self.callers.get(name, set())
+
+    def transitive_callees(self, name: str) -> Set[str]:
+        """All user functions reachable from ``name`` (exclusive)."""
+        seen: Set[str] = set()
+        stack = list(self.callees_of(name))
+        while stack:
+            callee = stack.pop()
+            if callee in seen:
+                continue
+            seen.add(callee)
+            stack.extend(self.callees_of(callee))
+        return seen
+
+    def topological_order(self) -> List[str]:
+        """Callees-before-callers order; cycles (recursion) broken
+        arbitrarily but deterministically."""
+        order: List[str] = []
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str) -> None:
+            state = visited.get(name)
+            if state is not None:
+                return
+            visited[name] = 0
+            for callee in sorted(self.callees_of(name)):
+                if visited.get(callee) != 0:
+                    visit(callee)
+            visited[name] = 1
+            order.append(name)
+
+        for name in sorted(self.callees):
+            visit(name)
+        return order
+
+
+def build_call_graph(module: IRModule) -> CallGraph:
+    """Construct the call graph of a module."""
+    graph = CallGraph()
+    user_functions = {fn.name for fn in module.functions}
+    for fn in module.functions:
+        graph.callees.setdefault(fn.name, set())
+        graph.callers.setdefault(fn.name, set())
+        graph.builtin_calls.setdefault(fn.name, set())
+    for fn in module.functions:
+        for instruction in fn.instructions():
+            if isinstance(instruction, Call):
+                if instruction.callee in user_functions:
+                    graph.callees[fn.name].add(instruction.callee)
+                    graph.callers[instruction.callee].add(fn.name)
+                else:
+                    graph.builtin_calls[fn.name].add(instruction.callee)
+    return graph

@@ -1,0 +1,191 @@
+"""Definition sites and reaching-definitions analysis.
+
+A *definition site* is anything that may write a variable the current
+function can observe: a direct store, an indirect store (through its
+alias set), or a call (through the callee's pseudo-store effect, §5.3).
+Reaching definitions is the classic forward may-analysis over those
+sites; the BAT construction uses it to connect a constraining store to
+the load whose branch it predicts (Fig. 5, lines 6–9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..ir.cfg import iter_rpo
+from ..ir.function import BasicBlock, IRFunction, IRModule
+from ..ir.instructions import (
+    Call,
+    Instruction,
+    Load,
+    Store,
+    StoreIndirect,
+    Variable,
+)
+from .purity import PurityResult
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One potential write of ``var``.
+
+    ``strong`` means the write certainly happens and certainly targets
+    exactly this variable (only direct scalar stores qualify); strong
+    definitions kill earlier definitions of the variable.
+    """
+
+    block_label: str
+    index: int  # position within the block's instruction list
+    var: Variable
+    strong: bool
+    kind: str  # "store" | "indirect" | "call"
+
+    def __str__(self) -> str:
+        tag = "!" if self.strong else "?"
+        return f"{self.kind}{tag} {self.var} @{self.block_label}[{self.index}]"
+
+
+class DefinitionMap:
+    """All definition sites of one function, indexed for the analyses."""
+
+    def __init__(
+        self,
+        fn: IRFunction,
+        module: IRModule,
+        purity: PurityResult,
+    ):
+        self._fn = fn
+        self.sites: List[DefSite] = []
+        self._by_position: Dict[Tuple[str, int], List[DefSite]] = {}
+        self._by_var: Dict[Variable, List[DefSite]] = {}
+        global_vars = frozenset(module.globals)
+        observable = frozenset(fn.frame_variables) | global_vars
+
+        for block in fn.blocks:
+            for index, instruction in enumerate(block.instructions):
+                for site in self._sites_for(
+                    instruction, block, index, observable, purity, global_vars
+                ):
+                    self.sites.append(site)
+                    self._by_position.setdefault(
+                        (block.label, index), []
+                    ).append(site)
+                    self._by_var.setdefault(site.var, []).append(site)
+
+    def _sites_for(
+        self,
+        instruction: Instruction,
+        block: BasicBlock,
+        index: int,
+        observable: FrozenSet[Variable],
+        purity: PurityResult,
+        global_vars: FrozenSet[Variable],
+    ) -> Iterable[DefSite]:
+        if isinstance(instruction, Store):
+            yield DefSite(block.label, index, instruction.var, True, "store")
+        elif isinstance(instruction, StoreIndirect):
+            if instruction.may_alias:
+                targets: Iterable[Variable] = (
+                    v for v in instruction.may_alias if v in observable
+                )
+                sole = len(instruction.may_alias) == 1
+                for var in targets:
+                    strong = sole and not var.is_array
+                    yield DefSite(block.label, index, var, strong, "indirect")
+            else:
+                # Unknown target: may write any observable variable.
+                for var in sorted(observable, key=lambda v: (v.name, v.uid)):
+                    yield DefSite(block.label, index, var, False, "indirect")
+        elif isinstance(instruction, Call):
+            clobbers, targets = purity.call_targets(
+                self._fn, instruction, global_vars
+            )
+            for var in sorted(targets, key=lambda v: (v.name, v.uid)):
+                yield DefSite(block.label, index, var, False, "call")
+
+    def at(self, block_label: str, index: int) -> List[DefSite]:
+        """Definition sites produced by the instruction at a position."""
+        return self._by_position.get((block_label, index), [])
+
+    def of_var(self, var: Variable) -> List[DefSite]:
+        """All definition sites of a variable."""
+        return self._by_var.get(var, [])
+
+    def defs_between(
+        self, block_label: str, start: int, end: int, var: Variable
+    ) -> List[DefSite]:
+        """Definition sites of ``var`` in ``block[start:end]``."""
+        return [
+            site
+            for site in self._by_var.get(var, [])
+            if site.block_label == block_label and start <= site.index < end
+        ]
+
+
+class ReachingDefinitions:
+    """Forward may-analysis: which definition sites reach each point."""
+
+    def __init__(self, fn: IRFunction, def_map: DefinitionMap):
+        self._fn = fn
+        self._defs = def_map
+        self._block_in: Dict[str, FrozenSet[DefSite]] = {}
+        self._block_out: Dict[str, FrozenSet[DefSite]] = {}
+        self._solve()
+
+    def _transfer(
+        self, block: BasicBlock, live: Set[DefSite]
+    ) -> Set[DefSite]:
+        for index in range(len(block.instructions)):
+            for site in self._defs.at(block.label, index):
+                if site.strong:
+                    live = {
+                        s for s in live if s.var != site.var
+                    }
+                live = set(live)
+                live.add(site)
+        return live
+
+    def _solve(self) -> None:
+        order = list(iter_rpo(self._fn))
+        for block in order:
+            self._block_in[block.label] = frozenset()
+            self._block_out[block.label] = frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                incoming: Set[DefSite] = set()
+                for pred in block.preds:
+                    incoming |= self._block_out[pred.label]
+                frozen_in = frozenset(incoming)
+                if frozen_in != self._block_in[block.label]:
+                    self._block_in[block.label] = frozen_in
+                outgoing = frozenset(self._transfer(block, set(incoming)))
+                if outgoing != self._block_out[block.label]:
+                    self._block_out[block.label] = outgoing
+                    changed = True
+
+    def reaching(self, block_label: str, index: int) -> FrozenSet[DefSite]:
+        """Definitions live immediately *before* ``block[index]``."""
+        block = self._fn.block(block_label)
+        live: Set[DefSite] = set(self._block_in[block_label])
+        for i in range(index):
+            for site in self._defs.at(block_label, i):
+                if site.strong:
+                    live = {s for s in live if s.var != site.var}
+                live.add(site)
+        return frozenset(live)
+
+    def reaches_load(self, site: DefSite, block_label: str, index: int) -> bool:
+        """True if ``site`` reaches the instruction at the position
+        (typically a :class:`Load` of ``site.var``)."""
+        return site in self.reaching(block_label, index)
+
+
+def analyze_definitions(
+    fn: IRFunction, module: IRModule, purity: PurityResult
+) -> Tuple[DefinitionMap, ReachingDefinitions]:
+    """Convenience: build the definition map and solve reaching defs."""
+    def_map = DefinitionMap(fn, module, purity)
+    return def_map, ReachingDefinitions(fn, def_map)

@@ -1,0 +1,116 @@
+"""Function side-effect analysis (§5.3 of the paper).
+
+For the BAT construction, a call site must be treated as a set of
+*pseudo stores* to whatever non-local memory the callee might modify.
+The paper proves a simple property per function ("only modifies
+non-local state through pointer parameters"), treats C library calls by
+known semantics, and falls back to "may modify anything".
+
+We compute, for every function, the set of variables it may store to —
+directly, through pointers (using the whole-module points-to facts), or
+transitively through calls — plus a *clobbers-everything* flag for
+stores whose target the analysis cannot bound.  Builtins (``read_int``,
+``emit``) are known not to touch program memory, mirroring the paper's
+special handling of libc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..ir.builder import BUILTINS
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import Call, Store, StoreIndirect, Variable
+from .callgraph import CallGraph, build_call_graph
+
+
+@dataclass(frozen=True)
+class StoreEffect:
+    """What a function may write, from any caller's point of view."""
+
+    clobbers_all: bool
+    variables: FrozenSet[Variable]
+
+    def visible_targets(
+        self, frame: FrozenSet[Variable], global_vars: FrozenSet[Variable]
+    ) -> FrozenSet[Variable]:
+        """The effect restricted to what a caller with ``frame`` sees."""
+        visible = frame | global_vars
+        if self.clobbers_all:
+            return visible
+        return self.variables & visible
+
+
+@dataclass
+class PurityResult:
+    """Per-function store effects for a module."""
+
+    effects: Dict[str, StoreEffect]
+    call_graph: CallGraph
+
+    def effect_of(self, name: str) -> StoreEffect:
+        if name in BUILTINS:
+            return StoreEffect(clobbers_all=False, variables=frozenset())
+        return self.effects[name]
+
+    def call_targets(
+        self, caller: IRFunction, call: Call, global_vars: FrozenSet[Variable]
+    ) -> Tuple[bool, FrozenSet[Variable]]:
+        """Pseudo-store targets of a call site inside ``caller``.
+
+        Returns ``(clobbers_all, variables)`` where variables are
+        restricted to the caller's frame and the globals (the only
+        memory the caller's own loads can observe).
+        """
+        effect = self.effect_of(call.callee)
+        frame = frozenset(caller.frame_variables)
+        if effect.clobbers_all:
+            return True, frame | global_vars
+        return False, effect.visible_targets(frame, global_vars)
+
+
+def analyze_purity(module: IRModule) -> PurityResult:
+    """Compute transitive store effects for every function.
+
+    Requires alias annotations (``may_alias``) to be present — run
+    :func:`repro.analysis.alias.analyze_aliases` first.  An indirect
+    store with no alias information clobbers everything, which is the
+    paper's conservative fallback for unanalyzable callees.
+    """
+    graph = build_call_graph(module)
+    clobbers: Dict[str, bool] = {fn.name: False for fn in module.functions}
+    stored: Dict[str, Set[Variable]] = {fn.name: set() for fn in module.functions}
+
+    # Local (non-transitive) effects.
+    for fn in module.functions:
+        for instruction in fn.instructions():
+            if isinstance(instruction, Store):
+                stored[fn.name].add(instruction.var)
+            elif isinstance(instruction, StoreIndirect):
+                if instruction.may_alias:
+                    stored[fn.name].update(instruction.may_alias)
+                else:
+                    clobbers[fn.name] = True
+
+    # Transitive closure over the call graph (fixpoint handles recursion).
+    changed = True
+    while changed:
+        changed = False
+        for fn in module.functions:
+            for callee in graph.callees_of(fn.name):
+                if clobbers[callee] and not clobbers[fn.name]:
+                    clobbers[fn.name] = True
+                    changed = True
+                missing = stored[callee] - stored[fn.name]
+                if missing:
+                    stored[fn.name] |= missing
+                    changed = True
+
+    effects = {
+        name: StoreEffect(
+            clobbers_all=clobbers[name], variables=frozenset(stored[name])
+        )
+        for name in stored
+    }
+    return PurityResult(effects=effects, call_graph=graph)

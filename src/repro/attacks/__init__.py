@@ -1,0 +1,23 @@
+"""Attack campaign framework: the Figure 7 experiment."""
+
+from .campaign import (
+    AttackOutcome,
+    CampaignError,
+    CampaignSummary,
+    TAMPER_VALUES,
+    WorkloadResult,
+    run_attack,
+    run_full_campaign,
+    run_workload_campaign,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "CampaignError",
+    "CampaignSummary",
+    "TAMPER_VALUES",
+    "WorkloadResult",
+    "run_attack",
+    "run_full_campaign",
+    "run_workload_campaign",
+]

@@ -1,0 +1,242 @@
+"""Simulated attack campaigns — the Figure 7 methodology.
+
+Per the paper (§6): each server program is attacked 100 times,
+independently.  Every attack tampers one randomly selected memory word
+at the program's vulnerability point — a live *stack* slot for buffer
+overflows, an arbitrary data address (globals included) for format
+strings.  For each attack we record whether the tampering changed the
+program's control flow at all, and whether the IPDS detected it.
+
+Attack recipe (three deterministic runs per attack):
+
+1. **clean run** — capture the reference branch trace and how many
+   inputs the session consumes;
+2. **probe run** — same inputs, recording the live attack surface at
+   the chosen trigger moment (the attacker casing the binary on their
+   own machine, as the paper assumes);
+3. **attack run** — same inputs plus the tampering, monitored by the
+   IPDS.
+
+Zero false positives is *asserted*, not just measured: the clean run is
+also monitored, and any alarm there fails the campaign loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import Interpreter, RunStatus, TamperSpec
+from ..lang.errors import ReproError
+from ..pipeline import ProtectedProgram, compile_program, monitored_run
+from ..workloads.registry import Workload, all_workloads
+
+#: Values an attacker plausibly writes: flag flips, sign flips, and the
+#: large garbage real overflow payloads leave behind (0x41414141 is the
+#: classic "AAAA" fill) — single-word memory-corruption payloads.
+TAMPER_VALUES = (0, 1, -1, 2, 7, 4242, -999, 65536, 0x41414141)
+
+
+class CampaignError(ReproError):
+    """A campaign-level invariant broke (e.g. a false positive)."""
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """One attack's classification."""
+
+    index: int
+    trigger_read: int
+    address: int
+    target_label: str  # "<fn>.<var>" or "<global>.<var>"
+    value: int
+    fired: bool
+    control_flow_changed: bool
+    detected: bool
+    clean_status: RunStatus
+    attack_status: RunStatus
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregated Figure-7 numbers for one workload."""
+
+    workload: str
+    vuln_kind: str
+    attacks: List[AttackOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.attacks)
+
+    @property
+    def changed(self) -> int:
+        return sum(1 for a in self.attacks if a.control_flow_changed)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for a in self.attacks if a.detected)
+
+    @property
+    def pct_changed(self) -> float:
+        """Share of tamperings that changed control flow (Fig. 7, left bar)."""
+        return 100.0 * self.changed / self.total if self.total else 0.0
+
+    @property
+    def pct_detected(self) -> float:
+        """Share of all tamperings detected (Fig. 7, right bar)."""
+        return 100.0 * self.detected / self.total if self.total else 0.0
+
+    @property
+    def pct_detected_of_changed(self) -> float:
+        """Detection rate among control-flow-changing tamperings."""
+        return 100.0 * self.detected / self.changed if self.changed else 0.0
+
+
+@dataclass
+class CampaignSummary:
+    """All workloads' results plus the paper's headline averages."""
+
+    results: List[WorkloadResult]
+
+    @property
+    def avg_pct_changed(self) -> float:
+        values = [r.pct_changed for r in self.results]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def avg_pct_detected(self) -> float:
+        values = [r.pct_detected for r in self.results]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def avg_pct_detected_of_changed(self) -> float:
+        if not self.avg_pct_changed:
+            return 0.0
+        return 100.0 * self.avg_pct_detected / self.avg_pct_changed
+
+
+def run_attack(
+    program: ProtectedProgram,
+    workload: Workload,
+    index: int,
+    seed_prefix: str = "",
+    step_limit: int = 500_000,
+    attack_model: str = "input",
+) -> AttackOutcome:
+    """Run one independent attack (clean + probe + attack runs).
+
+    ``attack_model`` selects the paper's §3 threat models:
+
+    * ``"input"`` (model 1, the Figure 7 default) — tampering fires
+      when a malicious *input* is consumed, and targets what that
+      vulnerability class reaches (live stack for overflows, any data
+      address for format strings);
+    * ``"process"`` (model 2) — a malicious co-resident process snoops
+      and tampers the victim's memory at an *arbitrary moment*
+      (step-count trigger) and an arbitrary data address.
+    """
+    if attack_model not in ("input", "process"):
+        raise ValueError(f"unknown attack model {attack_model!r}")
+    rng = random.Random(f"{seed_prefix}{workload.name}:{index}")
+    inputs = workload.make_inputs(rng)
+
+    # 1. Clean monitored run: reference trace + zero-FP assertion.
+    clean, clean_ipds = monitored_run(
+        program, inputs=inputs, step_limit=step_limit
+    )
+    if clean_ipds.detected:
+        raise CampaignError(
+            f"false positive on clean run of {workload.name}: "
+            f"{clean_ipds.alarms[0]}"
+        )
+
+    # 2. Choose the trigger and probe the attack surface there.
+    if attack_model == "process":
+        trigger_kind = "step"
+        trigger = rng.randint(1, max(2, clean.steps - 1))
+        probe_spec = ("step", trigger)
+    else:
+        trigger_kind = "read"
+        max_trigger = max(clean.reads_consumed, workload.min_trigger_read)
+        trigger = rng.randint(
+            workload.min_trigger_read,
+            max(workload.min_trigger_read, max_trigger),
+        )
+        probe_spec = ("read", trigger)
+    probe_interp = Interpreter(
+        program.module,
+        inputs=inputs,
+        probe=probe_spec,
+        step_limit=step_limit,
+    )
+    probe_interp.run()
+    candidates: List[Tuple[int, str, str]] = list(probe_interp.probe_slots)
+    if attack_model == "process" or workload.vuln_kind == "fmt":
+        candidates.extend(probe_interp.memory.global_slots())
+    if not candidates:
+        candidates = probe_interp.memory.global_slots()
+
+    address, owner, var_name = rng.choice(candidates)
+    value = rng.choice(TAMPER_VALUES)
+
+    # 3. The attack run.
+    tamper = TamperSpec(trigger_kind, trigger, address, value)
+    attacked, ipds = monitored_run(
+        program, inputs=inputs, tamper=tamper, step_limit=step_limit
+    )
+
+    changed = (
+        attacked.branch_trace != clean.branch_trace
+        or attacked.status is not clean.status
+    )
+    return AttackOutcome(
+        index=index,
+        trigger_read=trigger,
+        address=address,
+        target_label=f"{owner}.{var_name}",
+        value=value,
+        fired=attacked.tamper_fired,
+        control_flow_changed=changed,
+        detected=ipds.detected,
+        clean_status=clean.status,
+        attack_status=attacked.status,
+    )
+
+
+def run_workload_campaign(
+    workload: Workload,
+    attacks: int = 100,
+    seed_prefix: str = "",
+    step_limit: int = 500_000,
+    program: Optional[ProtectedProgram] = None,
+    attack_model: str = "input",
+) -> WorkloadResult:
+    """Attack one workload ``attacks`` times independently."""
+    if program is None:
+        program = compile_program(workload.source, workload.name)
+    result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
+    for index in range(attacks):
+        result.attacks.append(
+            run_attack(
+                program, workload, index,
+                seed_prefix=seed_prefix, step_limit=step_limit,
+                attack_model=attack_model,
+            )
+        )
+    return result
+
+
+def run_full_campaign(
+    attacks: int = 100,
+    seed_prefix: str = "",
+    workloads: Optional[Sequence[Workload]] = None,
+) -> CampaignSummary:
+    """The whole Figure-7 experiment: every workload × N attacks."""
+    chosen = list(workloads) if workloads is not None else all_workloads()
+    results = [
+        run_workload_campaign(w, attacks=attacks, seed_prefix=seed_prefix)
+        for w in chosen
+    ]
+    return CampaignSummary(results)

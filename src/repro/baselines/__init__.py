@@ -1,0 +1,12 @@
+"""Baseline detectors for comparison (related-work §7)."""
+
+from .compare import ComparisonResult, capture_trace, compare_detectors
+from .ngram import NGramDetector, PAD
+
+__all__ = [
+    "ComparisonResult",
+    "NGramDetector",
+    "PAD",
+    "capture_trace",
+    "compare_detectors",
+]

@@ -1,0 +1,156 @@
+"""Head-to-head: IPDS vs. syscall-granularity n-gram detection.
+
+For one workload:
+
+1. train the n-gram detector on ``train_sessions`` clean sessions;
+2. measure its **false-positive rate** on fresh clean sessions (IPDS
+   is zero-FP by construction, so any baseline FP is the contrast the
+   paper draws);
+3. replay the same seeded attack recipe the Figure 7 campaign uses and
+   measure both detectors on identical tampered executions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..attacks.campaign import TAMPER_VALUES
+from ..interp.interpreter import Interpreter, TamperSpec
+from ..pipeline import ProtectedProgram, compile_program
+from ..workloads.registry import Workload
+
+
+def capture_trace(
+    program: ProtectedProgram,
+    inputs: Sequence[int],
+    tamper: Optional[TamperSpec] = None,
+    step_limit: int = 500_000,
+) -> Tuple[List[str], List[Tuple[int, bool]], bool]:
+    """Run once; returns (syscall trace, branch trace, ipds detected)."""
+    syscalls: List[str] = []
+    ipds = program.new_ipds()
+
+    def observe(callee: str, pc: int) -> None:
+        # Call-site-aware symbols (Feng et al. [10] style): the same
+        # syscall from a different program point is a different symbol.
+        syscalls.append(f"{callee}@{pc:x}")
+
+    interpreter = Interpreter(
+        program.module,
+        inputs=inputs,
+        tamper=tamper,
+        step_limit=step_limit,
+        event_listeners=[ipds.process],
+        syscall_listener=observe,
+    )
+    result = interpreter.run()
+    return syscalls, result.branch_trace, ipds.detected
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one workload's head-to-head."""
+
+    workload: str
+    ngram_n: int
+    profile_size: int
+    clean_sessions_tested: int
+    ngram_false_positives: int
+    attacks: int
+    changed: int
+    ipds_detected: int
+    ngram_detected: int
+
+    @property
+    def ngram_fp_rate(self) -> float:
+        if not self.clean_sessions_tested:
+            return 0.0
+        return 100.0 * self.ngram_false_positives / self.clean_sessions_tested
+
+    @property
+    def ipds_detection_of_changed(self) -> float:
+        return 100.0 * self.ipds_detected / self.changed if self.changed else 0.0
+
+    @property
+    def ngram_detection_of_changed(self) -> float:
+        return 100.0 * self.ngram_detected / self.changed if self.changed else 0.0
+
+
+def compare_detectors(
+    workload: Workload,
+    attacks: int = 50,
+    train_sessions: int = 40,
+    test_sessions: int = 40,
+    n: int = 5,
+    program: Optional[ProtectedProgram] = None,
+    step_limit: int = 500_000,
+) -> ComparisonResult:
+    """Run the full head-to-head for one workload."""
+    from .ngram import NGramDetector
+
+    if program is None:
+        program = compile_program(workload.source, workload.name)
+    detector = NGramDetector(n=n)
+
+    for index in range(train_sessions):
+        rng = random.Random(f"train:{workload.name}:{index}")
+        trace, _, _ = capture_trace(
+            program, workload.make_inputs(rng), step_limit=step_limit
+        )
+        detector.train(trace)
+
+    false_positives = 0
+    for index in range(test_sessions):
+        rng = random.Random(f"test:{workload.name}:{index}")
+        trace, _, ipds_detected = capture_trace(
+            program, workload.make_inputs(rng), step_limit=step_limit
+        )
+        assert not ipds_detected, "IPDS false positive (impossible)"
+        if detector.detects(trace):
+            false_positives += 1
+
+    changed = ipds_hits = ngram_hits = 0
+    for index in range(attacks):
+        rng = random.Random(f"cmp:{workload.name}:{index}")
+        inputs = workload.make_inputs(rng)
+        clean_sys, clean_branches, _ = capture_trace(
+            program, inputs, step_limit=step_limit
+        )
+        trigger = rng.randint(
+            workload.min_trigger_read,
+            max(workload.min_trigger_read, len(inputs)),
+        )
+        probe = Interpreter(
+            program.module, inputs=inputs,
+            probe=("read", trigger), step_limit=step_limit,
+        )
+        probe.run()
+        candidates = list(probe.probe_slots)
+        if workload.vuln_kind == "fmt" or not candidates:
+            candidates.extend(probe.memory.global_slots())
+        address, _, _ = rng.choice(candidates)
+        value = rng.choice(TAMPER_VALUES)
+        attacked_sys, attacked_branches, ipds_detected = capture_trace(
+            program,
+            inputs,
+            tamper=TamperSpec("read", trigger, address, value),
+            step_limit=step_limit,
+        )
+        if attacked_branches != clean_branches:
+            changed += 1
+            ipds_hits += int(ipds_detected)
+            ngram_hits += int(detector.detects(attacked_sys))
+
+    return ComparisonResult(
+        workload=workload.name,
+        ngram_n=n,
+        profile_size=detector.profile_size,
+        clean_sessions_tested=test_sessions,
+        ngram_false_positives=false_positives,
+        attacks=attacks,
+        changed=changed,
+        ipds_detected=ipds_hits,
+        ngram_detected=ngram_hits,
+    )

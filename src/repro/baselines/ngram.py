@@ -1,0 +1,57 @@
+"""System-call-granularity anomaly detection (the classic baseline).
+
+Forrest et al. [7] established that a process's system-call trace
+characterizes its normal behaviour: slide a window of length *n* over
+the trace, record every window seen during training, and flag any
+unseen window at detection time.  The paper positions IPDS against this
+family: branch-granularity monitoring is orders of magnitude finer than
+syscall granularity, and IPDS needs no training (so it cannot have
+training-coverage false positives).
+
+Our observable "system calls" are the builtin I/O calls (``read_int``,
+``emit``) plus user-function entries — the call-stack-augmented flavour
+of [10], which is *more* information than pure syscall traces, making
+the comparison conservative in the baseline's favour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+#: Padding symbol for windows at the start of a trace.
+PAD = "<start>"
+
+
+@dataclass
+class NGramDetector:
+    """Sliding-window (stide-style) anomaly detector."""
+
+    n: int = 5
+    _known: Set[Tuple[str, ...]] = field(default_factory=set)
+    trained_traces: int = 0
+
+    def _windows(self, trace: Sequence[str]):
+        padded = [PAD] * (self.n - 1) + list(trace)
+        for i in range(len(trace)):
+            yield tuple(padded[i : i + self.n])
+
+    def train(self, trace: Sequence[str]) -> None:
+        """Record every window of a known-good trace."""
+        self._known.update(self._windows(trace))
+        self.trained_traces += 1
+
+    def mismatches(self, trace: Sequence[str]) -> int:
+        """Number of windows never seen in training."""
+        return sum(
+            1 for window in self._windows(trace) if window not in self._known
+        )
+
+    def detects(self, trace: Sequence[str]) -> bool:
+        """Alarm policy: any unseen window is an anomaly."""
+        return self.mismatches(trace) > 0
+
+    @property
+    def profile_size(self) -> int:
+        """Number of distinct windows in the normal profile."""
+        return len(self._known)

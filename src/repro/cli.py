@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``compile FILE``  — compile a mini-C file; dump the IR, the branch
+  correlation tables, and their encoded sizes;
+* ``run FILE``      — execute under IPDS monitoring with given inputs;
+* ``attack FILE``   — execute with a single-word tampering injected and
+  report whether control flow changed and whether the IPDS caught it;
+* ``campaign NAME`` — run a Figure-7 style campaign against one of the
+  built-in server workloads;
+* ``timing NAME``   — baseline-vs-IPDS timing for one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .attacks.campaign import run_workload_campaign
+from .correlation.encoding import table_sizes
+from .cpu.simulator import normalized_performance
+from .interp.interpreter import TamperSpec
+from .ir.printer import format_module
+from .pipeline import compile_program, monitored_run, unmonitored_run
+from .workloads.registry import get_workload, workload_names
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_inputs(text: str) -> List[int]:
+    if not text:
+        return []
+    return [int(piece) for piece in text.replace(",", " ").split()]
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = compile_program(_read_source(args.file), args.file, args.opt)
+    if args.ir:
+        print(format_module(program.module, show_addresses=True))
+        print()
+    for tables in program.tables:
+        print(tables.describe())
+        sizes = table_sizes(tables)
+        print(
+            f"  sizes: BSV {sizes.bsv_bits}b, BCV {sizes.bcv_bits}b, "
+            f"BAT {sizes.bat_bits}b"
+        )
+    for stats in program.build_stats:
+        print(
+            f"stats {stats.function_name}: {stats.branches} branches, "
+            f"{stats.checked} checked, {stats.set_entries} sets, "
+            f"{stats.kill_entries} kills, hash trials {stats.hash_trials}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = compile_program(_read_source(args.file), args.file, args.opt)
+    result, ipds = monitored_run(
+        program, inputs=_parse_inputs(args.inputs), entry=args.entry
+    )
+    print(f"status : {result.status.value}")
+    print(f"outputs: {result.outputs}")
+    print(f"steps  : {result.steps}")
+    if ipds.detected:
+        for alarm in ipds.alarms:
+            print(f"ALARM  : {alarm}")
+        return 2
+    print("alarms : none")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    program = compile_program(_read_source(args.file), args.file, args.opt)
+    inputs = _parse_inputs(args.inputs)
+    clean = unmonitored_run(program, inputs=inputs, entry=args.entry)
+    tamper = TamperSpec(
+        trigger_kind=args.trigger_kind,
+        trigger_value=args.trigger,
+        address=int(args.address, 0),
+        value=args.value,
+    )
+    attacked, ipds = monitored_run(
+        program, inputs=inputs, entry=args.entry, tamper=tamper
+    )
+    changed = attacked.branch_trace != clean.branch_trace
+    print(f"tamper fired        : {attacked.tamper_fired}")
+    print(f"control flow changed: {changed}")
+    print(f"outputs             : {clean.outputs} -> {attacked.outputs}")
+    if ipds.detected:
+        print(f"DETECTED            : {ipds.alarms[0]}")
+        return 2
+    print("detected            : no")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from .interp.interpreter import run_program
+    from .runtime.replay import TraceRecorder, dump_trace
+
+    program = compile_program(_read_source(args.file), args.file, args.opt)
+    recorder = TraceRecorder()
+    result = run_program(
+        program.module,
+        inputs=_parse_inputs(args.inputs),
+        event_listeners=[recorder],
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        count = dump_trace(recorder.events, handle)
+    print(f"status : {result.status.value}")
+    print(f"events : {count} -> {args.out}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .runtime.replay import load_trace, replay
+
+    program = compile_program(_read_source(args.file), args.file, args.opt)
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        alarms = replay(program.tables, load_trace(handle))
+    if alarms:
+        for alarm in alarms:
+            print(f"ALARM: {alarm}")
+        return 2
+    print("trace is clean (no infeasible paths)")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    result = run_workload_campaign(workload, attacks=args.attacks)
+    print(f"workload {workload.name} ({workload.vuln_kind}), "
+          f"{result.total} attacks:")
+    print(f"  control flow changed: {result.changed} ({result.pct_changed:.1f}%)")
+    print(f"  detected            : {result.detected} ({result.pct_detected:.1f}%)")
+    print(f"  detected of changed : {result.pct_detected_of_changed:.1f}%")
+    return 0
+
+
+def cmd_timing(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(
+        random.Random(f"cli:{workload.name}"), args.scale
+    )
+    comp = normalized_performance(program, inputs, workload.name)
+    print(f"workload {workload.name}: {comp.instructions} instructions")
+    print(f"  baseline cycles : {comp.baseline_cycles}")
+    print(f"  IPDS cycles     : {comp.ipds_cycles}")
+    print(f"  normalized perf : {comp.normalized_performance:.4f} "
+          f"({comp.degradation_pct:.3f}% degradation)")
+    print(f"  check latency   : {comp.avg_check_latency:.1f} cycles")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="IPDS: infeasible-path anomaly detection toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and dump tables")
+    p.add_argument("file")
+    p.add_argument("--ir", action="store_true", help="also dump the IR")
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="run a program under IPDS monitoring")
+    p.add_argument("file")
+    p.add_argument("--inputs", default="", help="e.g. '1 2 3'")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("attack", help="run with a memory tampering")
+    p.add_argument("file")
+    p.add_argument("--inputs", default="")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.add_argument("--trigger-kind", choices=["read", "step"], default="read")
+    p.add_argument("--trigger", type=int, required=True,
+                   help="input index / step count that fires the tamper")
+    p.add_argument("--address", required=True,
+                   help="word address to corrupt (accepts 0x..)")
+    p.add_argument("--value", type=int, required=True)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("record", help="record a control-flow event trace")
+    p.add_argument("file")
+    p.add_argument("--inputs", default="")
+    p.add_argument("--out", required=True)
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("replay", help="check a recorded trace offline")
+    p.add_argument("file")
+    p.add_argument("trace")
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("campaign", help="Figure-7 campaign on a workload")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--attacks", type=int, default=100)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("timing", help="Figure-9 timing for a workload")
+    p.add_argument("workload", choices=workload_names())
+    p.add_argument("--scale", type=int, default=10)
+    p.set_defaults(func=cmd_timing)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

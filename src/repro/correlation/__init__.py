@@ -1,0 +1,67 @@
+"""Branch correlation: the paper's primary contribution.
+
+:func:`build_program_tables` runs the full compiler side (alias →
+purity → branch facts → Fig. 5 BAT/BCV construction → §5.2 perfect
+hashing) and returns the tables the runtime consumes.
+"""
+
+from .actions import BranchAction, BranchStatus
+from .binary_image import (
+    BitReader,
+    BitWriter,
+    ImageError,
+    load_program,
+    pack_program,
+)
+from .bat_builder import (
+    BuildStats,
+    build_function_tables,
+    build_program_tables,
+)
+from .encoding import (
+    ACTION_BITS,
+    STATUS_BITS,
+    SizeSummary,
+    TableSizes,
+    summarize_sizes,
+    table_sizes,
+)
+from .hashing import (
+    HashParams,
+    HashSearchError,
+    HashSearchResult,
+    MAX_BITS,
+    MAX_SHIFT,
+    find_perfect_hash,
+    minimum_bits,
+)
+from .tables import BranchMeta, FunctionTables, ProgramTables
+
+__all__ = [
+    "ACTION_BITS",
+    "BitReader",
+    "BitWriter",
+    "BranchAction",
+    "BranchMeta",
+    "BranchStatus",
+    "BuildStats",
+    "ImageError",
+    "load_program",
+    "pack_program",
+    "FunctionTables",
+    "HashParams",
+    "HashSearchError",
+    "HashSearchResult",
+    "MAX_BITS",
+    "MAX_SHIFT",
+    "ProgramTables",
+    "STATUS_BITS",
+    "SizeSummary",
+    "TableSizes",
+    "build_function_tables",
+    "build_program_tables",
+    "find_perfect_hash",
+    "minimum_bits",
+    "summarize_sizes",
+    "table_sizes",
+]

@@ -1,0 +1,55 @@
+"""Branch status values and BAT actions (§5.1).
+
+``BranchStatus`` is the 2-bit state stored per branch in the BSV;
+``BranchAction`` is the 2-bit action stored per (branch, direction,
+affected branch) in the BAT: ``SET_T``, ``SET_NT``, ``SET_UN``, ``NC``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BranchStatus(enum.Enum):
+    """Expected direction of a branch, as tracked in the BSV."""
+
+    TAKEN = "T"
+    NOT_TAKEN = "NT"
+    UNKNOWN = "UN"
+
+    def matches(self, taken: bool) -> bool:
+        """Does an actual direction match this expectation?
+
+        ``UNKNOWN`` matches any direction — verification only fails
+        when the status is definite and contradicted (zero false
+        positives, §6).
+        """
+        if self is BranchStatus.UNKNOWN:
+            return True
+        return (self is BranchStatus.TAKEN) == taken
+
+    @staticmethod
+    def of(taken: bool) -> "BranchStatus":
+        return BranchStatus.TAKEN if taken else BranchStatus.NOT_TAKEN
+
+
+class BranchAction(enum.Enum):
+    """BAT entry: how one branch event updates another branch's status."""
+
+    SET_T = "SET_T"
+    SET_NT = "SET_NT"
+    SET_UN = "SET_UN"
+    NC = "NC"
+
+    def apply(self, current: BranchStatus) -> BranchStatus:
+        if self is BranchAction.SET_T:
+            return BranchStatus.TAKEN
+        if self is BranchAction.SET_NT:
+            return BranchStatus.NOT_TAKEN
+        if self is BranchAction.SET_UN:
+            return BranchStatus.UNKNOWN
+        return current
+
+    @staticmethod
+    def set_to(taken: bool) -> "BranchAction":
+        return BranchAction.SET_T if taken else BranchAction.SET_NT

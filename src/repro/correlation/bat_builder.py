@@ -1,0 +1,288 @@
+"""BAT and BCV construction — the paper's Figure 5 algorithm.
+
+Per function, the compiler:
+
+1. runs alias analysis and identifies memory-resident values (done by
+   :mod:`repro.analysis.alias`; every named variable here is memory
+   resident by construction);
+2. builds reaching definitions over stores, aliased stores, and call
+   pseudo-stores (:mod:`repro.analysis.defs`);
+3. extracts, for each conditional branch, a *check* predicate (its
+   outcome as a function of a loaded value) and *inference* predicates
+   (ranges its direction implies for variables), see
+   :mod:`repro.analysis.branch_info`;
+4. for every (source branch, direction, checked branch) triple decides
+   one action — ``SET_T`` / ``SET_NT`` when the implied range subsumes
+   one outcome set of the checked branch (Fig. 5 lines 6–15), or
+   ``SET_UN`` when the direction's *branch-free region* contains a
+   potential store to the checked variable (the kill placement derived
+   in DESIGN.md §4, standing in for Fig. 5 lines 19–21);
+5. marks every branch that received at least one SET_T/SET_NT in the
+   BCV, then finds a collision-free hash for the function's branch PCs
+   (§5.2) and renders everything into slot-indexed tables.
+
+Soundness rule: **kills win**.  If a direction's region reaches a store
+of the variable, the entry is ``SET_UN`` regardless of any subsumption
+— the conservative choice that preserves the zero-false-positive
+guarantee at some cost in detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.branch_info import BranchFacts, analyze_branches
+from ..analysis.defs import DefinitionMap, ReachingDefinitions, analyze_definitions
+from ..analysis.purity import PurityResult, analyze_purity
+from ..analysis.alias import analyze_aliases
+from ..ir.cfg import CondEdge, edge_target, reachable_blocks, regions_by_edge
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import Variable
+from .actions import BranchAction
+from .hashing import HashSearchResult, find_perfect_hash
+from .tables import BranchMeta, EventKey, FunctionTables, ProgramTables
+
+
+@dataclass
+class BuildStats:
+    """Counters describing one function's construction run."""
+
+    function_name: str
+    branches: int
+    analyzable: int
+    checked: int
+    set_entries: int
+    kill_entries: int
+    conflicts: int
+    hash_trials: int
+
+
+def build_function_tables(
+    fn: IRFunction,
+    module: IRModule,
+    purity: PurityResult,
+) -> Tuple[FunctionTables, BuildStats]:
+    """Run the Figure-5 construction for one function."""
+    def_map, reaching = analyze_definitions(fn, module, purity)
+    facts_by_pc = analyze_branches(fn, def_map)
+    branches = fn.cond_branches()
+    branch_pcs = tuple(sorted(b.address for b in branches))
+    block_of_pc = {
+        block.terminator.address: block
+        for block in fn.blocks
+        if block.ends_in_cond_branch()
+    }
+
+    # -- step 1: candidate SET actions from subsumption ------------------
+    # candidate[(bs_pc, dir)][bl_pc] -> set of proposed actions
+    candidates: Dict[Tuple[int, bool], Dict[int, Set[BranchAction]]] = {}
+    checked_pcs: Set[int] = set()
+    conflicts = 0
+
+    reachable_from_edge: Dict[Tuple[int, bool], Set[str]] = {}
+    for block in fn.blocks:
+        if not block.ends_in_cond_branch():
+            continue
+        pc = block.terminator.address
+        for taken in (True, False):
+            edge = CondEdge(block.label, taken)
+            target = edge_target(fn, edge)
+            reachable_from_edge[(pc, taken)] = reachable_blocks(fn, target)
+
+    for bl_pc, bl_facts in facts_by_pc.items():
+        check = bl_facts.check
+        if check is None:
+            continue
+        for bs_pc, bs_facts in facts_by_pc.items():
+            for inference in bs_facts.inferences:
+                if inference.var != check.var:
+                    continue
+                if not _source_feeds_check(
+                    fn, def_map, reaching, bs_facts, inference, bl_facts
+                ):
+                    continue
+                for taken in (True, False):
+                    if bl_facts.block_label not in reachable_from_edge[
+                        (bs_pc, taken)
+                    ]:
+                        continue
+                    implied = inference.implied_set(taken)
+                    if implied.is_trivial:
+                        continue
+                    if check.taken_set.superset_of_outcome(implied):
+                        action = BranchAction.SET_T
+                    elif check.nottaken_set.superset_of_outcome(implied):
+                        action = BranchAction.SET_NT
+                    else:
+                        continue
+                    candidates.setdefault((bs_pc, taken), {}).setdefault(
+                        bl_pc, set()
+                    ).add(action)
+
+    # Resolve candidates; contradictions (both SET_T and SET_NT implied)
+    # mean the direction is statically infeasible — fall back to UNKNOWN.
+    resolved: Dict[Tuple[int, bool], Dict[int, BranchAction]] = {}
+    for key, per_target in candidates.items():
+        for bl_pc, actions in per_target.items():
+            if len(actions) == 1:
+                (action,) = actions
+            else:
+                action = BranchAction.SET_UN
+                conflicts += 1
+            resolved.setdefault(key, {})[bl_pc] = action
+            if action is not BranchAction.SET_UN:
+                checked_pcs.add(bl_pc)
+
+    # Drop entries targeting branches that never became checkable: their
+    # BSV slots are never verified, so updates to them are dead weight.
+    for key in list(resolved):
+        resolved[key] = {
+            bl_pc: action
+            for bl_pc, action in resolved[key].items()
+            if bl_pc in checked_pcs
+        }
+        if not resolved[key]:
+            del resolved[key]
+
+    set_entries = sum(len(v) for v in resolved.values())
+
+    # -- step 2: kill placement ------------------------------------------
+    # For every conditional edge whose branch-free region contains a
+    # potential store to a checked variable, force SET_UN (kills win).
+    kill_entries = 0
+    regions = regions_by_edge(fn)
+    for edge, region in regions.items():
+        bs_pc = fn.block(edge.block_label).terminator.address
+        key: EventKey = (bs_pc, edge.taken)
+        for bl_pc in checked_pcs:
+            var = facts_by_pc[bl_pc].check.var
+            if _region_has_def(def_map, region, var):
+                previous = resolved.get(key, {}).get(bl_pc)
+                if previous is not BranchAction.SET_UN:
+                    if previous is not None:
+                        set_entries -= 1
+                    kill_entries += 1
+                resolved.setdefault(key, {})[bl_pc] = BranchAction.SET_UN
+
+    # A branch whose every SET was overridden by kills can never be
+    # predicted — checking it would only ever compare against UNKNOWN.
+    # Recompute the BCV from the surviving SET entries and drop the now
+    # dead action entries.
+    surviving: Set[int] = set()
+    for per_target in resolved.values():
+        for bl_pc, action in per_target.items():
+            if action is not BranchAction.SET_UN:
+                surviving.add(bl_pc)
+    if surviving != checked_pcs:
+        checked_pcs = surviving
+        for key in list(resolved):
+            resolved[key] = {
+                bl_pc: action
+                for bl_pc, action in resolved[key].items()
+                if bl_pc in checked_pcs
+            }
+            if not resolved[key]:
+                del resolved[key]
+
+    # -- step 3: hash + render --------------------------------------------
+    search = find_perfect_hash(branch_pcs)
+    params = search.params
+    slot_of = {pc: params.slot(pc) for pc in branch_pcs}
+    bat: Dict[EventKey, Tuple[Tuple[int, BranchAction], ...]] = {}
+    for (bs_pc, taken), per_target in resolved.items():
+        entries = tuple(
+            sorted(
+                (slot_of[bl_pc], action) for bl_pc, action in per_target.items()
+            )
+        )
+        if entries:
+            bat[(slot_of[bs_pc], taken)] = entries
+    bcv_slots = frozenset(slot_of[pc] for pc in checked_pcs)
+    meta = tuple(
+        BranchMeta(
+            pc=pc,
+            slot=slot_of[pc],
+            block_label=block_of_pc[pc].label,
+            var_name=(
+                facts_by_pc[pc].check.var.name
+                if pc in facts_by_pc and facts_by_pc[pc].check is not None
+                else None
+            ),
+        )
+        for pc in branch_pcs
+    )
+    tables = FunctionTables(
+        function_name=fn.name,
+        hash_params=params,
+        branch_pcs=branch_pcs,
+        bcv_slots=bcv_slots,
+        bat=bat,
+        branch_meta=meta,
+    )
+    stats = BuildStats(
+        function_name=fn.name,
+        branches=len(branch_pcs),
+        analyzable=len(facts_by_pc),
+        checked=len(checked_pcs),
+        set_entries=set_entries,
+        kill_entries=kill_entries,
+        conflicts=conflicts,
+        hash_trials=search.trials,
+    )
+    return tables, stats
+
+
+def _source_feeds_check(
+    fn: IRFunction,
+    def_map: DefinitionMap,
+    reaching: ReachingDefinitions,
+    bs_facts: BranchFacts,
+    inference,
+    bl_facts: BranchFacts,
+) -> bool:
+    """Does the inference access plausibly constrain the checked load?
+
+    * store source (Fig. 5 lines 6–9): the store's definition must
+      reach the checked load;
+    * load source (lines 11–15): the paper asks for consecutive uses of
+      the variable; redefinitions in between are handled dynamically by
+      kill edges, so static reachability of the checked block (verified
+      by the caller via ``reachable_from_edge``) suffices here.
+    """
+    if inference.kind != "store":
+        return True
+    check = bl_facts.check
+    assert check is not None
+    for site in def_map.at(bs_facts.block_label, inference.index):
+        if site.var == inference.var:
+            if reaching.reaches_load(
+                site, bl_facts.block_label, check.load_index
+            ):
+                return True
+    return False
+
+
+def _region_has_def(def_map, region, var: Variable) -> bool:
+    return any(
+        site.block_label in region for site in def_map.of_var(var)
+    )
+
+
+def build_program_tables(
+    module: IRModule,
+) -> Tuple[ProgramTables, List[BuildStats]]:
+    """Run the whole compiler side: alias → purity → per-function BATs.
+
+    This is the main compiler entry point; the result is what gets
+    "attached to the program binary" (§5.4).
+    """
+    analyze_aliases(module)
+    purity = analyze_purity(module)
+    program = ProgramTables()
+    stats: List[BuildStats] = []
+    for fn in module.functions:
+        tables, fn_stats = build_function_tables(fn, module, purity)
+        program.by_function[fn.name] = tables
+        stats.append(fn_stats)
+    return program, stats

@@ -1,0 +1,285 @@
+"""Binary packaging of the tables — §5.4's function information table.
+
+"BSVs, BCVs and BATs are constructed on a function basis ... They are
+attached to the program binary by the compiler and mapped into a
+reserved memory space of the program once the program is loaded.  The
+compiler conveys basic information for each function to the runtime
+system through a function information table.  The information includes
+entry addresses of BSV, BCV and BAT, the entry address of the
+function, hash function parameters etc."
+
+This module implements exactly that: :func:`pack_program` serializes a
+:class:`~repro.correlation.tables.ProgramTables` into a byte image
+(function info table + per-function table blobs laid out at offsets
+within the reserved region), and :func:`load_program` reconstructs
+semantically identical tables from the image.  The packed BCV/BAT blobs
+use the same bit layout as the Fig. 8 size accounting in
+:mod:`repro.correlation.encoding`, so their byte sizes are the encoded
+bit sizes rounded up — a property the tests pin.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..lang.errors import ReproError
+from .actions import BranchAction
+from .encoding import ACTION_BITS, _pointer_bits
+from .hashing import HashParams
+from .tables import FunctionTables, ProgramTables
+
+#: Image magic and format version.
+MAGIC = b"IPDS"
+VERSION = 1
+
+#: Action encodings on the wire (2 bits).
+_ACTION_CODES = {
+    BranchAction.NC: 0,
+    BranchAction.SET_T: 1,
+    BranchAction.SET_NT: 2,
+    BranchAction.SET_UN: 3,
+}
+_CODE_ACTIONS = {v: k for k, v in _ACTION_CODES.items()}
+
+
+class ImageError(ReproError):
+    """Malformed or incompatible table image."""
+
+
+class BitWriter:
+    """MSB-first bit packer."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        if value < 0 or value >= (1 << width):
+            raise ImageError(f"value {value} does not fit in {width} bits")
+        for position in range(width - 1, -1, -1):
+            self._bits.append((value >> position) & 1)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        data = bytearray((len(self._bits) + 7) // 8)
+        for index, bit in enumerate(self._bits):
+            if bit:
+                data[index // 8] |= 0x80 >> (index % 8)
+        return bytes(data)
+
+
+class BitReader:
+    """MSB-first bit unpacker."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._cursor = 0
+
+    def read(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            byte_index, bit_index = divmod(self._cursor, 8)
+            if byte_index >= len(self._data):
+                raise ImageError("bit stream exhausted")
+            bit = (self._data[byte_index] >> (7 - bit_index)) & 1
+            value = (value << 1) | bit
+            self._cursor += 1
+        return value
+
+
+# ----------------------------------------------------------------------
+# Per-function blobs
+# ----------------------------------------------------------------------
+
+
+def _pack_bcv(tables: FunctionTables) -> bytes:
+    writer = BitWriter()
+    for slot in range(tables.space):
+        writer.write(1 if slot in tables.bcv_slots else 0, 1)
+    return writer.to_bytes()
+
+
+def _unpack_bcv(data: bytes, space: int) -> frozenset:
+    reader = BitReader(data)
+    return frozenset(s for s in range(space) if reader.read(1))
+
+
+def _pack_bat(tables: FunctionTables) -> Tuple[bytes, int]:
+    """Pack the BAT: head-pointer array then the entry array.
+
+    Layout matches :mod:`repro.correlation.encoding`: two heads per
+    slot (taken/not-taken), each entry = slot index + 2-bit action +
+    next pointer; pointer value 0 is nil, entries are 1-indexed.
+    Returns (blob, entry_count).
+    """
+    entries: List[Tuple[int, BranchAction, int]] = []  # (slot, action, next)
+    heads: Dict[Tuple[int, bool], int] = {}
+    for key in sorted(tables.bat.keys()):
+        chain = tables.bat[key]
+        previous = 0
+        # Build the chain back-to-front so "next" pointers are known.
+        indices: List[int] = []
+        for target_slot, action in reversed(chain):
+            entries.append((target_slot, action, previous))
+            previous = len(entries)  # 1-indexed
+            indices.append(previous)
+        heads[key] = previous
+    pointer = _pointer_bits(len(entries))
+    slot_bits = max(tables.hash_params.bits, 1)
+    writer = BitWriter()
+    for slot in range(tables.space):
+        for taken in (True, False):
+            writer.write(heads.get((slot, taken), 0), pointer)
+    for target_slot, action, next_index in entries:
+        writer.write(target_slot, slot_bits)
+        writer.write(_ACTION_CODES[action], ACTION_BITS)
+        writer.write(next_index, pointer)
+    return writer.to_bytes(), len(entries)
+
+
+def _unpack_bat(
+    data: bytes, space: int, bits: int, entry_count: int
+) -> Dict[Tuple[int, bool], Tuple[Tuple[int, BranchAction], ...]]:
+    pointer = _pointer_bits(entry_count)
+    slot_bits = max(bits, 1)
+    reader = BitReader(data)
+    heads: Dict[Tuple[int, bool], int] = {}
+    for slot in range(space):
+        for taken in (True, False):
+            heads[(slot, taken)] = reader.read(pointer)
+    raw_entries: List[Tuple[int, BranchAction, int]] = []
+    for _ in range(entry_count):
+        target = reader.read(slot_bits)
+        action = _CODE_ACTIONS[reader.read(ACTION_BITS)]
+        next_index = reader.read(pointer)
+        raw_entries.append((target, action, next_index))
+    bat: Dict[Tuple[int, bool], Tuple[Tuple[int, BranchAction], ...]] = {}
+    for key, head in heads.items():
+        if head == 0:
+            continue
+        chain: List[Tuple[int, BranchAction]] = []
+        cursor = head
+        seen = set()
+        while cursor != 0:
+            if cursor in seen:
+                raise ImageError("cycle in BAT chain")
+            seen.add(cursor)
+            target, action, cursor = raw_entries[cursor - 1]
+            chain.append((target, action))
+        bat[key] = tuple(chain)
+    return bat
+
+
+# ----------------------------------------------------------------------
+# The whole image
+# ----------------------------------------------------------------------
+
+#: Function info record: name length is variable; fixed part packs the
+#: function entry address, hash params, branch count, table offsets and
+#: the BAT entry count.
+_RECORD = struct.Struct(">IBBBHIIII")  # entry, s1, s2, bits, nbr, bcv_off, bat_off, bat_entries, pcs_off
+
+
+def pack_program(
+    program: ProgramTables, function_entries: Dict[str, int]
+) -> bytes:
+    """Serialize all tables into one image.
+
+    ``function_entries`` maps function name → code entry address (from
+    :meth:`IRModule.function_extent`), stored so the runtime can
+    associate the active function with its tables.
+    """
+    blobs = bytearray()
+    records: List[bytes] = []
+    for name in sorted(program.by_function):
+        tables = program.by_function[name]
+        bcv_blob = _pack_bcv(tables)
+        bat_blob, entry_count = _pack_bat(tables)
+        pcs_blob = b"".join(struct.pack(">I", pc) for pc in tables.branch_pcs)
+        bcv_off = len(blobs)
+        blobs.extend(bcv_blob)
+        bat_off = len(blobs)
+        blobs.extend(bat_blob)
+        pcs_off = len(blobs)
+        blobs.extend(pcs_blob)
+        name_bytes = name.encode("utf-8")
+        record = (
+            struct.pack(">H", len(name_bytes))
+            + name_bytes
+            + _RECORD.pack(
+                function_entries.get(name, 0),
+                tables.hash_params.shift1,
+                tables.hash_params.shift2,
+                tables.hash_params.bits,
+                len(tables.branch_pcs),
+                bcv_off,
+                bat_off,
+                entry_count,
+                pcs_off,
+            )
+        )
+        records.append(record)
+    header = MAGIC + struct.pack(">BH", VERSION, len(records))
+    record_block = b"".join(records)
+    return header + struct.pack(">I", len(record_block)) + record_block + bytes(blobs)
+
+
+def load_program(image: bytes) -> Tuple[ProgramTables, Dict[str, int]]:
+    """Reconstruct tables from an image built by :func:`pack_program`."""
+    if image[:4] != MAGIC:
+        raise ImageError("bad magic")
+    version, record_count = struct.unpack(">BH", image[4:7])
+    if version != VERSION:
+        raise ImageError(f"unsupported version {version}")
+    (record_len,) = struct.unpack(">I", image[7:11])
+    cursor = 11
+    blob_base = 11 + record_len
+    program = ProgramTables()
+    entries: Dict[str, int] = {}
+    for _ in range(record_count):
+        (name_len,) = struct.unpack(">H", image[cursor : cursor + 2])
+        cursor += 2
+        name = image[cursor : cursor + name_len].decode("utf-8")
+        cursor += name_len
+        (
+            entry,
+            shift1,
+            shift2,
+            bits,
+            branch_count,
+            bcv_off,
+            bat_off,
+            bat_entries,
+            pcs_off,
+        ) = _RECORD.unpack(image[cursor : cursor + _RECORD.size])
+        cursor += _RECORD.size
+        params = HashParams(shift1, shift2, bits)
+        space = params.space
+        bcv_bytes = (space + 7) // 8
+        bcv = _unpack_bcv(image[blob_base + bcv_off :][:bcv_bytes], space)
+        bat = _unpack_bat(
+            image[blob_base + bat_off :],
+            space,
+            bits,
+            bat_entries,
+        )
+        pcs = tuple(
+            struct.unpack(
+                ">I", image[blob_base + pcs_off + 4 * i :][:4]
+            )[0]
+            for i in range(branch_count)
+        )
+        program.by_function[name] = FunctionTables(
+            function_name=name,
+            hash_params=params,
+            branch_pcs=pcs,
+            bcv_slots=bcv,
+            bat=bat,
+            branch_meta=(),
+        )
+        entries[name] = entry
+    return program, entries

@@ -1,0 +1,110 @@
+"""Collision-free branch-PC hashing (§5.2).
+
+A per-function hash maps branch PCs into a tagless table.  The paper's
+compiler "utilizes a parameterizable hash function with only shift and
+XOR operations" and searches parameters by trial and error, enlarging
+the hash space when no collision-free parameterization is found.
+
+Ours is the same scheme::
+
+    word  = pc >> 2                      (instructions are 4 bytes)
+    h(pc) = (word ^ (word >> s1) ^ (word >> s2)) mod 2**bits
+
+The search walks ``bits`` upward from ``ceil(log2(n))`` and tries all
+``(s1, s2)`` pairs in a small window at each size, counting trials so
+experiments can report search effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..lang.errors import ReproError
+
+#: Largest shift amount tried for either parameter.
+MAX_SHIFT = 12
+
+#: Largest hash-space exponent before the search gives up.
+MAX_BITS = 16
+
+
+class HashSearchError(ReproError):
+    """No collision-free parameterization exists within the limits."""
+
+
+@dataclass(frozen=True)
+class HashParams:
+    """Parameters of one per-function perfect hash."""
+
+    shift1: int
+    shift2: int
+    bits: int  # hash space is 2**bits slots
+
+    @property
+    def space(self) -> int:
+        return 1 << self.bits
+
+    def slot(self, pc: int) -> int:
+        """Hash a branch PC into its table slot."""
+        word = pc >> 2
+        return (word ^ (word >> self.shift1) ^ (word >> self.shift2)) & (
+            self.space - 1
+        )
+
+    def __str__(self) -> str:
+        return f"h(pc)=w^(w>>{self.shift1})^(w>>{self.shift2}) mod 2^{self.bits}"
+
+
+@dataclass(frozen=True)
+class HashSearchResult:
+    """A found hash plus how hard the compiler worked to find it."""
+
+    params: HashParams
+    trials: int
+    collision_free: bool = True
+
+
+def _is_collision_free(params: HashParams, pcs: Sequence[int]) -> bool:
+    seen = set()
+    for pc in pcs:
+        slot = params.slot(pc)
+        if slot in seen:
+            return False
+        seen.add(slot)
+    return True
+
+
+def minimum_bits(count: int) -> int:
+    """Smallest exponent whose space can hold ``count`` distinct slots."""
+    bits = 0
+    while (1 << bits) < count:
+        bits += 1
+    return bits
+
+
+def find_perfect_hash(pcs: Sequence[int]) -> HashSearchResult:
+    """Search for a collision-free hash for a set of branch PCs.
+
+    Empty input gets a trivial 1-slot table.  Raises
+    :class:`HashSearchError` if every parameterization up to
+    ``MAX_BITS`` collides (cannot happen for realistic functions — the
+    space doubles until sparse).
+    """
+    unique = sorted(set(pcs))
+    if len(unique) != len(pcs):
+        raise HashSearchError("duplicate branch PCs passed to hash search")
+    if not unique:
+        return HashSearchResult(HashParams(1, 2, 0), trials=0)
+    trials = 0
+    for bits in range(minimum_bits(len(unique)), MAX_BITS + 1):
+        for shift1 in range(1, MAX_SHIFT + 1):
+            for shift2 in range(shift1, MAX_SHIFT + 1):
+                trials += 1
+                params = HashParams(shift1, shift2, bits)
+                if _is_collision_free(params, unique):
+                    return HashSearchResult(params, trials)
+    raise HashSearchError(
+        f"no collision-free hash for {len(unique)} branches "
+        f"within 2^{MAX_BITS} slots"
+    )

@@ -1,0 +1,116 @@
+"""The compiler-emitted tables: BSV layout, BCV, and BAT (§5.1, §5.2).
+
+One :class:`FunctionTables` per function holds everything the runtime
+needs: the perfect hash, which slots are checked (BCV), and the action
+lists fired by each (branch, direction) event (BAT).  The tables are
+pure data — the runtime in :mod:`repro.runtime` interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from .actions import BranchAction
+from .hashing import HashParams
+
+#: One BAT action entry: (target slot, action).
+ActionEntry = Tuple[int, BranchAction]
+
+#: BAT event key: (source slot, taken?).
+EventKey = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class BranchMeta:
+    """Debug/diagnostic info the compiler keeps per branch."""
+
+    pc: int
+    slot: int
+    block_label: str
+    var_name: Optional[str]  # checked variable, if the branch is checked
+
+
+@dataclass
+class FunctionTables:
+    """BCV + BAT + hash for one function; BSV state lives in the runtime."""
+
+    function_name: str
+    hash_params: HashParams
+    branch_pcs: Tuple[int, ...]  # all conditional-branch PCs, sorted
+    bcv_slots: FrozenSet[int]  # slots verified at runtime
+    bat: Mapping[EventKey, Tuple[ActionEntry, ...]]
+    branch_meta: Tuple[BranchMeta, ...] = ()
+
+    def __post_init__(self) -> None:
+        self._slot_by_pc: Dict[int, int] = {
+            pc: self.hash_params.slot(pc) for pc in self.branch_pcs
+        }
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def space(self) -> int:
+        return self.hash_params.space
+
+    def slot_of(self, pc: int) -> Optional[int]:
+        """Slot of a branch PC, or None if the PC is not a branch here."""
+        return self._slot_by_pc.get(pc)
+
+    def is_checked(self, pc: int) -> bool:
+        slot = self._slot_by_pc.get(pc)
+        return slot is not None and slot in self.bcv_slots
+
+    def actions_for(self, pc: int, taken: bool) -> Tuple[ActionEntry, ...]:
+        slot = self._slot_by_pc.get(pc)
+        if slot is None:
+            return ()
+        return self.bat.get((slot, taken), ())
+
+    @property
+    def checked_count(self) -> int:
+        return len(self.bcv_slots)
+
+    @property
+    def action_count(self) -> int:
+        return sum(len(entries) for entries in self.bat.values())
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (for docs and debugging)."""
+        slot_names = {m.slot: f"{m.block_label}@{m.pc:#x}" for m in self.branch_meta}
+        lines = [
+            f"tables for {self.function_name}: "
+            f"{len(self.branch_pcs)} branches, {self.hash_params}",
+            f"  BCV: {sorted(self.bcv_slots)}",
+        ]
+        for (slot, taken), entries in sorted(self.bat.items()):
+            direction = "T " if taken else "NT"
+            rendered = ", ".join(
+                f"{action.value}->{slot_names.get(target, target)}"
+                for target, action in entries
+            )
+            lines.append(
+                f"  BAT[{slot_names.get(slot, slot)}][{direction}]: {rendered}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ProgramTables:
+    """All per-function tables of one protected program."""
+
+    by_function: Dict[str, FunctionTables] = field(default_factory=dict)
+
+    def tables_for(self, function_name: str) -> FunctionTables:
+        return self.by_function[function_name]
+
+    def __iter__(self):
+        return iter(self.by_function.values())
+
+    @property
+    def total_checked(self) -> int:
+        return sum(t.checked_count for t in self.by_function.values())
+
+    @property
+    def total_branches(self) -> int:
+        return sum(len(t.branch_pcs) for t in self.by_function.values())

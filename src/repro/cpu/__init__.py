@@ -1,0 +1,41 @@
+"""Timing substrate: Table 1 processor model + IPDS hardware timing."""
+
+from .caches import Cache, CacheStats, MemoryHierarchy, TLB
+from .ipds_hw import IPDSHardwareModel, IPDSTimingStats
+from .params import (
+    CacheParams,
+    DEFAULT_IPDS_HW,
+    DEFAULT_PROCESSOR,
+    IPDSHardwareParams,
+    ProcessorParams,
+)
+from .pipeline import TimingModel, TimingStats
+from .predictor import PredictorStats, TwoLevelPredictor
+from .simulator import (
+    PerformanceComparison,
+    TimedRun,
+    normalized_performance,
+    timed_run,
+)
+
+__all__ = [
+    "Cache",
+    "CacheParams",
+    "CacheStats",
+    "DEFAULT_IPDS_HW",
+    "DEFAULT_PROCESSOR",
+    "IPDSHardwareModel",
+    "IPDSHardwareParams",
+    "IPDSTimingStats",
+    "MemoryHierarchy",
+    "PerformanceComparison",
+    "PredictorStats",
+    "ProcessorParams",
+    "TLB",
+    "TimedRun",
+    "TimingModel",
+    "TimingStats",
+    "TwoLevelPredictor",
+    "normalized_performance",
+    "timed_run",
+]

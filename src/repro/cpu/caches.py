@@ -1,0 +1,116 @@
+"""Set-associative caches and TLB for the timing model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .params import CacheParams, ProcessorParams
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(self, params: CacheParams, name: str = "cache"):
+        self.params = params
+        self.name = name
+        self.stats = CacheStats()
+        # set index -> OrderedDict of tags (LRU order: oldest first).
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        block = address // self.params.block_bytes
+        index = block % self.params.sets
+        tag = block // self.params.sets
+        return index, tag
+
+    def access(self, address: int) -> bool:
+        """Touch an address; returns True on hit.  Fills on miss."""
+        self.stats.accesses += 1
+        index, tag = self._locate(address)
+        ways = self._sets.setdefault(index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            return True
+        self.stats.misses += 1
+        ways[tag] = True
+        if len(ways) > self.params.associativity:
+            ways.popitem(last=False)
+        return False
+
+
+class TLB:
+    """Fully-associative LRU translation buffer."""
+
+    def __init__(self, entries: int, page_bytes: int):
+        self._entries = entries
+        self._page_bytes = page_bytes
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        self.stats.accesses += 1
+        page = address // self._page_bytes
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return True
+        self.stats.misses += 1
+        self._pages[page] = True
+        if len(self._pages) > self._entries:
+            self._pages.popitem(last=False)
+        return False
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + DRAM + TLB, returning access latencies."""
+
+    def __init__(self, params: ProcessorParams):
+        self._params = params
+        self.l1i = Cache(params.l1i, "L1I")
+        self.l1d = Cache(params.l1d, "L1D")
+        self.l2 = Cache(params.l2, "L2")
+        self.dtlb = TLB(params.tlb_entries, params.page_bytes)
+
+    def fetch_latency(self, pc: int) -> int:
+        """Instruction-fetch latency for one PC."""
+        if self.l1i.access(pc):
+            return self._params.l1i.latency
+        if self.l2.access(pc):
+            return self._params.l1i.latency + self._params.l2.latency
+        return (
+            self._params.l1i.latency
+            + self._params.l2.latency
+            + self._params.memory_latency(self._params.l1i.block_bytes)
+        )
+
+    def data_latency(self, address: int) -> int:
+        """Data access latency for one word address (byte-scaled)."""
+        byte_address = address * 8  # word-addressed memory, 8-byte words
+        latency = 0
+        if not self.dtlb.access(byte_address):
+            latency += self._params.tlb_miss_latency
+        if self.l1d.access(byte_address):
+            return latency + self._params.l1d.latency
+        if self.l2.access(byte_address):
+            return latency + self._params.l1d.latency + self._params.l2.latency
+        return (
+            latency
+            + self._params.l1d.latency
+            + self._params.l2.latency
+            + self._params.memory_latency(self._params.l1d.block_bytes)
+        )

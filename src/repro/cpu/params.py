@@ -1,0 +1,107 @@
+"""Simulated processor parameters — the paper's Table 1.
+
+Defaults reproduce the configuration the paper simulated with
+SimpleScalar: 1 GHz, 8-wide superscalar, 128-entry RUU, 64-entry LSQ,
+2-level branch predictor, 64K split L1s, 512K unified L2, 80+5-cycle
+memory, 30-cycle TLB miss, and the IPDS on-chip buffers
+(BSV 2K bits / BCV 1K bits / BAT 32K bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One cache level."""
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    latency: int  # access latency in cycles
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclass(frozen=True)
+class ProcessorParams:
+    """Table 1 of the paper."""
+
+    clock_hz: int = 1_000_000_000
+    fetch_queue: int = 32
+    decode_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    ruu_size: int = 128
+    lsq_size: int = 64
+
+    l1i: CacheParams = field(
+        default_factory=lambda: CacheParams(64 * 1024, 2, 32, 2)
+    )
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(64 * 1024, 2, 32, 2)
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams(512 * 1024, 4, 32, 10)
+    )
+
+    memory_first_chunk: int = 80
+    memory_inter_chunk: int = 5
+    memory_bus_bytes: int = 8
+    tlb_miss_latency: int = 30
+    page_bytes: int = 4096
+    tlb_entries: int = 64
+
+    # 2-level branch predictor.
+    history_bits: int = 12
+    branch_mispredict_penalty: int = 8
+
+    # Functional-unit latencies.
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 20
+
+    def memory_latency(self, bytes_needed: int = 32) -> int:
+        """Latency to fetch a block from DRAM (first + inter chunks)."""
+        chunks = max(1, (bytes_needed + self.memory_bus_bytes - 1) // self.memory_bus_bytes)
+        return self.memory_first_chunk + (chunks - 1) * self.memory_inter_chunk
+
+
+@dataclass(frozen=True)
+class IPDSHardwareParams:
+    """The IPDS hardware configuration (§5.4 / Table 1)."""
+
+    bsv_stack_bits: int = 2 * 1024
+    bcv_stack_bits: int = 1 * 1024
+    bat_stack_bits: int = 32 * 1024
+    table_access_latency: int = 1  # one cycle per table access (§6)
+    #: BAT link-list entries fetched per table access (the entries are
+    #: ~20 bits; a 64-bit table port returns several per cycle).
+    bat_entries_per_access: int = 4
+    request_queue_size: int = 16
+    #: Cycles to move one 64-bit word between on-chip buffers and the
+    #: reserved memory region during spill/fill.
+    spill_word_latency: int = 4
+    #: Pipeline stage at which the check request is issued; the paper
+    #: initiates checking at decode, so commit-time detection latency is
+    #: what we report.
+    enabled: bool = True
+    #: Context-switch interval in cycles (0 disables switching).  At a
+    #: switch the IPDS state must be saved and the incoming process's
+    #: state restored (§5.4).
+    context_switch_interval: int = 0
+    #: §5.4 optimization: "swap the top of BSV and BAT stacks (around
+    #: 1K bits) first and let the new process start.  Lower layers of
+    #: stacks are context switched in parallel with the execution."
+    #: When False, the whole table state is swapped eagerly (the naive
+    #: scheme the paper improves on).
+    lazy_context_switch: bool = True
+    #: Bits swapped up-front under the lazy scheme (≈1K per the paper).
+    context_switch_eager_bits: int = 1024
+
+
+DEFAULT_PROCESSOR = ProcessorParams()
+DEFAULT_IPDS_HW = IPDSHardwareParams()

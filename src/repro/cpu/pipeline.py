@@ -1,0 +1,218 @@
+"""Trace-driven superscalar timing model (the SimpleScalar stand-in).
+
+The model consumes the interpreter's committed instruction stream and
+assigns each instruction fetch / issue / complete / commit cycles under
+the Table 1 constraints:
+
+* fetch bandwidth limited by the decode width and the I-cache, with
+  redirect bubbles after branch mispredictions (2-level predictor);
+* issue limited by register dependencies (true dependencies only —
+  registers are single-assignment), the RUU window, and the LSQ for
+  memory operations;
+* loads/stores pay the memory-hierarchy latency (L1D → L2 → DRAM, plus
+  TLB misses);
+* in-order commit limited by the commit width; committed conditional
+  branches are handed to the IPDS hardware model, whose only influence
+  on the core is a commit stall when its request queue is full (§5.4).
+
+It is *trace-driven*, so wrong-path instructions are modeled as a fixed
+redirect penalty rather than simulated — the standard fidelity
+trade-off for this class of model.  Figure 9 reports a ratio of two
+such runs (IPDS / baseline), which this preserves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from ..ir.instructions import (
+    BinOp,
+    Call,
+    CondBranch,
+    Instruction,
+    Jump,
+    Load,
+    LoadIndirect,
+    Reg,
+    Return,
+    Store,
+    StoreIndirect,
+    defined_reg,
+    used_regs,
+)
+from .caches import MemoryHierarchy
+from .ipds_hw import IPDSHardwareModel
+from .params import ProcessorParams
+from .predictor import TwoLevelPredictor
+
+
+@dataclass
+class TimingStats:
+    """Results of one timed execution."""
+
+    instructions: int = 0
+    cycles: int = 0
+    branch_instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class TimingModel:
+    """Assigns cycles to a committed instruction stream."""
+
+    def __init__(
+        self,
+        params: ProcessorParams = ProcessorParams(),
+        ipds: Optional[IPDSHardwareModel] = None,
+    ):
+        self._params = params
+        self._ipds = ipds
+        self.memory = MemoryHierarchy(params)
+        self.predictor = TwoLevelPredictor(params.history_bits)
+        self.stats = TimingStats()
+
+        self._reg_ready: Dict[Reg, int] = {}
+        self._rob: Deque[int] = deque()  # commit cycles of in-flight ops
+        self._lsq: Deque[int] = deque()
+        self._fetch_free = 0
+        self._fetched_this_cycle = 0
+        self._fetch_cycle = -1
+        self._last_fetch_block = -1
+        self._last_commit = 0
+        self._committed_this_cycle = 0
+        self._commit_cycle = -1
+
+    # -- structural helpers --------------------------------------------------
+
+    def _fetch(self, pc: int) -> int:
+        """Cycle at which the instruction is available for issue."""
+        cycle = self._fetch_free
+        if cycle != self._fetch_cycle:
+            self._fetch_cycle = cycle
+            self._fetched_this_cycle = 0
+        if self._fetched_this_cycle >= self._params.decode_width:
+            cycle += 1
+            self._fetch_cycle = cycle
+            self._fetched_this_cycle = 0
+            self._fetch_free = cycle
+        self._fetched_this_cycle += 1
+        block = pc // self._params.l1i.block_bytes
+        if block != self._last_fetch_block:
+            self._last_fetch_block = block
+            cycle += self.memory.fetch_latency(pc)
+        return cycle
+
+    def _window_slot(self, at_cycle: int) -> int:
+        """Wait for an RUU slot (the oldest in-flight op must commit)."""
+        while self._rob and self._rob[0] <= at_cycle:
+            self._rob.popleft()
+        if len(self._rob) >= self._params.ruu_size:
+            at_cycle = self._rob.popleft()
+        return at_cycle
+
+    def _lsq_slot(self, at_cycle: int) -> int:
+        while self._lsq and self._lsq[0] <= at_cycle:
+            self._lsq.popleft()
+        if len(self._lsq) >= self._params.lsq_size:
+            at_cycle = self._lsq.popleft()
+        return at_cycle
+
+    def _commit(self, complete: int) -> int:
+        """In-order commit respecting the commit width."""
+        cycle = max(complete, self._last_commit)
+        if cycle != self._commit_cycle:
+            self._commit_cycle = cycle
+            self._committed_this_cycle = 0
+        if self._committed_this_cycle >= self._params.commit_width:
+            cycle += 1
+            self._commit_cycle = cycle
+            self._committed_this_cycle = 0
+        self._committed_this_cycle += 1
+        self._last_commit = cycle
+        return cycle
+
+    def _exec_latency(self, instruction: Instruction) -> int:
+        if isinstance(instruction, BinOp):
+            if instruction.op == "*":
+                return self._params.mul_latency
+            if instruction.op in ("/", "%"):
+                return self._params.div_latency
+        return self._params.alu_latency
+
+    # -- the per-instruction hook ----------------------------------------------
+
+    def on_instruction(
+        self, instruction: Instruction, touched: Optional[int]
+    ) -> None:
+        """Account one committed instruction (interpreter listener)."""
+        self.stats.instructions += 1
+        ready = self._fetch(max(instruction.address, 0))
+        for reg in used_regs(instruction):
+            ready = max(ready, self._reg_ready.get(reg, 0))
+        ready = self._window_slot(ready)
+
+        is_memory = isinstance(
+            instruction, (Load, Store, LoadIndirect, StoreIndirect)
+        )
+        if is_memory:
+            ready = self._lsq_slot(ready)
+            latency = self.memory.data_latency(touched if touched else 0)
+            if isinstance(instruction, (Load, LoadIndirect)):
+                self.stats.loads += 1
+            else:
+                self.stats.stores += 1
+        else:
+            latency = self._exec_latency(instruction)
+
+        complete = ready + latency
+        dest = defined_reg(instruction)
+        if dest is not None:
+            self._reg_ready[dest] = complete
+
+        commit = self._commit(complete)
+        if is_memory:
+            self._lsq.append(commit)
+        self._rob.append(commit)
+
+        if isinstance(instruction, CondBranch):
+            self.stats.branch_instructions += 1
+        self.stats.cycles = max(self.stats.cycles, commit)
+
+    # -- control-flow hooks (event listener) -----------------------------------
+
+    def on_branch_outcome(
+        self, function_name: str, pc: int, taken: bool
+    ) -> None:
+        """Called when a conditional branch commits (after its
+        ``on_instruction``)."""
+        correct = self.predictor.update(pc, taken)
+        if not correct:
+            # Redirect: fetch resumes after resolution plus the
+            # front-end refill penalty.
+            self._fetch_free = max(
+                self._fetch_free,
+                self._last_commit + self._params.branch_mispredict_penalty,
+            )
+            self._last_fetch_block = -1
+        if self._ipds is not None:
+            stall = self._ipds.on_branch(
+                function_name, pc, taken, self._last_commit
+            )
+            stall += self._ipds.maybe_context_switch(self._last_commit + stall)
+            if stall:
+                self._last_commit += stall
+                self.stats.cycles = max(self.stats.cycles, self._last_commit)
+
+    def on_call(self, function_name: str) -> None:
+        if self._ipds is not None:
+            self._ipds.on_call(function_name, self._last_commit)
+
+    def on_return(self) -> None:
+        if self._ipds is not None:
+            self._ipds.on_return(self._last_commit)

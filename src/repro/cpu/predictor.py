@@ -1,0 +1,53 @@
+"""Two-level adaptive branch predictor (Table 1: "2 Level")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class TwoLevelPredictor:
+    """GAg-style two-level predictor: global history indexing a pattern
+    history table of 2-bit saturating counters, XOR-folded with the PC
+    (gshare)."""
+
+    def __init__(self, history_bits: int = 12):
+        self._history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        self._pht: Dict[int, int] = {}
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        counter = self._pht.get(self._index(pc), 2)  # weakly taken
+        return counter >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True if it was predicted right."""
+        self.stats.predictions += 1
+        index = self._index(pc)
+        counter = self._pht.get(index, 2)
+        predicted = counter >= 2
+        if taken:
+            self._pht[index] = min(3, counter + 1)
+        else:
+            self._pht[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+        if predicted != taken:
+            self.stats.mispredictions += 1
+        return predicted == taken

@@ -1,0 +1,137 @@
+"""Glue: run a protected program through the timing model.
+
+:func:`timed_run` executes one program once, with or without the IPDS
+hardware attached, and returns timing plus IPDS statistics.
+:func:`normalized_performance` performs the Figure 9 experiment for one
+workload: baseline run vs. IPDS run, same inputs, reporting the
+performance ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import Interpreter, RunResult
+from ..pipeline import ProtectedProgram
+from ..runtime.events import BranchEvent, CallEvent, Event, ReturnEvent
+from .ipds_hw import IPDSHardwareModel, IPDSTimingStats
+from .params import IPDSHardwareParams, ProcessorParams
+from .pipeline import TimingModel, TimingStats
+
+
+@dataclass
+class TimedRun:
+    """One program execution with cycle accounting."""
+
+    run: RunResult
+    timing: TimingStats
+    ipds_stats: Optional[IPDSTimingStats]
+    predictor_accuracy: float
+    l1d_miss_rate: float
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.timing.ipc
+
+
+def timed_run(
+    program: ProtectedProgram,
+    inputs: Sequence[int] = (),
+    entry: str = "main",
+    with_ipds: bool = True,
+    processor: ProcessorParams = ProcessorParams(),
+    ipds_params: IPDSHardwareParams = IPDSHardwareParams(),
+    step_limit: int = 2_000_000,
+) -> TimedRun:
+    """Execute once under the timing model."""
+    ipds_hw = (
+        IPDSHardwareModel(program.tables, ipds_params) if with_ipds else None
+    )
+    model = TimingModel(processor, ipds_hw)
+
+    def event_listener(event: Event) -> None:
+        if isinstance(event, BranchEvent):
+            model.on_branch_outcome(event.function_name, event.pc, event.taken)
+        elif isinstance(event, CallEvent):
+            model.on_call(event.function_name)
+        elif isinstance(event, ReturnEvent):
+            model.on_return()
+
+    interpreter = Interpreter(
+        program.module,
+        inputs=inputs,
+        entry=entry,
+        step_limit=step_limit,
+        event_listeners=[event_listener],
+        instruction_listener=model.on_instruction,
+        trace_branches=False,
+    )
+    result = interpreter.run()
+    return TimedRun(
+        run=result,
+        timing=model.stats,
+        ipds_stats=ipds_hw.stats if ipds_hw else None,
+        predictor_accuracy=model.predictor.stats.accuracy,
+        l1d_miss_rate=model.memory.l1d.stats.miss_rate,
+    )
+
+
+@dataclass
+class PerformanceComparison:
+    """Figure 9 data point for one workload."""
+
+    workload: str
+    baseline_cycles: int
+    ipds_cycles: int
+    instructions: int
+    avg_check_latency: float
+    commit_stalls: int
+
+    @property
+    def normalized_performance(self) -> float:
+        """IPDS performance relative to baseline (1.0 = no slowdown)."""
+        if not self.ipds_cycles:
+            return 1.0
+        return self.baseline_cycles / self.ipds_cycles
+
+    @property
+    def degradation_pct(self) -> float:
+        return 100.0 * (1.0 - self.normalized_performance)
+
+
+def normalized_performance(
+    program: ProtectedProgram,
+    inputs: Sequence[int],
+    workload_name: str = "",
+    processor: ProcessorParams = ProcessorParams(),
+    ipds_params: IPDSHardwareParams = IPDSHardwareParams(),
+    step_limit: int = 2_000_000,
+) -> PerformanceComparison:
+    """Run baseline and IPDS configurations on the same inputs."""
+    baseline = timed_run(
+        program, inputs, with_ipds=False,
+        processor=processor, step_limit=step_limit,
+    )
+    protected = timed_run(
+        program, inputs, with_ipds=True,
+        processor=processor, ipds_params=ipds_params, step_limit=step_limit,
+    )
+    return PerformanceComparison(
+        workload=workload_name,
+        baseline_cycles=baseline.cycles,
+        ipds_cycles=protected.cycles,
+        instructions=protected.timing.instructions,
+        avg_check_latency=(
+            protected.ipds_stats.avg_check_latency
+            if protected.ipds_stats
+            else 0.0
+        ),
+        commit_stalls=(
+            protected.ipds_stats.commit_stalls if protected.ipds_stats else 0
+        ),
+    )

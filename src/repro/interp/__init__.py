@@ -1,0 +1,27 @@
+"""Execution substrate: memory map, IR interpreter, tamper injection."""
+
+from .interpreter import (
+    EventListener,
+    Interpreter,
+    InterpreterError,
+    RunResult,
+    RunStatus,
+    TamperSpec,
+    run_program,
+)
+from .state import FrameLayout, GLOBAL_BASE, MemoryMap, STACK_BASE, layout_frame
+
+__all__ = [
+    "EventListener",
+    "FrameLayout",
+    "GLOBAL_BASE",
+    "Interpreter",
+    "InterpreterError",
+    "MemoryMap",
+    "RunResult",
+    "RunStatus",
+    "STACK_BASE",
+    "TamperSpec",
+    "layout_frame",
+    "run_program",
+]

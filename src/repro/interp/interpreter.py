@@ -1,0 +1,441 @@
+"""Deterministic IR interpreter with tamper injection.
+
+Stand-in for the paper's Bochs-based attack testbed (§6): runs a
+program on a concrete memory map, feeds committed control-flow events
+to any number of listeners (the IPDS, tracers, the timing model), and
+can corrupt one memory word mid-run to simulate a memory-tampering
+attack.
+
+The attack trigger mirrors the paper's methodology: the tampering fires
+when the program consumes its *n*-th input (the "malicious input"
+moment) or at a raw step count, and overwrites a single chosen word —
+"our attack tampers only a (randomly selected) specific local stack
+location rather than a continuous memory block" (§6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import (
+    AddrOf,
+    BinOp,
+    Call,
+    Cmp,
+    CondBranch,
+    Const,
+    Instruction,
+    Jump,
+    Load,
+    LoadIndirect,
+    Operand,
+    Reg,
+    Return,
+    Store,
+    StoreIndirect,
+    UnOp,
+)
+from ..lang.errors import ReproError
+from ..runtime.events import BranchEvent, CallEvent, Event, ReturnEvent
+from .state import MemoryMap, STACK_BASE
+
+
+class InterpreterError(ReproError):
+    """Structural problem (bad module, missing entry), not a program fault."""
+
+
+class RunStatus(enum.Enum):
+    """How an execution ended."""
+
+    OK = "ok"
+    DIV_BY_ZERO = "div_by_zero"
+    STEP_LIMIT = "step_limit"
+    CALL_DEPTH = "call_depth"
+
+
+@dataclass(frozen=True)
+class TamperSpec:
+    """One simulated memory-tampering attack.
+
+    ``trigger_kind`` is ``"read"`` (fire right after the program
+    consumes its ``trigger_value``-th input, 1-based — the buffer
+    overflow / format-string moment) or ``"step"`` (fire after N
+    executed instructions).  ``address``/``value`` say which word is
+    corrupted and with what.
+    """
+
+    trigger_kind: str
+    trigger_value: int
+    address: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.trigger_kind not in ("read", "step"):
+            raise ValueError(f"bad trigger kind {self.trigger_kind!r}")
+
+
+@dataclass
+class _Activation:
+    function: IRFunction
+    frame_base: int
+    regs: Dict[Reg, int] = field(default_factory=dict)
+    block_label: str = ""
+    index: int = 0
+    return_reg: Optional[Reg] = None
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one execution."""
+
+    status: RunStatus
+    steps: int
+    outputs: List[int]
+    branch_trace: List[Tuple[int, bool]]
+    return_value: Optional[int]
+    tamper_fired: bool
+    reads_consumed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.OK
+
+
+#: Listener signature: receives each control-flow event as it commits.
+EventListener = Callable[[Event], None]
+#: Optional per-instruction listener (used by the timing model).
+InstructionListener = Callable[[Instruction, Optional[int]], None]
+
+
+class Interpreter:
+    """Executes one module from its entry function."""
+
+    def __init__(
+        self,
+        module: IRModule,
+        inputs: Sequence[int] = (),
+        entry: str = "main",
+        step_limit: int = 2_000_000,
+        call_depth_limit: int = 256,
+        tamper: Optional[TamperSpec] = None,
+        event_listeners: Sequence[EventListener] = (),
+        instruction_listener: Optional[InstructionListener] = None,
+        trace_branches: bool = True,
+        probe: Optional[Tuple[str, int]] = None,
+        syscall_listener: Optional[Callable[[str, int], None]] = None,
+    ):
+        if not module.finalized:
+            raise InterpreterError("module must be finalized before execution")
+        self._module = module
+        self._entry = entry
+        self._inputs = list(inputs)
+        self._input_cursor = 0
+        self._step_limit = step_limit
+        self._call_depth_limit = call_depth_limit
+        self._tamper = tamper
+        self._tamper_fired = False
+        self._listeners = list(event_listeners)
+        self._instruction_listener = instruction_listener
+        # Coarse-grained observation channel for baseline anomaly
+        # detectors: called with (callee name, call-site PC) of every
+        # call — builtin "system calls" and user functions alike.  The
+        # call-site PC matches the call-stack-augmented detectors of
+        # Feng et al. [10].
+        self._syscall_listener = syscall_listener
+        self._trace_branches = trace_branches
+        self.memory = MemoryMap(module)
+        self._stack: List[_Activation] = []
+        self._next_frame_base = STACK_BASE
+        self._outputs: List[int] = []
+        self._branch_trace: List[Tuple[int, bool]] = []
+        self._steps = 0
+        # Probe mode: like a tamper trigger, but instead of corrupting
+        # memory it records the attack surface (the attacker casing the
+        # program on their own machine).  (kind, value) as in TamperSpec.
+        self._probe = probe
+        self._probe_fired = False
+        #: Live stack words at the probe moment: (address, fn, var).
+        self.probe_slots: List[Tuple[int, str, str]] = []
+
+    # -- public API -----------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute until the entry function returns or a fault occurs."""
+        entry_fn = self._module.function(self._entry)
+        status, return_value = self._execute(entry_fn)
+        return RunResult(
+            status=status,
+            steps=self._steps,
+            outputs=self._outputs,
+            branch_trace=self._branch_trace,
+            return_value=return_value,
+            tamper_fired=self._tamper_fired,
+            reads_consumed=self._input_cursor,
+        )
+
+    def live_activations(self) -> List[Tuple[str, int]]:
+        """(function, frame base) of every live frame, outer→inner."""
+        return [(a.function.name, a.frame_base) for a in self._stack]
+
+    # -- machinery ---------------------------------------------------------
+
+    def _emit_event(self, event: Event) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    def _push_activation(
+        self, fn: IRFunction, args: Sequence[int], return_reg: Optional[Reg]
+    ) -> _Activation:
+        base = self._next_frame_base
+        self._next_frame_base += self.memory.frame_size(fn.name)
+        activation = _Activation(
+            function=fn,
+            frame_base=base,
+            block_label=fn.entry.label,
+            index=0,
+            return_reg=return_reg,
+        )
+        for param, value in zip(fn.params, args):
+            self.memory.write(
+                self.memory.address_of(param, base), value
+            )
+        self._stack.append(activation)
+        self._emit_event(CallEvent(fn.name))
+        return activation
+
+    def _pop_activation(self, value: Optional[int]) -> Optional[int]:
+        finished = self._stack.pop()
+        self._next_frame_base = finished.frame_base
+        self._emit_event(ReturnEvent(finished.function.name))
+        if self._stack and finished.return_reg is not None:
+            self._stack[-1].regs[finished.return_reg] = (
+                value if value is not None else 0
+            )
+        return value
+
+    def _value(self, activation: _Activation, operand: Operand) -> int:
+        if isinstance(operand, Reg):
+            return activation.regs[operand]
+        return operand
+
+    def _maybe_probe(self, kind: str, count: int) -> None:
+        if (
+            self._probe is not None
+            and not self._probe_fired
+            and self._probe[0] == kind
+            and count >= self._probe[1]
+        ):
+            self.probe_slots = self.memory.live_stack_slots(
+                self.live_activations()
+            )
+            self._probe_fired = True
+
+    def _maybe_tamper_after_read(self) -> None:
+        self._maybe_probe("read", self._input_cursor)
+        if (
+            self._tamper is not None
+            and not self._tamper_fired
+            and self._tamper.trigger_kind == "read"
+            and self._input_cursor >= self._tamper.trigger_value
+        ):
+            self.memory.write(self._tamper.address, self._tamper.value)
+            self._tamper_fired = True
+
+    def _maybe_tamper_after_step(self) -> None:
+        self._maybe_probe("step", self._steps)
+        if (
+            self._tamper is not None
+            and not self._tamper_fired
+            and self._tamper.trigger_kind == "step"
+            and self._steps >= self._tamper.trigger_value
+        ):
+            self.memory.write(self._tamper.address, self._tamper.value)
+            self._tamper_fired = True
+
+    def _read_input(self) -> int:
+        if self._input_cursor < len(self._inputs):
+            value = self._inputs[self._input_cursor]
+        else:
+            value = 0
+        self._input_cursor += 1
+        self._maybe_tamper_after_read()
+        return value
+
+    # -- the main loop ----------------------------------------------------------
+
+    def _execute(self, entry_fn: IRFunction) -> Tuple[RunStatus, Optional[int]]:
+        self._push_activation(entry_fn, [], None)
+        final_value: Optional[int] = None
+        while self._stack:
+            if self._steps >= self._step_limit:
+                return RunStatus.STEP_LIMIT, None
+            activation = self._stack[-1]
+            block = activation.function.block(activation.block_label)
+            instruction = block.instructions[activation.index]
+            self._steps += 1
+            try:
+                outcome = self._step(activation, instruction)
+            except ZeroDivisionError:
+                return RunStatus.DIV_BY_ZERO, None
+            if self._instruction_listener is not None:
+                self._instruction_listener(instruction, outcome)
+            self._maybe_tamper_after_step()
+            if not self._stack:
+                # Entry function returned; final value captured below.
+                final_value = self._final_value
+            if len(self._stack) > self._call_depth_limit:
+                return RunStatus.CALL_DEPTH, None
+        return RunStatus.OK, final_value
+
+    _final_value: Optional[int] = None
+
+    def _step(
+        self, activation: _Activation, instruction: Instruction
+    ) -> Optional[int]:
+        """Execute one instruction.
+
+        Returns the data address the instruction touched (for the
+        timing model's cache simulation) or None.
+        """
+        regs = activation.regs
+        touched: Optional[int] = None
+        advance = True
+
+        if isinstance(instruction, Const):
+            regs[instruction.dest] = instruction.value
+        elif isinstance(instruction, BinOp):
+            lhs = self._value(activation, instruction.lhs)
+            rhs = self._value(activation, instruction.rhs)
+            regs[instruction.dest] = self._binop(instruction.op, lhs, rhs)
+        elif isinstance(instruction, UnOp):
+            src = self._value(activation, instruction.src)
+            regs[instruction.dest] = -src if instruction.op == "-" else int(src == 0)
+        elif isinstance(instruction, Cmp):
+            lhs = self._value(activation, instruction.lhs)
+            rhs = self._value(activation, instruction.rhs)
+            regs[instruction.dest] = int(instruction.op.evaluate(lhs, rhs))
+        elif isinstance(instruction, Load):
+            address = self.memory.address_of(
+                instruction.var, activation.frame_base
+            )
+            regs[instruction.dest] = self.memory.read(address)
+            touched = address
+        elif isinstance(instruction, Store):
+            address = self.memory.address_of(
+                instruction.var, activation.frame_base
+            )
+            self.memory.write(
+                address, self._value(activation, instruction.src)
+            )
+            touched = address
+        elif isinstance(instruction, AddrOf):
+            regs[instruction.dest] = self.memory.address_of(
+                instruction.var, activation.frame_base
+            )
+        elif isinstance(instruction, LoadIndirect):
+            address = regs[instruction.addr]
+            regs[instruction.dest] = self.memory.read(address)
+            touched = address
+        elif isinstance(instruction, StoreIndirect):
+            address = regs[instruction.addr]
+            self.memory.write(
+                address, self._value(activation, instruction.src)
+            )
+            touched = address
+        elif isinstance(instruction, Call):
+            advance = self._call(activation, instruction)
+        elif isinstance(instruction, Jump):
+            activation.block_label = instruction.target
+            activation.index = 0
+            advance = False
+        elif isinstance(instruction, CondBranch):
+            lhs = regs[instruction.lhs]
+            rhs = self._value(activation, instruction.rhs)
+            taken = instruction.op.evaluate(lhs, rhs)
+            if self._trace_branches:
+                self._branch_trace.append((instruction.address, taken))
+            self._emit_event(
+                BranchEvent(
+                    activation.function.name, instruction.address, taken
+                )
+            )
+            activation.block_label = (
+                instruction.taken if taken else instruction.fallthrough
+            )
+            activation.index = 0
+            advance = False
+        elif isinstance(instruction, Return):
+            value = (
+                self._value(activation, instruction.value)
+                if instruction.value is not None
+                else None
+            )
+            if len(self._stack) == 1:
+                self._final_value = value
+            self._pop_activation(value)
+            advance = False
+        else:  # pragma: no cover - defensive
+            raise InterpreterError(f"unknown instruction {instruction!r}")
+
+        if advance:
+            activation.index += 1
+        return touched
+
+    def _call(self, activation: _Activation, instruction: Call) -> bool:
+        args = [self._value(activation, a) for a in instruction.args]
+        if self._syscall_listener is not None:
+            self._syscall_listener(instruction.callee, instruction.address)
+        if instruction.callee == "read_int":
+            activation.regs[instruction.dest] = self._read_input()
+            return True
+        if instruction.callee == "emit":
+            self._outputs.append(args[0])
+            return True
+        callee = self._module.function(instruction.callee)
+        # Advance the caller past the call before transferring control.
+        activation.index += 1
+        self._push_activation(callee, args, instruction.dest)
+        return False
+
+    @staticmethod
+    def _binop(op: str, lhs: int, rhs: int) -> int:
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if rhs == 0:
+            raise ZeroDivisionError
+        # C semantics: truncation toward zero.
+        quotient = abs(lhs) // abs(rhs)
+        if (lhs < 0) != (rhs < 0):
+            quotient = -quotient
+        if op == "/":
+            return quotient
+        if op == "%":
+            return lhs - quotient * rhs
+        raise InterpreterError(f"unknown binop {op!r}")
+
+
+def run_program(
+    module: IRModule,
+    inputs: Sequence[int] = (),
+    entry: str = "main",
+    tamper: Optional[TamperSpec] = None,
+    event_listeners: Sequence[EventListener] = (),
+    step_limit: int = 2_000_000,
+) -> RunResult:
+    """Convenience wrapper: build an interpreter and run it."""
+    interpreter = Interpreter(
+        module,
+        inputs=inputs,
+        entry=entry,
+        tamper=tamper,
+        event_listeners=event_listeners,
+        step_limit=step_limit,
+    )
+    return interpreter.run()

@@ -1,0 +1,127 @@
+"""Concrete data-memory layout for interpreted programs.
+
+The paper's attacks tamper *memory addresses* (a stack slot hit by a
+buffer overflow, an arbitrary location via a format string).  To make
+those attacks meaningful, every variable gets a concrete word address:
+
+* globals sit at ``GLOBAL_BASE`` upward, in declaration order;
+* each function activation gets a frame at ``STACK_BASE`` plus the sum
+  of its callers' frame sizes (a downward-growing stack flipped upward
+  for simplicity — the geometry is irrelevant to the experiments, the
+  *addressability* is what matters);
+* arrays occupy ``size`` consecutive words.
+
+Memory is a word-addressed flat store; unwritten words read 0.  There
+is deliberately no bounds enforcement — a tampered pointer or index
+lands wherever it lands, exactly like the unprotected hardware the
+paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import Variable
+
+#: First word address of the globals segment.
+GLOBAL_BASE = 0x0000_1000
+#: First word address of the stack segment.
+STACK_BASE = 0x0010_0000
+
+
+@dataclass
+class FrameLayout:
+    """Frame-relative offsets of one function's variables."""
+
+    function_name: str
+    offsets: Dict[Variable, int]
+    size: int
+
+
+def layout_frame(fn: IRFunction) -> FrameLayout:
+    """Assign frame offsets to a function's parameters and locals."""
+    offsets: Dict[Variable, int] = {}
+    cursor = 0
+    for var in fn.frame_variables:
+        offsets[var] = cursor
+        cursor += var.size
+    return FrameLayout(fn.name, offsets, cursor)
+
+
+class MemoryMap:
+    """Address assignment plus the flat word store."""
+
+    def __init__(self, module: IRModule):
+        self._module = module
+        self.global_addresses: Dict[Variable, int] = {}
+        cursor = GLOBAL_BASE
+        for var in module.globals:
+            self.global_addresses[var] = cursor
+            cursor += var.size
+        self.global_end = cursor
+        self.frame_layouts: Dict[str, FrameLayout] = {
+            fn.name: layout_frame(fn) for fn in module.functions
+        }
+        self.words: Dict[int, int] = {}
+        for var, value in module.global_inits.items():
+            self.words[self.global_addresses[var]] = value
+
+    # -- addressing -----------------------------------------------------
+
+    def address_of(
+        self, var: Variable, frame_base: Optional[int]
+    ) -> int:
+        """Address of a variable; locals need the activation's base."""
+        if var in self.global_addresses:
+            return self.global_addresses[var]
+        if frame_base is None:
+            raise KeyError(f"no frame base for local {var}")
+        layout = self.frame_layouts[self._owner_of(var)]
+        return frame_base + layout.offsets[var]
+
+    def _owner_of(self, var: Variable) -> str:
+        for name, layout in self.frame_layouts.items():
+            if var in layout.offsets:
+                return name
+        raise KeyError(f"variable {var} has no frame")
+
+    def frame_size(self, function_name: str) -> int:
+        return self.frame_layouts[function_name].size
+
+    # -- access ------------------------------------------------------------
+
+    def read(self, address: int) -> int:
+        return self.words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        self.words[address] = value
+
+    # -- attack-surface enumeration ------------------------------------------
+
+    def live_stack_slots(
+        self, activations: List[Tuple[str, int]]
+    ) -> List[Tuple[int, str, str]]:
+        """Every addressable word of the live stack.
+
+        ``activations`` is a list of ``(function_name, frame_base)``
+        from outermost to innermost.  Returns ``(address, function,
+        variable_name)`` triples — the candidate targets of a stack
+        buffer overflow.
+        """
+        slots: List[Tuple[int, str, str]] = []
+        for function_name, base in activations:
+            layout = self.frame_layouts[function_name]
+            for var, offset in layout.offsets.items():
+                for word in range(var.size):
+                    slots.append((base + offset + word, function_name, var.name))
+        return slots
+
+    def global_slots(self) -> List[Tuple[int, str, str]]:
+        """Every addressable word of the globals segment."""
+        slots: List[Tuple[int, str, str]] = []
+        for var, base in self.global_addresses.items():
+            for word in range(var.size):
+                slots.append((base + word, "<global>", var.name))
+        return slots

@@ -1,0 +1,102 @@
+"""Dominator computation (iterative Cooper–Harvey–Kennedy algorithm).
+
+Dominance answers "has this instruction certainly executed before that
+one?", which the correlation analysis uses when deciding whether a
+store/load has already run when the branch that constrains it commits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cfg import iter_rpo
+from .function import BasicBlock, IRFunction
+
+
+class DominatorTree:
+    """Immediate-dominator tree for one function."""
+
+    def __init__(self, fn: IRFunction):
+        self._fn = fn
+        self._idom: Dict[str, Optional[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = list(iter_rpo(self._fn))
+        order_index = {block.label: i for i, block in enumerate(rpo)}
+        entry = self._fn.entry
+        idom: Dict[str, Optional[str]] = {block.label: None for block in rpo}
+        idom[entry.label] = entry.label
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                processed = [
+                    p for p in block.preds if idom.get(p.label) is not None
+                ]
+                if not processed:
+                    continue
+                new_idom = processed[0].label
+                for pred in processed[1:]:
+                    new_idom = self._intersect(
+                        new_idom, pred.label, idom, order_index
+                    )
+                if idom[block.label] != new_idom:
+                    idom[block.label] = new_idom
+                    changed = True
+        idom[entry.label] = None  # the entry has no immediate dominator
+        self._idom = idom
+
+    @staticmethod
+    def _intersect(
+        a: str,
+        b: str,
+        idom: Dict[str, Optional[str]],
+        order_index: Dict[str, int],
+    ) -> str:
+        while a != b:
+            while order_index[a] > order_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order_index[b] > order_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    def idom(self, label: str) -> Optional[str]:
+        """Immediate dominator of a block label (None for entry or
+        unreachable blocks)."""
+        return self._idom.get(label)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        current: Optional[str] = b
+        while current is not None:
+            if current == a:
+                return True
+            current = self._idom.get(current)
+        return False
+
+    def dominators_of(self, label: str) -> List[str]:
+        """All dominators of ``label``, from itself up to the entry."""
+        chain: List[str] = []
+        current: Optional[str] = label
+        while current is not None:
+            chain.append(current)
+            current = self._idom.get(current)
+        return chain
+
+
+def instruction_dominates(
+    fn: IRFunction,
+    tree: DominatorTree,
+    block_a: BasicBlock,
+    index_a: int,
+    block_b: BasicBlock,
+    index_b: int,
+) -> bool:
+    """True if instruction ``block_a[index_a]`` dominates
+    ``block_b[index_b]`` (executes on every path before it)."""
+    if block_a is block_b:
+        return index_a <= index_b
+    return tree.dominates(block_a.label, block_b.label)

@@ -1,0 +1,37 @@
+"""Human-readable IR dumps, for debugging and for doc examples."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import IRFunction, IRModule
+
+
+def format_function(fn: IRFunction, show_addresses: bool = False) -> str:
+    """Render one function as text."""
+    lines: List[str] = []
+    params = ", ".join(str(p) for p in fn.params)
+    lines.append(f"func {fn.name}({params}):")
+    for block in fn.blocks:
+        preds = ", ".join(p.label for p in block.preds)
+        lines.append(f"  {block.label}:" + (f"    ; preds: {preds}" if preds else ""))
+        for instruction in block.instructions:
+            prefix = (
+                f"    {instruction.address:#010x}  "
+                if show_addresses and instruction.address >= 0
+                else "    "
+            )
+            lines.append(prefix + str(instruction))
+    return "\n".join(lines)
+
+
+def format_module(module: IRModule, show_addresses: bool = False) -> str:
+    """Render a whole module as text."""
+    parts: List[str] = []
+    for var in module.globals:
+        init = module.global_inits.get(var)
+        suffix = f" = {init}" if init is not None else ""
+        parts.append(f"global {var} [{var.size} word(s)]{suffix}")
+    for fn in module.functions:
+        parts.append(format_function(fn, show_addresses))
+    return "\n\n".join(parts)

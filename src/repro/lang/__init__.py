@@ -1,0 +1,82 @@
+"""Mini-C language front end: lexer, AST, and parser.
+
+This package is the stand-in for the SUIF C front end the paper used.
+The public entry point is :func:`parse_program`.
+"""
+
+from .ast_nodes import (
+    Assign,
+    BinaryOp,
+    Block,
+    Break,
+    CallExpr,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    GlobalDecl,
+    If,
+    IndexExpr,
+    IntLiteral,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    Type,
+    TypeKind,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .errors import (
+    LexError,
+    LoweringError,
+    ParseError,
+    ReproError,
+    SourceError,
+    SourceLocation,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_program
+from .tokens import Token, TokenType
+
+__all__ = [
+    "Assign",
+    "BinaryOp",
+    "Block",
+    "Break",
+    "CallExpr",
+    "Continue",
+    "Expr",
+    "ExprStmt",
+    "For",
+    "FunctionDef",
+    "GlobalDecl",
+    "If",
+    "IndexExpr",
+    "IntLiteral",
+    "LexError",
+    "Lexer",
+    "LoweringError",
+    "Param",
+    "ParseError",
+    "Parser",
+    "Program",
+    "ReproError",
+    "Return",
+    "SourceError",
+    "SourceLocation",
+    "Stmt",
+    "Token",
+    "TokenType",
+    "Type",
+    "TypeKind",
+    "UnaryOp",
+    "VarDecl",
+    "VarRef",
+    "While",
+    "parse_program",
+    "tokenize",
+]

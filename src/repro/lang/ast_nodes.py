@@ -1,0 +1,240 @@
+"""AST node definitions for the mini-C language.
+
+The AST is deliberately small: scalar ``int`` variables, one level of
+pointers (``int *``), fixed-size ``int`` arrays, functions, and
+structured control flow.  That is exactly the surface the paper's
+compiler pass reasons about (memory-resident variables, loads/stores,
+conditional branches).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .errors import SourceLocation
+
+
+class TypeKind(enum.Enum):
+    """The three value categories of the language."""
+
+    INT = "int"
+    POINTER = "int*"
+    ARRAY = "int[]"
+    VOID = "void"
+
+
+@dataclass(frozen=True)
+class Type:
+    """A mini-C type.  Arrays carry their element count."""
+
+    kind: TypeKind
+    array_size: int = 0
+
+    @staticmethod
+    def int_() -> "Type":
+        return Type(TypeKind.INT)
+
+    @staticmethod
+    def pointer() -> "Type":
+        return Type(TypeKind.POINTER)
+
+    @staticmethod
+    def array(size: int) -> "Type":
+        return Type(TypeKind.ARRAY, size)
+
+    @staticmethod
+    def void() -> "Type":
+        return Type(TypeKind.VOID)
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.ARRAY:
+            return f"int[{self.array_size}]"
+        return self.kind.value
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for all expressions."""
+
+    location: SourceLocation
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    """A bare variable reference: load of a scalar, or array/pointer name."""
+
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    """``-x``, ``!x``, ``*p`` (deref read) or ``&x`` (address-of)."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Arithmetic, comparison, or short-circuit logical operation."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[index]`` read, where base is an array or pointer variable."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallExpr(Expr):
+    """``f(a, b, ...)`` — user function or builtin."""
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for all statements."""
+
+    location: SourceLocation
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``int x = e;`` / ``int *p;`` / ``int buf[16];``"""
+
+    name: str = ""
+    var_type: Type = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue = expr;`` — lvalue is VarRef, UnaryOp('*') or IndexExpr."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for side effects (usually a call)."""
+
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_body: Block = None  # type: ignore[assignment]
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body`` — each header slot optional."""
+
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A function parameter (``int x`` or ``int *p``)."""
+
+    name: str
+    param_type: Type
+    location: SourceLocation
+
+
+@dataclass
+class FunctionDef:
+    """A function definition with its body."""
+
+    name: str
+    return_type: Type
+    params: List[Param]
+    body: Block
+    location: SourceLocation
+
+
+@dataclass
+class GlobalDecl:
+    """A file-scope variable (scalar with optional constant init, or array)."""
+
+    name: str
+    var_type: Type
+    init: Optional[int]
+    location: SourceLocation
+
+
+@dataclass
+class Program:
+    """A whole translation unit: globals plus function definitions."""
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        """Look up a function by name; raise ``KeyError`` if missing."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")

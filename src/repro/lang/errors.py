@@ -1,0 +1,47 @@
+"""Source-level error types shared by the lexer, parser and lowering.
+
+Every diagnostic carries a :class:`SourceLocation` so callers (tests,
+examples, workload authors) get a precise ``file:line:column`` message
+instead of a bare string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a mini-C source text (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: str = "<source>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in mini-C source code."""
+
+    def __init__(self, message: str, location: SourceLocation):
+        super().__init__(f"{location}: {message}")
+        self.message = message
+        self.location = location
+
+
+class LexError(SourceError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(SourceError):
+    """The parser met a token sequence that is not valid mini-C."""
+
+
+class LoweringError(SourceError):
+    """AST-to-IR lowering met a construct it cannot translate."""

@@ -1,0 +1,157 @@
+"""Hand-written lexer for the mini-C language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+and hexadecimal integer literals, and all operators in
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenType
+
+#: Two-character operators, checked before single-character ones.
+_TWO_CHAR_OPS = {
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "&&": TokenType.AND_AND,
+    "||": TokenType.OR_OR,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "&": TokenType.AMP,
+    "!": TokenType.BANG,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+}
+
+
+class Lexer:
+    """Converts mini-C source text into a token stream."""
+
+    def __init__(self, source: str, filename: str = "<source>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Return the full token list, ending with an EOF token."""
+        return list(self._tokens())
+
+    # ------------------------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; raise on an unterminated comment."""
+        while True:
+            char = self._peek()
+            if char and char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._peek() == "":
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            location = self._location()
+            char = self._peek()
+            if char == "":
+                yield Token(TokenType.EOF, "", location)
+                return
+            if char.isdigit():
+                yield self._lex_number(location)
+            elif char.isalpha() or char == "_":
+                yield self._lex_ident(location)
+            else:
+                pair = char + self._peek(1)
+                if pair in _TWO_CHAR_OPS:
+                    self._advance(2)
+                    yield Token(_TWO_CHAR_OPS[pair], pair, location)
+                elif char in _ONE_CHAR_OPS:
+                    self._advance()
+                    yield Token(_ONE_CHAR_OPS[char], char, location)
+                else:
+                    raise LexError(f"unexpected character {char!r}", location)
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not self._is_hex(self._peek()):
+                raise LexError("hex literal needs at least one digit", location)
+            while self._is_hex(self._peek()):
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start : self._pos]
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError(f"invalid suffix on integer literal {text!r}", location)
+        return Token(TokenType.INT_LITERAL, text, location)
+
+    def _lex_ident(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        token_type = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(token_type, text, location)
+
+    @staticmethod
+    def _is_hex(char: str) -> bool:
+        return bool(char) and char in "0123456789abcdefABCDEF"
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,98 @@
+"""Token definitions for the mini-C language.
+
+The language is the C subset the paper's analysis operates on: integer
+scalars, one level of pointers, fixed-size integer arrays, functions,
+structured control flow.  Everything the IPDS compiler pass needs —
+loads, stores, conditional branches over memory-resident variables —
+is expressible here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenType(enum.Enum):
+    """All terminal symbols of the mini-C grammar."""
+
+    # Literals and identifiers.
+    INT_LITERAL = "int_literal"
+    IDENT = "ident"
+
+    # Keywords.
+    KW_INT = "int"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+
+    # Operators.
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    BANG = "!"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND_AND = "&&"
+    OR_OR = "||"
+
+    # End of input.
+    EOF = "eof"
+
+
+#: Reserved words, mapped to their token types.
+KEYWORDS = {
+    "int": TokenType.KW_INT,
+    "void": TokenType.KW_VOID,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "while": TokenType.KW_WHILE,
+    "for": TokenType.KW_FOR,
+    "return": TokenType.KW_RETURN,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its type, raw text and source location."""
+
+    type: TokenType
+    text: str
+    location: SourceLocation
+
+    @property
+    def int_value(self) -> int:
+        """The numeric value of an ``INT_LITERAL`` token."""
+        if self.type is not TokenType.INT_LITERAL:
+            raise ValueError(f"token {self.type} has no integer value")
+        return int(self.text, 0)
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})@{self.location}"

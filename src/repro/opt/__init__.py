@@ -1,0 +1,41 @@
+"""Optimization passes and the standard pipeline.
+
+``optimize_module(module)`` applies constant propagation, block-local
+store-to-load forwarding, and dead-code elimination to a fixpoint, then
+re-finalizes the module (fresh addresses, pruned unreachable blocks).
+Used by ``compile_program(..., opt_level=1)`` and by the optimization
+ablation bench.
+"""
+
+from ..ir.function import IRModule
+from .constprop import constant_propagation
+from .dce import dead_code_elimination
+from .dse import dead_store_elimination
+from .forwarding import store_to_load_forwarding
+from .framework import PassPipeline, PassStats
+from .substitute import substitute_uses
+
+STANDARD_PASSES = (
+    ("constprop", constant_propagation),
+    ("forwarding", store_to_load_forwarding),
+    ("dse", dead_store_elimination),
+    ("dce", dead_code_elimination),
+)
+
+
+def optimize_module(module: IRModule) -> PassStats:
+    """Run the standard pipeline on a module (mutating it)."""
+    return PassPipeline(STANDARD_PASSES).run(module)
+
+
+__all__ = [
+    "PassPipeline",
+    "PassStats",
+    "STANDARD_PASSES",
+    "constant_propagation",
+    "dead_code_elimination",
+    "dead_store_elimination",
+    "optimize_module",
+    "store_to_load_forwarding",
+    "substitute_uses",
+]

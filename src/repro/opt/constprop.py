@@ -1,0 +1,112 @@
+"""Constant propagation and folding.
+
+Function-wide (registers are single-assignment): any register defined
+by a ``Const`` is that constant everywhere; arithmetic over constants
+folds; conditional branches over constants fold to jumps.  Division by
+a (possibly zero) constant is never folded away when it could fault —
+the fault must happen at the same program point as unoptimized code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import (
+    BinOp,
+    Cmp,
+    CondBranch,
+    Const,
+    Jump,
+    Reg,
+    UnOp,
+)
+from .substitute import substitute_uses
+
+
+def _fold_binop(op: str, lhs: int, rhs: int) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return quotient if op == "/" else lhs - quotient * rhs
+
+
+def constant_propagation(fn: IRFunction, module: IRModule) -> int:
+    """One round of propagate + fold; returns the change count."""
+    constants: Dict[Reg, int] = {}
+    for block in fn.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, Const):
+                constants[instruction.dest] = instruction.value
+    changed = substitute_uses(fn, dict(constants))
+
+    for block in fn.blocks:
+        for index, instruction in enumerate(block.instructions):
+            if isinstance(instruction, BinOp):
+                if isinstance(instruction.lhs, int) and isinstance(
+                    instruction.rhs, int
+                ):
+                    if instruction.op in ("/", "%") and instruction.rhs == 0:
+                        continue  # preserve the runtime fault
+                    block.instructions[index] = _as_const(
+                        instruction.dest,
+                        _fold_binop(
+                            instruction.op, instruction.lhs, instruction.rhs
+                        ),
+                        instruction,
+                    )
+                    changed += 1
+            elif isinstance(instruction, Cmp):
+                if isinstance(instruction.lhs, int) and isinstance(
+                    instruction.rhs, int
+                ):
+                    block.instructions[index] = _as_const(
+                        instruction.dest,
+                        int(
+                            instruction.op.evaluate(
+                                instruction.lhs, instruction.rhs
+                            )
+                        ),
+                        instruction,
+                    )
+                    changed += 1
+            elif isinstance(instruction, UnOp):
+                if isinstance(instruction.src, int):
+                    value = (
+                        -instruction.src
+                        if instruction.op == "-"
+                        else int(instruction.src == 0)
+                    )
+                    block.instructions[index] = _as_const(
+                        instruction.dest, value, instruction
+                    )
+                    changed += 1
+            elif isinstance(instruction, CondBranch):
+                lhs = constants.get(instruction.lhs)
+                rhs = (
+                    instruction.rhs
+                    if isinstance(instruction.rhs, int)
+                    else constants.get(instruction.rhs)
+                )
+                if lhs is not None and rhs is not None:
+                    taken = instruction.op.evaluate(lhs, rhs)
+                    target = (
+                        instruction.taken if taken else instruction.fallthrough
+                    )
+                    jump = Jump(target)
+                    jump.address = instruction.address
+                    block.instructions[index] = jump
+                    changed += 1
+    return changed
+
+
+def _as_const(dest: Reg, value: int, original) -> Const:
+    replacement = Const(dest, value)
+    replacement.address = original.address
+    return replacement

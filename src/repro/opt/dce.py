@@ -1,0 +1,57 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose destination register is
+never used: constants, arithmetic, comparisons, address computations,
+and loads (loads cannot fault in this memory model).  Division and
+modulo are only removable when the divisor is a nonzero constant —
+otherwise deleting them would also delete a potential runtime fault.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import (
+    AddrOf,
+    BinOp,
+    Cmp,
+    Const,
+    Load,
+    Reg,
+    UnOp,
+    used_regs,
+)
+
+_REMOVABLE = (Const, BinOp, UnOp, Cmp, Load, AddrOf)
+
+
+def _is_removable(instruction) -> bool:
+    if not isinstance(instruction, _REMOVABLE):
+        return False
+    if isinstance(instruction, BinOp) and instruction.op in ("/", "%"):
+        return isinstance(instruction.rhs, int) and instruction.rhs != 0
+    return True
+
+
+def dead_code_elimination(fn: IRFunction, module: IRModule) -> int:
+    """One round of DCE; returns the number of instructions removed."""
+    used: Set[Reg] = set()
+    for block in fn.blocks:
+        for instruction in block.instructions:
+            used.update(used_regs(instruction))
+    removed = 0
+    for block in fn.blocks:
+        kept = []
+        for instruction in block.instructions:
+            dest = getattr(instruction, "dest", None)
+            if (
+                isinstance(dest, Reg)
+                and dest not in used
+                and _is_removable(instruction)
+            ):
+                removed += 1
+                continue
+            kept.append(instruction)
+        block.instructions = kept
+    return removed

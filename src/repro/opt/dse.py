@@ -1,0 +1,42 @@
+"""Dead store elimination (liveness-based).
+
+Removes a direct store to a local or parameter when the variable is
+*dead* immediately after the store — no path reaches a read before a
+certain overwrite — and the variable never has its address taken
+anywhere in the module (so no indirect access path or callee can
+observe it).  Globals are never touched: any function might read them
+after we return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..analysis.liveness import VariableLiveness
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import AddrOf, Store, Variable, VarKind
+
+
+def dead_store_elimination(fn: IRFunction, module: IRModule) -> int:
+    """One round of DSE; returns the number of stores removed."""
+    fn.compute_edges()  # liveness walks successor edges
+    address_taken: Set[Variable] = set()
+    for other in module.functions:
+        for instruction in other.instructions():
+            if isinstance(instruction, AddrOf):
+                address_taken.add(instruction.var)
+    liveness = VariableLiveness(fn, module)
+
+    doomed: List[Tuple[str, int]] = []
+    for block in fn.blocks:
+        for index, instruction in enumerate(block.instructions):
+            if (
+                isinstance(instruction, Store)
+                and instruction.var.kind in (VarKind.LOCAL, VarKind.PARAM)
+                and instruction.var not in address_taken
+                and instruction.var not in liveness.live_after(block.label, index)
+            ):
+                doomed.append((block.label, index))
+    for label, index in sorted(doomed, reverse=True):
+        del fn.block(label).instructions[index]
+    return len(doomed)

@@ -1,0 +1,73 @@
+"""Block-local store-to-load forwarding and redundant load elimination.
+
+Within one basic block, a load of ``v`` after a store to ``v`` (or
+after an earlier load of ``v``) can reuse the in-register value instead
+of touching memory.  This is the optimization the paper calls out as
+*removing correlations*: the second access disappears, so the checked
+branch loses its load and (at best) degrades to store-based inference
+(Fig. 3.b), or becomes unanalyzable.
+
+Kill rules keep the forwarding sound:
+
+* an indirect store kills the variables it may alias (or everything
+  when the alias set is unknown at this point in the pipeline);
+* a call to a user function kills everything (its effect summary is
+  not available to this local pass); builtins (``read_int``/``emit``)
+  touch no program memory and kill nothing.
+
+Forwarded int values rewrite the load into a ``Const`` (preserving the
+destination register); forwarded register values substitute uses
+function-wide and leave the dead load for DCE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.builder import BUILTINS
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import (
+    Call,
+    Const,
+    Load,
+    Operand,
+    Reg,
+    Store,
+    StoreIndirect,
+    Variable,
+)
+from .substitute import substitute_uses
+
+
+def store_to_load_forwarding(fn: IRFunction, module: IRModule) -> int:
+    """One round of block-local forwarding; returns the change count."""
+    changed = 0
+    substitutions: Dict[Reg, Operand] = {}
+    for block in fn.blocks:
+        known: Dict[Variable, Operand] = {}
+        for index, instruction in enumerate(block.instructions):
+            if isinstance(instruction, Load):
+                value = known.get(instruction.var)
+                if value is None:
+                    known[instruction.var] = instruction.dest
+                elif isinstance(value, int):
+                    replacement = Const(instruction.dest, value)
+                    replacement.address = instruction.address
+                    block.instructions[index] = replacement
+                    changed += 1
+                else:
+                    if value != instruction.dest:
+                        substitutions[instruction.dest] = value
+            elif isinstance(instruction, Store):
+                known[instruction.var] = instruction.src
+            elif isinstance(instruction, StoreIndirect):
+                if instruction.may_alias:
+                    for var in instruction.may_alias:
+                        known.pop(var, None)
+                else:
+                    known.clear()
+            elif isinstance(instruction, Call):
+                if instruction.callee not in BUILTINS:
+                    known.clear()
+    changed += substitute_uses(fn, substitutions)
+    return changed

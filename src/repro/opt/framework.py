@@ -1,0 +1,57 @@
+"""Optimization pass framework.
+
+Passes mutate an :class:`IRModule` in place and must preserve program
+semantics exactly (differential tests in ``tests/test_opt_passes.py``
+check random programs with and without optimization).  The paper
+observes that "compiler optimizations can remove some correlations,
+reducing the detection rate" — these passes exist to measure that
+effect (``benchmarks/bench_opt_ablation.py``) and to exercise the
+store-based inference path (Fig. 3.b) that only appears once loads are
+forwarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..ir.function import IRFunction, IRModule
+
+#: A pass transforms one function and reports how many changes it made.
+FunctionPass = Callable[[IRFunction, IRModule], int]
+
+
+@dataclass
+class PassStats:
+    """Per-pass change counts from one pipeline run."""
+
+    changes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, count: int) -> None:
+        self.changes[name] = self.changes.get(name, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.changes.values())
+
+
+class PassPipeline:
+    """Runs a pass list to a fixpoint (bounded), then re-finalizes."""
+
+    def __init__(self, passes: Sequence[tuple], max_iterations: int = 8):
+        self._passes = list(passes)  # (name, FunctionPass)
+        self._max_iterations = max_iterations
+
+    def run(self, module: IRModule) -> PassStats:
+        stats = PassStats()
+        for _ in range(self._max_iterations):
+            changed = 0
+            for fn in module.functions:
+                for name, fn_pass in self._passes:
+                    count = fn_pass(fn, module)
+                    stats.record(name, count)
+                    changed += count
+            if not changed:
+                break
+        module.finalize()
+        return stats

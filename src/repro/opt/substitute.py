@@ -1,0 +1,70 @@
+"""Operand substitution utilities shared by the passes.
+
+Registers are single-assignment and definitions dominate uses, so
+replacing every use of a register with an equivalent operand is sound
+function-wide.  Fields that structurally require a register
+(``CondBranch.lhs``, indirect-access addresses) only accept register
+replacements; constant replacements leave those uses in place and the
+defining instruction alive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.function import IRFunction
+from ..ir.instructions import (
+    BinOp,
+    Call,
+    Cmp,
+    CondBranch,
+    Instruction,
+    LoadIndirect,
+    Operand,
+    Reg,
+    Return,
+    Store,
+    StoreIndirect,
+    UnOp,
+)
+
+
+def substitute_uses(fn: IRFunction, mapping: Dict[Reg, Operand]) -> int:
+    """Replace register uses per ``mapping``; returns replacement count."""
+    if not mapping:
+        return 0
+    changed = 0
+
+    def swap(value, reg_only: bool = False):
+        nonlocal changed
+        if isinstance(value, Reg) and value in mapping:
+            replacement = mapping[value]
+            if reg_only and not isinstance(replacement, Reg):
+                return value
+            changed += 1
+            return replacement
+        return value
+
+    for block in fn.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, (BinOp, Cmp)):
+                instruction.lhs = swap(instruction.lhs)
+                instruction.rhs = swap(instruction.rhs)
+            elif isinstance(instruction, UnOp):
+                instruction.src = swap(instruction.src)
+            elif isinstance(instruction, Store):
+                instruction.src = swap(instruction.src)
+            elif isinstance(instruction, StoreIndirect):
+                instruction.addr = swap(instruction.addr, reg_only=True)
+                instruction.src = swap(instruction.src)
+            elif isinstance(instruction, LoadIndirect):
+                instruction.addr = swap(instruction.addr, reg_only=True)
+            elif isinstance(instruction, Call):
+                instruction.args = [swap(a) for a in instruction.args]
+            elif isinstance(instruction, CondBranch):
+                instruction.lhs = swap(instruction.lhs, reg_only=True)
+                instruction.rhs = swap(instruction.rhs)
+            elif isinstance(instruction, Return):
+                if instruction.value is not None:
+                    instruction.value = swap(instruction.value)
+    return changed

@@ -1,0 +1,112 @@
+"""End-to-end convenience API: source → protected program → monitored run.
+
+This is the "whole system" wrapper a downstream user starts from::
+
+    from repro import compile_program, monitored_run
+
+    program = compile_program(source)
+    result, ipds = monitored_run(program, inputs=[1, 2, 3])
+    assert not ipds.detected
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .correlation.bat_builder import BuildStats, build_program_tables
+from .correlation.tables import ProgramTables
+from .interp.interpreter import RunResult, TamperSpec, run_program
+from .ir.function import IRModule
+from .ir.builder import lower_program
+from .ir.validate import verify_module
+from .lang.parser import parse_program
+from .runtime.ipds import IPDS
+
+
+@dataclass
+class ProtectedProgram:
+    """A compiled program plus its IPDS protection tables."""
+
+    module: IRModule
+    tables: ProgramTables
+    build_stats: List[BuildStats]
+    source_name: str = "<source>"
+
+    def new_ipds(self, halt_on_alarm: bool = False) -> IPDS:
+        """A fresh IPDS instance for one monitored execution."""
+        return IPDS(self.tables, halt_on_alarm=halt_on_alarm)
+
+    def to_image(self) -> bytes:
+        """The §5.4 binary table image: function information table plus
+        packed BCV/BAT blobs, as the compiler would attach to the
+        program binary."""
+        from .correlation.binary_image import pack_program
+
+        entries = {
+            fn.name: self.module.function_extent(fn.name)[0]
+            for fn in self.module.functions
+        }
+        return pack_program(self.tables, entries)
+
+
+def compile_program(
+    source: str, name: str = "<source>", opt_level: int = 0
+) -> ProtectedProgram:
+    """Parse, lower, verify and protect a mini-C program.
+
+    ``opt_level=1`` runs the standard optimization pipeline (constant
+    propagation, store-to-load forwarding, DCE) before the correlation
+    analysis — the configuration the paper notes "can remove some
+    correlations, reducing the detection rate".
+    """
+    ast = parse_program(source, name)
+    module = lower_program(ast)
+    verify_module(module)
+    if opt_level > 0:
+        from .opt import optimize_module
+
+        optimize_module(module)
+        verify_module(module)
+    tables, stats = build_program_tables(module)
+    return ProtectedProgram(
+        module=module, tables=tables, build_stats=stats, source_name=name
+    )
+
+
+def monitored_run(
+    program: ProtectedProgram,
+    inputs: Sequence[int] = (),
+    entry: str = "main",
+    tamper: Optional[TamperSpec] = None,
+    step_limit: int = 2_000_000,
+    halt_on_alarm: bool = False,
+) -> Tuple[RunResult, IPDS]:
+    """Run a protected program with the IPDS attached."""
+    ipds = program.new_ipds(halt_on_alarm=halt_on_alarm)
+    result = run_program(
+        program.module,
+        inputs=inputs,
+        entry=entry,
+        tamper=tamper,
+        event_listeners=[ipds.process],
+        step_limit=step_limit,
+    )
+    return result, ipds
+
+
+def unmonitored_run(
+    program: ProtectedProgram,
+    inputs: Sequence[int] = (),
+    entry: str = "main",
+    tamper: Optional[TamperSpec] = None,
+    step_limit: int = 2_000_000,
+) -> RunResult:
+    """Run without the IPDS (baseline behaviour / clean trace capture)."""
+    return run_program(
+        program.module,
+        inputs=inputs,
+        entry=entry,
+        tamper=tamper,
+        step_limit=step_limit,
+    )

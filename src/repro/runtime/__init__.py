@@ -1,0 +1,33 @@
+"""IPDS runtime: event types, BSV state, and the checker."""
+
+from .bsv import BSVFrame
+from .events import BranchEvent, CallEvent, Event, ReturnEvent
+from .ipds import IPDS, Alarm, IPDSError, IPDSStats
+from .replay import (
+    TraceFormatError,
+    TraceRecorder,
+    dump_trace,
+    event_from_json,
+    event_to_json,
+    load_trace,
+    replay,
+)
+
+__all__ = [
+    "Alarm",
+    "BSVFrame",
+    "BranchEvent",
+    "CallEvent",
+    "Event",
+    "IPDS",
+    "IPDSError",
+    "IPDSStats",
+    "ReturnEvent",
+    "TraceFormatError",
+    "TraceRecorder",
+    "dump_trace",
+    "event_from_json",
+    "event_to_json",
+    "load_trace",
+    "replay",
+]

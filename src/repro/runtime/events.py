@@ -1,0 +1,43 @@
+"""Runtime event stream vocabulary.
+
+The execution substrate (interpreter or CPU model) feeds the IPDS a
+stream of *committed* control-flow events: function calls, returns, and
+conditional-branch outcomes.  The IPDS never sees data values — exactly
+the paper's hardware interface (§5.4: "each committed branch is sent to
+the IPDS").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """Entering a function: push fresh tables for it."""
+
+    function_name: str
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    """Leaving a function: pop its tables."""
+
+    function_name: str
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """A committed conditional branch."""
+
+    function_name: str
+    pc: int
+    taken: bool
+
+    @property
+    def direction(self) -> str:
+        return "T" if self.taken else "NT"
+
+
+Event = Union[CallEvent, ReturnEvent, BranchEvent]

@@ -1,0 +1,183 @@
+"""The IPDS runtime checker (§5.4).
+
+Consumes the committed control-flow event stream and maintains the
+BSV/BCV/BAT stack:
+
+* ``CallEvent`` — push a fresh all-UNKNOWN BSV frame for the callee;
+* ``ReturnEvent`` — pop it, resuming the caller's frame;
+* ``BranchEvent`` — if the branch is marked in the BCV, *verify* its
+  actual direction against the BSV (a definite mismatch is an
+  infeasible path ⇒ alarm), then *update* the BSV by firing the BAT
+  actions for (branch, direction).
+
+Verification-before-update ordering matters: the event's own actions
+describe the world *after* this branch, so they must not influence its
+own check.
+
+The functional checker here decides *what* is detected; timing (queue
+occupancy, spills, detection latency) is modeled separately in
+:mod:`repro.cpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..correlation.actions import BranchStatus
+from ..correlation.tables import ProgramTables
+from ..lang.errors import ReproError
+from .bsv import BSVFrame
+from .events import BranchEvent, CallEvent, Event, ReturnEvent
+
+
+class IPDSError(ReproError):
+    """Protocol violation in the event stream (runtime bug, not attack)."""
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One detected infeasible path."""
+
+    function_name: str
+    pc: int
+    expected: BranchStatus
+    actual_taken: bool
+    event_index: int
+
+    def __str__(self) -> str:
+        actual = "T" if self.actual_taken else "NT"
+        return (
+            f"infeasible path in {self.function_name}@{self.pc:#x}: "
+            f"expected {self.expected.value}, saw {actual} "
+            f"(event #{self.event_index})"
+        )
+
+
+@dataclass
+class IPDSStats:
+    """Counters for one monitored execution."""
+
+    events: int = 0
+    branch_events: int = 0
+    checks: int = 0
+    updates: int = 0
+    actions_fired: int = 0
+    max_stack_depth: int = 0
+
+
+class IPDS:
+    """Infeasible Path Detection System runtime.
+
+    ``halt_on_alarm`` mirrors a deployment that kills the process on
+    the first alarm; the default records alarms and keeps checking so
+    campaigns can observe everything.
+    """
+
+    def __init__(self, tables: ProgramTables, halt_on_alarm: bool = False):
+        self._tables = tables
+        self._stack: List[BSVFrame] = []
+        self._halt_on_alarm = halt_on_alarm
+        self._halted = False
+        self.alarms: List[Alarm] = []
+        self.stats = IPDSStats()
+
+    # -- event interface ----------------------------------------------------
+
+    def process(self, event: Event) -> Optional[Alarm]:
+        """Consume one event; returns an alarm if this event raised one."""
+        if self._halted:
+            return None
+        self.stats.events += 1
+        if isinstance(event, CallEvent):
+            self._push(event.function_name)
+            return None
+        if isinstance(event, ReturnEvent):
+            self._pop(event.function_name)
+            return None
+        if isinstance(event, BranchEvent):
+            return self._branch(event)
+        raise IPDSError(f"unknown event {event!r}")
+
+    def run(self, events: Iterable[Event]) -> List[Alarm]:
+        """Consume a whole stream; returns all alarms raised."""
+        for event in events:
+            self.process(event)
+            if self._halted:
+                break
+        return self.alarms
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.alarms)
+
+    @property
+    def stack_depth(self) -> int:
+        return len(self._stack)
+
+    def current_frame(self) -> Optional[BSVFrame]:
+        return self._stack[-1] if self._stack else None
+
+    # -- internals ---------------------------------------------------------
+
+    def _push(self, function_name: str) -> None:
+        try:
+            tables = self._tables.tables_for(function_name)
+        except KeyError:
+            raise IPDSError(
+                f"call into unprotected function {function_name!r}"
+            ) from None
+        self._stack.append(BSVFrame(tables))
+        self.stats.max_stack_depth = max(
+            self.stats.max_stack_depth, len(self._stack)
+        )
+
+    def _pop(self, function_name: str) -> None:
+        if not self._stack:
+            raise IPDSError("return event with empty table stack")
+        frame = self._stack.pop()
+        if frame.tables.function_name != function_name:
+            raise IPDSError(
+                f"return from {function_name!r} but top of stack is "
+                f"{frame.tables.function_name!r}"
+            )
+
+    def _branch(self, event: BranchEvent) -> Optional[Alarm]:
+        if not self._stack:
+            raise IPDSError("branch event with empty table stack")
+        frame = self._stack[-1]
+        tables = frame.tables
+        if tables.function_name != event.function_name:
+            raise IPDSError(
+                f"branch event from {event.function_name!r} but active "
+                f"frame is {tables.function_name!r}"
+            )
+        self.stats.branch_events += 1
+        slot = tables.slot_of(event.pc)
+        alarm: Optional[Alarm] = None
+
+        # Verify first (only branches marked in the BCV).
+        if slot is not None and slot in tables.bcv_slots:
+            self.stats.checks += 1
+            expected = frame.status(slot)
+            if not expected.matches(event.taken):
+                alarm = Alarm(
+                    function_name=event.function_name,
+                    pc=event.pc,
+                    expected=expected,
+                    actual_taken=event.taken,
+                    event_index=self.stats.events,
+                )
+                self.alarms.append(alarm)
+                if self._halt_on_alarm:
+                    self._halted = True
+                    return alarm
+
+        # Then update, whether or not the branch is checked (§5.4).
+        actions = tables.actions_for(event.pc, event.taken)
+        if actions:
+            self.stats.updates += 1
+            for target_slot, action in actions:
+                frame.apply(target_slot, action)
+                self.stats.actions_fired += 1
+        return alarm

@@ -1,0 +1,96 @@
+"""Event-trace serialization and offline replay.
+
+The IPDS is an online checker, but its event stream is small and
+serializable — which enables an audit-log deployment style: record the
+committed control-flow events cheaply, re-check them offline (or on
+another machine) against the program's tables.  Alarms from a replay
+are identical to online alarms because the checker is deterministic.
+
+Format: one JSON object per line (`jsonl`), tagged by event kind.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, List, Union
+
+from ..correlation.tables import ProgramTables
+from ..lang.errors import ReproError
+from .events import BranchEvent, CallEvent, Event, ReturnEvent
+from .ipds import IPDS, Alarm
+
+
+class TraceFormatError(ReproError):
+    """Malformed serialized trace."""
+
+
+def event_to_json(event: Event) -> str:
+    """One event as a compact JSON line (no trailing newline)."""
+    if isinstance(event, CallEvent):
+        return json.dumps({"k": "call", "fn": event.function_name})
+    if isinstance(event, ReturnEvent):
+        return json.dumps({"k": "ret", "fn": event.function_name})
+    if isinstance(event, BranchEvent):
+        return json.dumps(
+            {
+                "k": "br",
+                "fn": event.function_name,
+                "pc": event.pc,
+                "t": int(event.taken),
+            }
+        )
+    raise TraceFormatError(f"unknown event {event!r}")
+
+
+def event_from_json(line: str) -> Event:
+    """Parse one JSON line back into an event."""
+    try:
+        record = json.loads(line)
+        kind = record["k"]
+        if kind == "call":
+            return CallEvent(record["fn"])
+        if kind == "ret":
+            return ReturnEvent(record["fn"])
+        if kind == "br":
+            return BranchEvent(record["fn"], record["pc"], bool(record["t"]))
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise TraceFormatError(f"bad trace line {line!r}: {error}") from None
+    raise TraceFormatError(f"unknown event kind {record['k']!r}")
+
+
+def dump_trace(events: Iterable[Event], stream: IO[str]) -> int:
+    """Write events as jsonl; returns the event count."""
+    count = 0
+    for event in events:
+        stream.write(event_to_json(event))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_trace(stream: IO[str]) -> Iterator[Event]:
+    """Stream events back from jsonl (lazy)."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield event_from_json(line)
+
+
+class TraceRecorder:
+    """An event listener that accumulates the stream for later dumping."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+
+def replay(
+    tables: ProgramTables,
+    events: Iterable[Event],
+    halt_on_alarm: bool = False,
+) -> List[Alarm]:
+    """Re-check a recorded event stream offline."""
+    checker = IPDS(tables, halt_on_alarm=halt_on_alarm)
+    return checker.run(events)

@@ -1,0 +1,5 @@
+"""The ten synthetic vulnerable server workloads (§6)."""
+
+from .registry import Workload, all_workloads, get_workload, workload_names
+
+__all__ = ["Workload", "all_workloads", "get_workload", "workload_names"]

@@ -1,0 +1,124 @@
+"""atftpd: TFTP daemon with block sequencing and retry bounds (BOF)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// atftpd -- synthetic TFTP daemon.
+
+int lifetime_transfers;       // global counter
+
+void main() {
+  int transfer_open = 0;
+  int write_mode = 0;
+  int block_expected = 0;
+  int retries = 0;
+  int max_block = 0;
+  int completed = 0;
+  int window[4];              // reassembly window (tamper surface)
+
+  for (int i = 0; i < 4; i = i + 1) { window[i] = 0; }
+
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1 || op == 2) {            // RRQ / WRQ
+      int nblocks = read_int();
+      if (transfer_open == 1) { emit(409); }
+      else {
+        if (nblocks >= 1) {
+          if (nblocks <= 64) {
+            transfer_open = 1;
+            block_expected = 1;
+            retries = 0;
+            max_block = nblocks;
+            if (op == 2) { write_mode = 1; } else { write_mode = 0; }
+            emit(200);
+          } else { emit(413); }
+        } else { emit(400); }
+      }
+    }
+    if (op == 3) {                       // DATA / ACK
+      int block = read_int();
+      if (transfer_open == 1) {
+        if (block == block_expected) {
+          retries = 0;
+          window[block % 4] = block;
+          emit(block);
+          // Sequencing invariant: the expected block never exceeds the
+          // announced transfer length.
+          if (block <= max_block) {
+            if (block == max_block) {
+              transfer_open = 0;
+              completed = completed + 1;
+              lifetime_transfers = lifetime_transfers + 1;
+              emit(226);
+            } else {
+              block_expected = block_expected + 1;
+            }
+          } else { emit(500); }          // infeasible untampered
+        } else {
+          retries = retries + 1;
+          if (retries < 5) { emit(425); }
+          else { transfer_open = 0; emit(408); }
+        }
+      } else { emit(404); }
+    }
+    if (op == 4) {                       // status probe
+      if (transfer_open == 1) {
+        if (write_mode == 1) { emit(302); } else { emit(301); }
+        // An open transfer always has a sane expected block.
+        if (block_expected >= 1) {
+          if (block_expected <= max_block) { emit(3); } else { emit(-3); }
+        } else { emit(-4); }
+      } else { emit(300); }
+    }
+    // Per-packet sanity sweep: retry bound, mode flag, window checksum.
+    if (retries >= 0) {
+      if (retries <= 5) { emit(1); } else { emit(-1); }
+    } else { emit(-2); }
+    if (write_mode == 1) { emit(2); } else { emit(3); }
+    if (completed >= 0) { emit(4); } else { emit(-4); }
+    if (max_block <= 64) { emit(6); } else { emit(-6); }
+    if (block_expected >= 0) { emit(7); } else { emit(-7); }
+    if (window[0] + window[1] + window[2] + window[3] >= 0) { emit(5); }
+    else { emit(-5); }
+    op = read_int();
+  }
+  emit(completed);
+  emit(window[0] + window[1] + window[2] + window[3]);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs: List[int] = []
+    sessions = rng.randint(1 * scale, 3 * scale)
+    for _ in range(sessions):
+        nblocks = rng.randint(1, 6)
+        inputs.extend([rng.choice([1, 2]), nblocks])
+        block = 1
+        while block <= nblocks:
+            if rng.random() < 0.15:
+                inputs.extend([3, rng.randint(0, 70)])  # out-of-order
+            inputs.extend([3, block])
+            block += 1
+            if rng.random() < 0.25:
+                inputs.append(4)
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="atftpd",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="TFTP daemon; block sequencing bounds correlated",
+        min_trigger_read=2,
+    )
+)

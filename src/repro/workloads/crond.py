@@ -1,0 +1,137 @@
+"""crond: periodic job scheduler with per-job ownership checks (BOF)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// crond -- synthetic cron daemon.
+
+int lifetime_runs;           // global counter
+
+void main() {
+  int job_user[6];           // owner uid per slot (-1 = free)
+  int job_period[6];
+  int job_priv[6];           // 1 = runs as root
+  int njobs = 0;
+  int clock_now = 0;
+  int runs = 0;
+  int caller_uid = 0;
+
+  for (int i = 0; i < 6; i = i + 1) {
+    job_user[i] = -1;
+    job_period[i] = 1;
+    job_priv[i] = 0;
+  }
+  caller_uid = read_int();           // who talks to the daemon socket
+
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1) {                   // register a job
+      int period = read_int();
+      int priv = read_int();
+      if (period < 1) { period = 1; }
+      if (njobs < 6) {
+        int placed = 0;
+        for (int i = 0; i < 6; i = i + 1) {
+          if (placed == 0) {
+            if (job_user[i] == -1) {
+              job_user[i] = caller_uid;
+              job_period[i] = period;
+              // only root registers privileged jobs
+              if (priv == 1) {
+                if (caller_uid == 0) { job_priv[i] = 1; }
+                else { job_priv[i] = 0; emit(401); }
+              } else { job_priv[i] = 0; }
+              njobs = njobs + 1;
+              placed = 1;
+              emit(201);
+            }
+          }
+        }
+      } else { emit(507); }
+    }
+    if (op == 2) {                   // remove a job
+      int slot = read_int();
+      if (slot >= 0 && slot < 6) {
+        if (job_user[slot] == caller_uid) {
+          job_user[slot] = -1;
+          njobs = njobs - 1;
+          emit(204);
+        } else {
+          if (caller_uid == 0) {
+            job_user[slot] = -1;
+            njobs = njobs - 1;
+            emit(205);
+          } else { emit(403); }
+        }
+      } else { emit(400); }
+    }
+    if (op == 3) {                   // tick
+      clock_now = clock_now + 1;
+      for (int i = 0; i < 6; i = i + 1) {
+        if (job_user[i] != -1) {
+          if (clock_now % job_period[i] == 0) {
+            // privilege bit consulted again at execution time: a
+            // privileged job must belong to root.
+            if (job_priv[i] == 1) {
+              if (job_user[i] == 0) { emit(600 + i); runs = runs + 1; }
+              else { emit(666); }    // infeasible untampered
+            } else {
+              emit(500 + i);
+              runs = runs + 1;
+            }
+            lifetime_runs = lifetime_runs + 1;
+          }
+        }
+      }
+    }
+    // Per-command sanity sweep: occupancy bounds, stable caller
+    // identity, table checksums.
+    if (njobs >= 0) {
+      if (njobs <= 6) { emit(1); } else { emit(-1); }
+    } else { emit(-2); }
+    if (caller_uid == 0) { emit(2); } else { emit(3); }
+    if (clock_now >= 0) { emit(4); } else { emit(-4); }
+    if (runs >= 0) { emit(7); } else { emit(-7); }
+    if (clock_now <= 100000) { emit(8); } else { emit(-8); }
+    if (job_user[0] + job_user[1] + job_user[2]
+        + job_user[3] + job_user[4] + job_user[5] >= 0 - 6) { emit(5); }
+    else { emit(-5); }
+    if (job_period[0] + job_period[1] + job_period[2]
+        + job_period[3] + job_period[4] + job_period[5] >= 6) { emit(6); }
+    else { emit(-6); }
+    op = read_int();
+  }
+  emit(runs);
+  emit(njobs);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [rng.choice([0, 0, 1, 5])]  # caller uid
+    for _ in range(rng.randint(6 * scale, 16 * scale)):
+        op = rng.choices([1, 2, 3], weights=[3, 1, 5])[0]
+        inputs.append(op)
+        if op == 1:
+            inputs.extend([rng.randint(1, 4), rng.randint(0, 1)])
+        elif op == 2:
+            inputs.append(rng.randint(0, 6))
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="crond",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="cron daemon; job ownership and privilege re-checked",
+        min_trigger_read=2,
+    )
+)

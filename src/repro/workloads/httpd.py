@@ -1,0 +1,113 @@
+"""httpd: HTTP server with auth realm and keep-alive session (BOF)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// httpd -- synthetic HTTP server with keep-alive.
+
+int lifetime_requests;        // global counter
+
+void main() {
+  int authorized = 0;         // Basic-auth result for the realm
+  int keepalive = 1;
+  int served = 0;
+  int errors = 0;
+  int body_limit = 0;
+  int urlbuf[8];              // request-line buffer (overflow target)
+  int reqno = 0;
+
+  body_limit = read_int();
+  if (body_limit < 64) { body_limit = 64; }
+  if (body_limit > 4096) { body_limit = 4096; }
+  int credentials = read_int();
+  if (credentials == 4242) { authorized = 1; }
+
+  while (keepalive == 1) {
+    int method = read_int();
+    if (method == 0) {
+      keepalive = 0;
+    } else {
+      reqno = reqno + 1;
+      lifetime_requests = lifetime_requests + 1;
+      if (method == 1) {                 // GET
+        int path = read_int();
+        urlbuf[reqno % 8] = path;
+        if (path >= 50) {
+          // Protected realm: authorization consulted at routing and
+          // again inside the handler (defense in depth).
+          if (authorized == 1) {
+            if (path < 100) { served = served + 1; emit(201); }
+            else { errors = errors + 1; emit(404); }
+          } else { errors = errors + 1; emit(401); }
+        } else {
+          if (path >= 0) { served = served + 1; emit(200); }
+          else { errors = errors + 1; emit(400); }
+        }
+      }
+      if (method == 2) {                 // POST
+        int length = read_int();
+        if (length <= body_limit) {
+          // hard cap re-check: body_limit <= 4096 is invariant
+          if (length <= 4096) { served = served + 1; emit(204); }
+          else { emit(500); }            // infeasible untampered
+        } else { errors = errors + 1; emit(413); }
+      }
+      if (method == 3) {                 // HEAD
+        emit(200);
+      }
+      if (method > 3) {
+        errors = errors + 1;
+        emit(405);
+      }
+      // Session sanity sweep, re-checked per request.
+      if (authorized == 1) { emit(1); } else { emit(2); }
+      if (body_limit >= 64) {
+        if (body_limit <= 4096) { emit(3); } else { emit(-3); }
+      } else { emit(-4); }
+      if (reqno > 0) { emit(4); }
+      if (served >= 0) { emit(6); } else { emit(-6); }
+      if (errors >= 0) { emit(7); } else { emit(-7); }
+      if (urlbuf[0] + urlbuf[1] + urlbuf[2] + urlbuf[3]
+          + urlbuf[4] + urlbuf[5] + urlbuf[6] + urlbuf[7] >= 0 - 40) {
+        emit(5);
+      } else { emit(-5); }
+    }
+  }
+  emit(served);
+  emit(errors);
+  emit(urlbuf[0] + urlbuf[1]);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [
+        rng.choice([100, 512, 2048, 8000]),
+        4242 if rng.random() < 0.5 else rng.randint(0, 9999),
+    ]
+    for _ in range(rng.randint(3 * scale, 12 * scale)):
+        method = rng.randint(1, 4)
+        inputs.append(method)
+        if method == 1:
+            inputs.append(rng.randint(-5, 120))
+        elif method == 2:
+            inputs.append(rng.randint(0, 6000))
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="httpd",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="HTTP server; auth realm + body-limit correlations",
+        min_trigger_read=3,
+    )
+)

@@ -1,0 +1,150 @@
+"""portmap: RPC portmapper with ownership-guarded mutations (BOF)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// portmap -- synthetic RPC portmapper.
+
+int lifetime_lookups;          // global counter
+
+void main() {
+  int map_prog[6];             // registered program per slot (-1 free)
+  int map_port[6];
+  int map_owner[6];
+  int entries = 0;
+  int lookups = 0;
+  int caller_uid = 0;
+
+  for (int i = 0; i < 6; i = i + 1) {
+    map_prog[i] = -1;
+    map_port[i] = 0;
+    map_owner[i] = -1;
+  }
+  caller_uid = read_int();
+
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1) {                       // SET
+      int prog = read_int();
+      int port = read_int();
+      int ok = 1;
+      if (prog < 1) { ok = 0; }
+      if (port < 1) { ok = 0; }
+      if (port > 65535) { ok = 0; }
+      // privileged ports need root, re-verified at registration
+      if (port < 1024) {
+        if (caller_uid != 0) { ok = 0; emit(401); }
+      }
+      if (ok == 1) {
+        int placed = 0;
+        for (int i = 0; i < 6; i = i + 1) {
+          if (placed == 0) {
+            if (map_prog[i] == -1) {
+              map_prog[i] = prog;
+              map_port[i] = port;
+              map_owner[i] = caller_uid;
+              entries = entries + 1;
+              placed = 1;
+              emit(200);
+            }
+          }
+        }
+        if (placed == 0) { emit(507); }
+      } else { emit(400); }
+    }
+    if (op == 2) {                       // UNSET
+      int prog = read_int();
+      int found = 0;
+      for (int i = 0; i < 6; i = i + 1) {
+        if (found == 0) {
+          if (map_prog[i] == prog) {
+            found = 1;
+            if (map_owner[i] == caller_uid) {
+              map_prog[i] = -1;
+              entries = entries - 1;
+              emit(204);
+            } else {
+              if (caller_uid == 0) {
+                // consistency: a privileged port must show a root owner
+                if (map_port[i] < 1024) {
+                  if (map_owner[i] == 0) { emit(205); }
+                  else { emit(666); }    // infeasible untampered
+                } else { emit(206); }
+                map_prog[i] = -1;
+                entries = entries - 1;
+              } else { emit(403); }
+            }
+          }
+        }
+      }
+      if (found == 0) { emit(404); }
+    }
+    if (op == 3) {                       // GETPORT
+      int prog = read_int();
+      lookups = lookups + 1;
+      lifetime_lookups = lifetime_lookups + 1;
+      int answer = 0;
+      for (int i = 0; i < 6; i = i + 1) {
+        if (map_prog[i] == prog) { answer = map_port[i]; }
+      }
+      emit(answer);
+    }
+    if (op == 4) {                       // DUMP
+      if (entries >= 0) {
+        if (entries <= 6) { emit(300 + entries); } else { emit(666); }
+      } else { emit(667); }
+    }
+    // Per-request sanity sweep: caller identity is fixed for the
+    // connection; occupancy and table checksums stay sane.
+    if (caller_uid == 0) { emit(1); } else { emit(2); }
+    if (entries >= 0) {
+      if (entries <= 6) { emit(3); } else { emit(-3); }
+    } else { emit(-4); }
+    if (lookups >= 0) { emit(4); } else { emit(-5); }
+    if (lookups <= 100000) { emit(6); } else { emit(-7); }
+    if (op >= 1) { emit(7); } else { emit(-8); }
+    if (map_port[0] + map_port[1] + map_port[2]
+        + map_port[3] + map_port[4] + map_port[5] >= 0) { emit(5); }
+    else { emit(-6); }
+    op = read_int();
+  }
+  emit(lookups);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [rng.choice([0, 0, 1, 5])]  # caller uid
+    known_progs: List[int] = []
+    for _ in range(rng.randint(5 * scale, 14 * scale)):
+        op = rng.choices([1, 2, 3, 4], weights=[4, 2, 3, 1])[0]
+        inputs.append(op)
+        if op == 1:
+            prog = rng.randint(1, 30)
+            known_progs.append(prog)
+            inputs.extend([prog, rng.choice([80, 111, 2049, 8080, 30000])])
+        elif op == 2:
+            prog = rng.choice(known_progs) if known_progs else rng.randint(1, 30)
+            inputs.append(prog)
+        elif op == 3:
+            prog = rng.choice(known_progs) if known_progs else rng.randint(1, 30)
+            inputs.append(prog)
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="portmap",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="RPC portmapper; ownership/consistency invariants",
+        min_trigger_read=2,
+    )
+)

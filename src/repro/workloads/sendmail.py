@@ -1,0 +1,134 @@
+"""sendmail: SMTP state machine with relay control (BOF model)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// sendmail -- synthetic SMTP daemon.
+
+int lifetime_msgs;             // global counter
+
+void main() {
+  int state = 0;               // 0 init, 1 helo, 2 mail, 3 rcpt
+  int relay_allowed = 0;
+  int rcpt_count = 0;
+  int max_rcpt = 0;
+  int delivered = 0;
+  int rejected = 0;
+  int rcptbuf[6];              // recipient scratch (overflow target)
+
+  max_rcpt = read_int();
+  if (max_rcpt < 1) { max_rcpt = 1; }
+  if (max_rcpt > 6) { max_rcpt = 6; }
+  emit(220);
+
+  int verb = read_int();
+  while (verb != 0) {
+    if (verb == 1) {                     // HELO
+      int domain = read_int();
+      if (state == 0) {
+        if (domain > 0) { state = 1; emit(250); } else { emit(501); }
+      } else { emit(503); }
+    }
+    if (verb == 2) {                     // MAIL FROM
+      int sender = read_int();
+      if (state >= 1) {
+        if (sender < 100) { relay_allowed = 1; } else { relay_allowed = 0; }
+        state = 2;
+        rcpt_count = 0;
+        emit(250);
+      } else { emit(503); }
+    }
+    if (verb == 3) {                     // RCPT TO
+      int rcpt = read_int();
+      if (state >= 2) {
+        state = 3;
+        if (rcpt_count < max_rcpt) {
+          if (rcpt >= 1000) {
+            // remote recipient: relay permission consulted again
+            if (relay_allowed == 1) {
+              rcptbuf[rcpt_count % 6] = rcpt;
+              rcpt_count = rcpt_count + 1;
+              emit(251);
+            } else { rejected = rejected + 1; emit(550); }
+          } else {
+            rcptbuf[rcpt_count % 6] = rcpt;
+            rcpt_count = rcpt_count + 1;
+            emit(250);
+          }
+        } else { emit(452); }
+      } else { emit(503); }
+    }
+    if (verb == 4) {                     // DATA
+      if (state == 3) {
+        if (rcpt_count > 0) {
+          // bound re-checked just before delivery
+          if (rcpt_count <= max_rcpt) {
+            delivered = delivered + rcpt_count;
+            lifetime_msgs = lifetime_msgs + 1;
+            emit(354);
+            state = 1;
+          } else { emit(500); }          // infeasible untampered
+        } else { emit(554); }
+      } else { emit(503); }
+    }
+    if (verb == 5) {                     // RSET
+      if (state >= 1) { state = 1; }
+      rcpt_count = 0;
+      emit(250);
+    }
+    // Protocol sanity sweep, every verb: recipients only exist at or
+    // past the RCPT state; bounds and buffers stay sane.
+    if (rcpt_count > 0) {
+      if (state >= 3) { emit(1); } else { emit(-1); }
+    }
+    if (relay_allowed == 1) { emit(2); } else { emit(3); }
+    if (max_rcpt >= 1) {
+      if (max_rcpt <= 6) { emit(4); } else { emit(-4); }
+    } else { emit(-5); }
+    if (delivered >= 0) { emit(5); } else { emit(-6); }
+    if (rejected >= 0) { emit(7); } else { emit(-8); }
+    if (state >= 0) {
+      if (state <= 3) { emit(8); } else { emit(-9); }
+    } else { emit(-10); }
+    if (rcptbuf[0] + rcptbuf[1] + rcptbuf[2]
+        + rcptbuf[3] + rcptbuf[4] + rcptbuf[5] >= 0) { emit(6); }
+    else { emit(-7); }
+    verb = read_int();
+  }
+  emit(delivered);
+  emit(rejected);
+  emit(rcptbuf[0]);
+  emit(221);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [rng.randint(1, 8)]
+    inputs.extend([1, rng.randint(1, 50)])  # HELO
+    for _ in range(rng.randint(1 * scale, 3 * scale)):  # messages
+        inputs.extend([2, rng.choice([5, 50, 500, 1500])])  # MAIL
+        for _ in range(rng.randint(1, 5)):
+            inputs.extend([3, rng.choice([10, 500, 1200, 2000])])  # RCPT
+        inputs.append(4)  # DATA
+        if rng.random() < 0.2:
+            inputs.append(5)  # RSET
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="sendmail",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="SMTP daemon; relay permission + recipient bounds",
+        min_trigger_read=2,
+    )
+)

@@ -1,0 +1,133 @@
+"""sshd: SSH daemon with bounded auth attempts and post-auth uid (BOF)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// sshd -- synthetic SSH daemon.
+
+int lifetime_sessions;         // global counter
+
+int try_password(int uid, int pass) {
+  if (pass == uid * 11 + 3) { return 1; }
+  return 0;
+}
+
+void main() {
+  int kex_done = 0;
+  int authed = 0;
+  int auth_uid = -1;
+  int attempts = 0;
+  int max_attempts = 0;
+  int channels_open = 0;
+  int exec_count = 0;
+  int keybuf[8];               // kex scratch (overflow target)
+
+  max_attempts = read_int();
+  if (max_attempts < 1) { max_attempts = 1; }
+  if (max_attempts > 6) { max_attempts = 6; }
+  int client_algo = read_int();
+  keybuf[0] = client_algo;
+  if (client_algo > 0) { kex_done = 1; emit(20); } else { emit(21); }
+
+  while (attempts < max_attempts) {
+    int uid = read_int();
+    int pass = read_int();
+    if (kex_done == 1) {
+      if (try_password(uid, pass) == 1) {
+        authed = 1;
+        auth_uid = uid;
+        attempts = 99;                   // leave the auth loop
+        emit(52);
+      } else {
+        emit(51);
+        attempts = attempts + 1;
+      }
+    } else {
+      emit(50);
+      attempts = attempts + 1;
+    }
+  }
+  if (authed == 1) { emit(60); } else { emit(61); }
+
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1) {                       // channel open
+      if (authed == 1) {
+        if (channels_open < 4) { channels_open = channels_open + 1; emit(90); }
+        else { emit(91); }
+      } else { emit(92); }
+    }
+    if (op == 2) {                       // exec
+      int cmd = read_int();
+      if (authed == 1) {
+        if (channels_open > 0) {
+          exec_count = exec_count + 1;
+          // privileged commands need uid 0, checked at dispatch time
+          if (cmd >= 100) {
+            if (auth_uid == 0) { emit(95); } else { emit(96); }
+          } else { emit(94); }
+        } else { emit(93); }
+      } else { emit(92); }
+    }
+    if (op == 3) {                       // channel close
+      if (channels_open > 0) { channels_open = channels_open - 1; emit(97); }
+      else { emit(98); }
+    }
+    // Session sanity sweep: an authenticated session carries a uid,
+    // the channel count stays within its cap, the handshake is stable.
+    if (authed == 1) {
+      if (auth_uid >= 0) { emit(70); } else { emit(71); }
+    }
+    if (channels_open >= 0) {
+      if (channels_open <= 4) { emit(2); } else { emit(-2); }
+    } else { emit(-3); }
+    if (kex_done == 1) { emit(3); } else { emit(-4); }
+    if (exec_count >= 0) { emit(4); } else { emit(-5); }
+    if (max_attempts <= 6) { emit(6); } else { emit(-7); }
+    if (attempts >= 0) { emit(7); } else { emit(-8); }
+    if (keybuf[0] + keybuf[1] + keybuf[2] + keybuf[3]
+        + keybuf[4] + keybuf[5] + keybuf[6] + keybuf[7] >= 0) { emit(5); }
+    else { emit(-6); }
+    op = read_int();
+  }
+  lifetime_sessions = lifetime_sessions + 1;
+  emit(exec_count);
+  emit(keybuf[0]);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [rng.randint(2, 4), rng.randint(0, 3)]
+    uid = rng.choice([0, 1, 7, 50])
+    correct = uid * 11 + 3
+    for _ in range(rng.randint(0, 2)):
+        inputs.extend([uid, correct + rng.randint(1, 10)])
+    if rng.random() < 0.85:
+        inputs.extend([uid, correct])
+    else:
+        inputs.extend([uid, correct + 1] * 4)
+    for _ in range(rng.randint(3 * scale, 10 * scale)):
+        op = rng.randint(1, 3)
+        inputs.append(op)
+        if op == 2:
+            inputs.append(rng.choice([5, 50, 120, 150]))
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="sshd",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="SSH daemon; auth state and uid checked at dispatch",
+        min_trigger_read=3,
+    )
+)

@@ -1,0 +1,96 @@
+"""sysklogd: syslog daemon with priority filtering (FMT model)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// sysklogd -- synthetic syslog daemon.
+
+int lifetime_msgs;            // global counter
+
+void main() {
+  int threshold = 0;          // minimum priority written to the file
+  int console_level = 0;      // stricter bound for the console
+  int remote_enabled = 0;
+  int written = 0;
+  int dropped = 0;
+  int console_msgs = 0;
+  int ringbuf[8];             // recent-message ring (tamper surface)
+  int head = 0;
+
+  threshold = read_int();
+  if (threshold < 0) { threshold = 0; }
+  if (threshold > 7) { threshold = 7; }
+  console_level = read_int();
+  if (console_level < threshold) { console_level = threshold; }
+  if (console_level > 7) { console_level = 7; }
+  remote_enabled = read_int();
+  if (remote_enabled != 1) { remote_enabled = 0; }
+
+  int priority = read_int();
+  while (priority >= 0) {
+    int msg = read_int();               // the format-string hole
+    if (priority > 7) { priority = 7; }
+    lifetime_msgs = lifetime_msgs + 1;
+    ringbuf[head % 8] = msg;
+    head = head + 1;
+    // File sink: filter by the configured threshold.
+    if (priority >= threshold) {
+      written = written + 1;
+      emit(msg);
+      // Console sink: console_level >= threshold always, so reaching a
+      // console write implies the file write happened too.
+      if (priority >= console_level) {
+        console_msgs = console_msgs + 1;
+        emit(7000 + priority);
+      }
+      if (remote_enabled == 1) { emit(8000 + priority); }
+    } else {
+      dropped = dropped + 1;
+    }
+    // Configuration sanity re-checked per message: thresholds are set
+    // once and never move.
+    if (threshold >= 0) {
+      if (threshold <= 7) { emit(1); } else { emit(-1); }
+    } else { emit(-2); }
+    if (console_level >= threshold) { emit(2); } else { emit(-3); }
+    if (remote_enabled == 1) { emit(3); } else { emit(4); }
+    if (head > 0) { emit(5); }
+    if (written >= 0) { emit(7); } else { emit(-7); }
+    if (dropped >= 0) { emit(8); } else { emit(-8); }
+    if (ringbuf[0] + ringbuf[1] + ringbuf[2] + ringbuf[3]
+        + ringbuf[4] + ringbuf[5] + ringbuf[6] + ringbuf[7] >= 0) { emit(6); }
+    else { emit(-6); }
+    priority = read_int();
+  }
+  emit(written);
+  emit(dropped);
+  emit(console_msgs);
+  emit(ringbuf[0] + ringbuf[1]);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [rng.randint(0, 5), rng.randint(3, 7), rng.randint(0, 1)]
+    for _ in range(rng.randint(5 * scale, 15 * scale)):
+        inputs.append(rng.randint(0, 9))  # priority
+        inputs.append(rng.randint(100, 999))  # message
+    inputs.append(-1)  # shutdown
+    return inputs
+
+
+register(
+    Workload(
+        name="sysklogd",
+        vuln_kind="fmt",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="syslog daemon; correlated priority thresholds",
+        min_trigger_read=4,
+    )
+)

@@ -1,0 +1,131 @@
+"""telnetd: login daemon with a post-auth command shell (BOF model).
+
+Per-connection session state (authentication flag, effective
+privilege, terminal options) lives on the handler's *stack* — the
+memory a buffer overflow reaches — and is re-checked on every shell
+command, the double-check structure of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// telnetd -- synthetic login + shell daemon.
+
+int sessions_served;     // global, non-security bookkeeping
+
+int check_password(int uid, int pass) {
+  // Deterministic "password database".
+  if (pass == uid * 7 + 13) { return 1; }
+  return 0;
+}
+
+void main() {
+  int authenticated = 0;   // session state on the handler stack
+  int is_root = 0;
+  int echo_mode = 0;
+  int failed = 0;
+  int termbuf[8];          // terminal input buffer: the overflow target
+  int history = 0;
+
+  int uid = read_int();
+  int opt = read_int();
+  if (opt > 0) { echo_mode = 1; }
+
+  while (failed < 3) {
+    int pass = read_int();               // overflowable read
+    if (check_password(uid, pass) == 1) {
+      authenticated = 1;
+      if (uid == 0) { is_root = 1; }
+      failed = 99;                       // leave the auth loop
+    } else {
+      failed = failed + 1;
+    }
+  }
+  if (authenticated == 1) { emit(100); } else { emit(900); }
+
+  int cmd = read_int();
+  while (cmd != 0) {
+    if (authenticated == 1) {
+      if (cmd == 1) {                    // ls
+        emit(101);
+      }
+      if (cmd == 2) {                    // cat /etc/shadow
+        if (is_root == 1) { emit(102); } else { emit(902); }
+      }
+      if (cmd == 3) {                    // stty echo
+        if (echo_mode == 1) { emit(103); } else { emit(903); }
+      }
+      if (cmd == 4) {                    // type a line into the buffer
+        termbuf[history % 8] = read_int();
+        history = history + 1;
+        emit(104);
+      }
+      if (cmd == 5) {                    // replay the buffer
+        emit(termbuf[0] + termbuf[1] + termbuf[2] + termbuf[3]);
+      }
+      if (cmd == 6) {                    // su
+        int pw = read_int();
+        if (check_password(0, pw) == 1) { is_root = 1; emit(106); }
+        else { emit(906); }
+      }
+    } else {
+      emit(999);                         // command refused
+    }
+    // Session sanity sweep, every iteration: root implies
+    // authenticated; option flags are stable; the terminal buffer
+    // checksum stays sane.
+    if (is_root == 1) {
+      if (authenticated == 1) { emit(110); } else { emit(911); }
+    }
+    if (echo_mode == 1) { emit(3); } else { emit(4); }
+    if (history > 0) { emit(5); }
+    if (uid >= 0) { emit(8); } else { emit(9); }
+    if (failed >= 0) { emit(10); } else { emit(11); }
+    if (termbuf[0] + termbuf[1] + termbuf[2] + termbuf[3]
+        + termbuf[4] + termbuf[5] + termbuf[6] + termbuf[7] >= 0) {
+      emit(6);
+    } else { emit(7); }
+    cmd = read_int();
+  }
+  sessions_served = sessions_served + 1;
+  emit(history);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    uid = rng.choice([0, 1, 2, 5, 100])
+    inputs = [uid, rng.randint(-2, 3)]
+    correct = uid * 7 + 13
+    for _ in range(rng.randint(0, 2)):
+        inputs.append(correct + rng.randint(1, 50))  # failed attempts
+    if rng.random() < 0.85:
+        inputs.append(correct)
+    else:
+        inputs.extend(correct + rng.randint(1, 9) for _ in range(4))
+    for _ in range(rng.randint(4 * scale, 12 * scale)):
+        cmd = rng.randint(1, 6)
+        inputs.append(cmd)
+        if cmd == 4:
+            inputs.append(rng.randint(1, 200))
+        elif cmd == 6:
+            inputs.append(13 if rng.random() < 0.3 else rng.randint(1, 99))
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="telnetd",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="login daemon; auth/privilege flags re-checked per command",
+        min_trigger_read=3,
+    )
+)

@@ -1,0 +1,146 @@
+"""wu-ftpd: FTP daemon with login, transfer modes, chroot flag (FMT model).
+
+The format-string vulnerability writes an arbitrary address, so
+campaigns against this workload tamper globals as well as the stack.
+Session state is stack-resident in the command loop, with the
+anonymous/chroot invariant re-checked late in every iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// wu-ftpd -- synthetic FTP daemon.
+
+int total_xfers;           // global transfer counter (bookkeeping)
+
+int valid_user(int user, int pass) {
+  if (user == 0) { return 1; }          // anonymous always allowed
+  if (pass == user * 3 + 7) { return 1; }
+  return 0;
+}
+
+void main() {
+  int logged_in = 0;
+  int is_anonymous = 0;
+  int chrooted = 0;
+  int binary_mode = 0;
+  int cwd_depth = 0;
+  int xfers = 0;
+  int namebuf[6];            // filename buffer (overflow surface)
+
+  emit(220);                 // banner
+  int user = read_int();
+  int pass = read_int();
+  if (valid_user(user, pass) == 1) {
+    logged_in = 1;
+    if (user == 0) {
+      is_anonymous = 1;
+      chrooted = 1;
+    }
+    emit(230);
+  } else {
+    emit(530);
+  }
+
+  int cmd = read_int();
+  while (cmd != 0) {
+    if (logged_in == 1) {
+      if (cmd == 1) {                    // CWD
+        int dir = read_int();
+        if (dir > 0) {
+          if (cwd_depth < 8) { cwd_depth = cwd_depth + 1; emit(250); }
+          else { emit(550); }
+        } else {
+          if (cwd_depth > 0) { cwd_depth = cwd_depth - 1; emit(250); }
+          else {
+            if (chrooted == 1) { emit(553); } else { emit(250); }
+          }
+        }
+      }
+      if (cmd == 2) {                    // TYPE
+        int t = read_int();
+        if (t == 1) { binary_mode = 1; } else { binary_mode = 0; }
+        emit(200);
+      }
+      if (cmd == 3) {                    // RETR
+        int name = read_int();
+        namebuf[name % 6] = name;
+        if (binary_mode == 1) { emit(150); } else { emit(151); }
+        xfers = xfers + 1;
+        total_xfers = total_xfers + 1;
+        emit(226);
+      }
+      if (cmd == 4) {                    // STOR
+        if (is_anonymous == 1) { emit(553); }
+        else { xfers = xfers + 1; total_xfers = total_xfers + 1; emit(226); }
+      }
+      if (cmd == 5) {                    // SITE LOG (the fmt hole)
+        emit(read_int());
+      }
+      if (cmd == 6) {                    // STAT
+        emit(namebuf[0] + namebuf[1]);
+        if (is_anonymous == 1) {
+          if (chrooted == 1) { emit(211); } else { emit(411); }
+        } else { emit(212); }
+      }
+    } else {
+      emit(530);
+    }
+    // Session sanity sweep: depth bounds (correlated with the CWD
+    // checks above), stable session flags, buffer checksum.
+    if (cwd_depth >= 0) {
+      if (cwd_depth <= 8) { emit(1); } else { emit(-1); }
+    } else { emit(-2); }
+    if (logged_in == 1) { emit(3); } else { emit(4); }
+    if (binary_mode == 1) { emit(5); } else { emit(6); }
+    if (is_anonymous == 1) { emit(9); } else { emit(10); }
+    if (xfers >= 0) { emit(11); } else { emit(12); }
+    if (user >= 0) { emit(13); } else { emit(14); }
+    if (namebuf[0] + namebuf[1] + namebuf[2]
+        + namebuf[3] + namebuf[4] + namebuf[5] >= 0) { emit(7); }
+    else { emit(8); }
+    cmd = read_int();
+  }
+  emit(xfers);
+  emit(221);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    if rng.random() < 0.5:
+        user, password = 0, rng.randint(0, 5)  # anonymous
+    else:
+        user = rng.randint(1, 20)
+        password = user * 3 + 7 if rng.random() < 0.85 else rng.randint(0, 5)
+    inputs = [user, password]
+    for _ in range(rng.randint(4 * scale, 12 * scale)):
+        cmd = rng.randint(1, 6)
+        inputs.append(cmd)
+        if cmd == 1:
+            inputs.append(rng.choice([-1, 1, 1, 1]))
+        elif cmd == 2:
+            inputs.append(rng.randint(0, 1))
+        elif cmd == 3:
+            inputs.append(rng.randint(1, 500))
+        elif cmd == 5:
+            inputs.append(rng.randint(1, 500))
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="wu-ftpd",
+        vuln_kind="fmt",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="FTP daemon; anonymous/chroot invariants re-checked",
+        min_trigger_read=3,
+    )
+)

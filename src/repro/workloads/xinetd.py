@@ -1,0 +1,116 @@
+"""xinetd: super-server with per-service accounting (BOF model)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .registry import Workload, register
+
+SOURCE = """
+// xinetd -- synthetic super-server.
+
+int lifetime_conns;          // global counter
+
+void main() {
+  int conns[8];              // per-service live connections (stack)
+  int enabled[8];
+  int svc_limit = 0;
+  int paranoid = 0;
+  int total = 0;
+  int rejected = 0;
+
+  svc_limit = read_int();
+  if (svc_limit < 1) { svc_limit = 1; }
+  if (svc_limit > 16) { svc_limit = 16; }
+  paranoid = read_int();
+  if (paranoid != 1) { paranoid = 0; }
+  for (int i = 0; i < 8; i = i + 1) {
+    enabled[i] = read_int();
+    conns[i] = 0;
+  }
+
+  int op = read_int();
+  while (op != 0) {
+    if (op == 1) {                       // incoming connection
+      int svc = read_int();
+      int src = read_int();
+      if (svc >= 0 && svc < 8) {
+        if (enabled[svc] == 1) {
+          int blocked = 0;
+          if (paranoid == 1) {
+            if (src < 0) { blocked = 1; }
+            if (src > 1000) { blocked = 1; }
+          }
+          if (blocked == 0) {
+            // admission cap checked, then re-validated after update:
+            // the correlated-bounds pattern.
+            if (conns[svc] < svc_limit) {
+              conns[svc] = conns[svc] + 1;
+              total = total + 1;
+              lifetime_conns = lifetime_conns + 1;
+              if (conns[svc] <= svc_limit) { emit(200); }
+              else { emit(500); }        // infeasible untampered
+            } else { emit(503); }
+          } else { rejected = rejected + 1; emit(403); }
+        } else { emit(404); }
+      } else { emit(400); }
+    }
+    if (op == 2) {                       // connection closed
+      int svc = read_int();
+      if (svc >= 0 && svc < 8) {
+        if (conns[svc] > 0) { conns[svc] = conns[svc] - 1; }
+      }
+    }
+    if (op == 3) {                       // status probe
+      if (paranoid == 1) { emit(301); } else { emit(300); }
+      emit(total);
+    }
+    // Per-iteration sanity sweep: the limit is configured once and
+    // never moves; counters stay within bounds; table checksums hold.
+    if (svc_limit >= 1) {
+      if (svc_limit <= 16) { emit(1); } else { emit(-1); }
+    } else { emit(-2); }
+    if (paranoid == 1) { emit(2); } else { emit(3); }
+    if (total >= 0) { emit(4); } else { emit(-4); }
+    if (rejected >= 0) { emit(7); } else { emit(-7); }
+    if (total <= 4096) { emit(8); } else { emit(-8); }
+    if (conns[0] + conns[1] + conns[2] + conns[3]
+        + conns[4] + conns[5] + conns[6] + conns[7] >= 0) { emit(5); }
+    else { emit(-5); }
+    if (enabled[0] + enabled[1] + enabled[2] + enabled[3]
+        + enabled[4] + enabled[5] + enabled[6] + enabled[7] <= 8) { emit(6); }
+    else { emit(-6); }
+    op = read_int();
+  }
+  emit(total);
+  emit(rejected);
+}
+"""
+
+
+def make_inputs(rng: random.Random, scale: int = 1) -> List[int]:
+    inputs = [rng.randint(1, 6), rng.randint(0, 1)]
+    inputs.extend(rng.randint(0, 1) for _ in range(8))
+    for _ in range(rng.randint(5 * scale, 14 * scale)):
+        op = rng.choices([1, 2, 3], weights=[6, 2, 2])[0]
+        inputs.append(op)
+        if op == 1:
+            inputs.append(rng.randint(-1, 9))
+            inputs.append(rng.randint(-10, 1200))
+        elif op == 2:
+            inputs.append(rng.randint(0, 7))
+    inputs.append(0)
+    return inputs
+
+
+register(
+    Workload(
+        name="xinetd",
+        vuln_kind="bof",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        description="super-server; connection caps checked twice",
+        min_trigger_read=11,
+    )
+)

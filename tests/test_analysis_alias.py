@@ -1,0 +1,311 @@
+"""Tests for points-to analysis, call graph, and purity."""
+
+from repro.lang import parse_program
+from repro.ir import (
+    Load,
+    LoadIndirect,
+    Store,
+    StoreIndirect,
+    lower_program,
+)
+from repro.analysis import (
+    analyze_aliases,
+    analyze_purity,
+    build_call_graph,
+)
+
+
+def lower(source):
+    return lower_program(parse_program(source))
+
+
+def fn_var(module, fn_name, var_name):
+    for var in module.function(fn_name).frame_variables:
+        if var.name == var_name:
+            return var
+    raise AssertionError(f"{var_name} not in {fn_name}")
+
+
+def global_var(module, name):
+    for var in module.globals:
+        if var.name == name:
+            return var
+    raise AssertionError(name)
+
+
+def indirect_stores(module, fn_name):
+    return [
+        i
+        for i in module.function(fn_name).instructions()
+        if isinstance(i, StoreIndirect)
+    ]
+
+
+def indirect_loads(module, fn_name):
+    return [
+        i
+        for i in module.function(fn_name).instructions()
+        if isinstance(i, LoadIndirect)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Alias analysis
+# ----------------------------------------------------------------------
+
+
+def test_address_of_scalar_flows_to_deref():
+    module = lower("void f() { int x = 0; int *p = &x; *p = 5; }")
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert [v.name for v in store.may_alias] == ["x"]
+
+
+def test_two_candidate_targets_join():
+    module = lower(
+        """
+        int c;
+        void f() {
+          int a = 0; int b = 0; int *p;
+          if (c < 0) { p = &a; } else { p = &b; }
+          *p = 1;
+        }
+        """
+    )
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert sorted(v.name for v in store.may_alias) == ["a", "b"]
+
+
+def test_array_access_aliases_array():
+    module = lower("int buf[4]; void f(int i) { buf[i] = 9; }")
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert [v.name for v in store.may_alias] == ["buf"]
+
+
+def test_pointer_param_receives_caller_targets():
+    module = lower(
+        """
+        void callee(int *p) { *p = 1; }
+        void f() { int x = 0; callee(&x); }
+        void g() { int y = 0; callee(&y); }
+        """
+    )
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "callee")
+    assert sorted(v.name for v in store.may_alias) == ["x", "y"]
+
+
+def test_pointer_returned_from_function():
+    module = lower(
+        """
+        int g;
+        int pick() { return &g; }
+        void f() { int *p = pick(); *p = 3; }
+        """
+    )
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert [v.name for v in store.may_alias] == ["g"]
+
+
+def test_pointer_stored_in_global_flows_through_memory():
+    module = lower(
+        """
+        int *gp;
+        int x;
+        void setup() { gp = &x; }
+        void f() { *gp = 7; }
+        """
+    )
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert [v.name for v in store.may_alias] == ["x"]
+
+
+def test_unknown_address_has_empty_alias_set():
+    # Address computed from input data: nothing to point to.
+    module = lower("void f() { int a = read_int(); *a = 1; }")
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert store.may_alias == ()
+
+
+def test_pointer_arithmetic_stays_in_object():
+    module = lower("int buf[8]; void f(int i) { int *p = &buf[2]; p[i] = 1; }")
+    analyze_aliases(module)
+    (store,) = indirect_stores(module, "f")
+    assert [v.name for v in store.may_alias] == ["buf"]
+
+
+def test_address_taken_set():
+    module = lower(
+        "void f() { int x = 0; int y = 0; int *p = &x; *p = 1; y = y + 1; }"
+    )
+    result = analyze_aliases(module)
+    names = {v.name for v in result.address_taken}
+    assert "x" in names
+    assert "y" not in names
+
+
+def test_load_through_pointer_annotated():
+    module = lower("int g; void f() { int *p = &g; int v = *p; }")
+    analyze_aliases(module)
+    (load,) = indirect_loads(module, "f")
+    assert [v.name for v in load.may_alias] == ["g"]
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+
+
+def test_call_graph_edges():
+    module = lower(
+        """
+        void a() { b(); c(); }
+        void b() { c(); }
+        void c() { emit(1); }
+        """
+    )
+    graph = build_call_graph(module)
+    assert graph.callees_of("a") == {"b", "c"}
+    assert graph.callers_of("c") == {"a", "b"}
+    assert graph.builtin_calls["c"] == {"emit"}
+
+
+def test_transitive_callees():
+    module = lower(
+        """
+        void a() { b(); }
+        void b() { c(); }
+        void c() { }
+        """
+    )
+    graph = build_call_graph(module)
+    assert graph.transitive_callees("a") == {"b", "c"}
+    assert graph.transitive_callees("c") == set()
+
+
+def test_transitive_callees_with_recursion():
+    module = lower(
+        """
+        void a(int n) { if (n > 0) { a(n - 1); } b(); }
+        void b() { }
+        """
+    )
+    graph = build_call_graph(module)
+    assert graph.transitive_callees("a") == {"a", "b"}
+
+
+def test_topological_order_callees_first():
+    module = lower(
+        """
+        void a() { b(); }
+        void b() { c(); }
+        void c() { }
+        """
+    )
+    order = build_call_graph(module).topological_order()
+    assert order.index("c") < order.index("b") < order.index("a")
+
+
+# ----------------------------------------------------------------------
+# Purity (§5.3)
+# ----------------------------------------------------------------------
+
+
+def purity_of(source):
+    module = lower(source)
+    analyze_aliases(module)
+    return module, analyze_purity(module)
+
+
+def test_pure_function_has_no_effect():
+    module, purity = purity_of("int f(int a) { return a + 1; }")
+    effect = purity.effect_of("f")
+    assert not effect.clobbers_all
+    # Stores only to its own frame.
+    frame = set(module.function("f").frame_variables)
+    assert set(effect.variables) <= frame
+
+
+def test_builtins_have_no_effect():
+    _, purity = purity_of("void f() { emit(read_int()); }")
+    effect = purity.effect_of("read_int")
+    assert not effect.clobbers_all
+    assert effect.variables == frozenset()
+
+
+def test_global_store_is_visible_effect():
+    module, purity = purity_of("int g; void f() { g = 1; }")
+    effect = purity.effect_of("f")
+    assert global_var(module, "g") in effect.variables
+
+
+def test_pointer_param_store_effect_names_caller_var():
+    module, purity = purity_of(
+        """
+        void callee(int *p) { *p = 1; }
+        void f() { int x = 0; callee(&x); }
+        """
+    )
+    effect = purity.effect_of("callee")
+    assert fn_var(module, "f", "x") in effect.variables
+
+
+def test_effect_propagates_through_calls():
+    module, purity = purity_of(
+        """
+        int g;
+        void inner() { g = 1; }
+        void outer() { inner(); }
+        """
+    )
+    assert global_var(module, "g") in purity.effect_of("outer").variables
+
+
+def test_unknown_indirect_store_clobbers_all():
+    _, purity = purity_of("void f() { int a = read_int(); *a = 1; }")
+    assert purity.effect_of("f").clobbers_all
+
+
+def test_clobber_propagates_to_callers():
+    _, purity = purity_of(
+        """
+        void bad() { int a = read_int(); *a = 1; }
+        void f() { bad(); }
+        """
+    )
+    assert purity.effect_of("f").clobbers_all
+
+
+def test_call_targets_filters_to_caller_frame_and_globals():
+    module, purity = purity_of(
+        """
+        int g;
+        void callee(int *p) { *p = 1; g = 2; }
+        void f() { int x = 0; callee(&x); }
+        void h() { int y = 0; callee(&y); }
+        """
+    )
+    from repro.ir import Call
+
+    f = module.function("f")
+    (call,) = [i for i in f.instructions() if isinstance(i, Call)]
+    clobbers, targets = purity.call_targets(f, call, frozenset(module.globals))
+    assert not clobbers
+    names = {v.name for v in targets}
+    # Sees its own x and the global, but not h's y.
+    assert names == {"x", "g"}
+
+
+def test_recursive_function_effects_converge():
+    module, purity = purity_of(
+        """
+        int g;
+        void rec(int n) { if (n > 0) { g = n; rec(n - 1); } }
+        """
+    )
+    assert global_var(module, "g") in purity.effect_of("rec").variables

@@ -1,0 +1,220 @@
+"""Tests for definition sites and reaching definitions."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.ir import Load, lower_program
+from repro.analysis import analyze_aliases, analyze_definitions, analyze_purity
+
+
+def prepare(source):
+    module = lower_program(parse_program(source))
+    analyze_aliases(module)
+    purity = analyze_purity(module)
+    return module, purity
+
+
+def defs_for(source, fn_name="f"):
+    module, purity = prepare(source)
+    fn = module.function(fn_name)
+    def_map, reaching = analyze_definitions(fn, module, purity)
+    return module, fn, def_map, reaching
+
+
+def var_named(fn_or_module, name):
+    candidates = getattr(fn_or_module, "frame_variables", None)
+    if candidates is None:
+        candidates = fn_or_module.globals
+    for var in candidates:
+        if var.name == name:
+            return var
+    raise AssertionError(name)
+
+
+def loads_of(fn, name):
+    return [
+        (block, idx)
+        for block in fn.blocks
+        for idx, instruction in enumerate(block.instructions)
+        if isinstance(instruction, Load) and instruction.var.name == name
+    ]
+
+
+# ----------------------------------------------------------------------
+# Definition sites
+# ----------------------------------------------------------------------
+
+
+def test_direct_store_is_strong_def():
+    _, fn, def_map, _ = defs_for("void f() { int x = 1; }")
+    x = var_named(fn, "x")
+    (site,) = def_map.of_var(x)
+    assert site.strong
+    assert site.kind == "store"
+
+
+def test_singleton_indirect_store_is_strong():
+    _, fn, def_map, _ = defs_for("void f() { int x = 0; int *p = &x; *p = 1; }")
+    x = var_named(fn, "x")
+    sites = def_map.of_var(x)
+    indirect = [s for s in sites if s.kind == "indirect"]
+    assert len(indirect) == 1
+    assert indirect[0].strong
+
+
+def test_multi_target_indirect_store_is_weak():
+    _, fn, def_map, _ = defs_for(
+        """
+        void f(int c) {
+          int a = 0; int b = 0; int *p;
+          if (c < 0) { p = &a; } else { p = &b; }
+          *p = 1;
+        }
+        """
+    )
+    a = var_named(fn, "a")
+    weak = [s for s in def_map.of_var(a) if s.kind == "indirect"]
+    assert len(weak) == 1
+    assert not weak[0].strong
+
+
+def test_array_store_is_weak():
+    _, fn, def_map, _ = defs_for("int buf[4]; void f(int i) { buf[i] = 1; }")
+    module, purity = prepare("int buf[4]; void f(int i) { buf[i] = 1; }")
+    buf = var_named(module, "buf")
+    fn2 = module.function("f")
+    def_map2, _ = analyze_definitions(fn2, module, purity)
+    (site,) = def_map2.of_var(buf)
+    assert not site.strong
+
+
+def test_unknown_indirect_store_defines_all_observable():
+    module, fn, def_map, _ = defs_for(
+        "int g; void f() { int local = 0; int a = read_int(); *a = 1; }"
+    )
+    g = var_named(module, "g")
+    local = var_named(fn, "local")
+    assert any(s.kind == "indirect" for s in def_map.of_var(g))
+    assert any(s.kind == "indirect" for s in def_map.of_var(local))
+
+
+def test_call_pseudo_store_sites():
+    module, fn, def_map, _ = defs_for(
+        """
+        int g;
+        void writer() { g = 1; }
+        void f() { writer(); }
+        """
+    )
+    g = var_named(module, "g")
+    sites = [s for s in def_map.of_var(g) if s.kind == "call"]
+    assert len(sites) == 1
+    assert not sites[0].strong
+
+
+def test_pure_call_creates_no_sites():
+    _, fn, def_map, _ = defs_for(
+        "int id(int a) { return a; } void f() { int x = id(3); }"
+    )
+    call_sites = [s for s in def_map.sites if s.kind == "call"]
+    assert call_sites == []
+
+
+def test_defs_between_window():
+    _, fn, def_map, _ = defs_for("void f() { int x = 1; emit(x); x = 2; }")
+    x = var_named(fn, "x")
+    sites = def_map.of_var(x)
+    assert len(sites) == 2
+    first, second = sorted(sites, key=lambda s: s.index)
+    window = def_map.defs_between(first.block_label, first.index + 1, second.index, x)
+    assert window == []
+    window = def_map.defs_between(
+        first.block_label, first.index, second.index + 1, x
+    )
+    assert set(window) == {first, second}
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+
+
+def test_store_reaches_following_load():
+    _, fn, def_map, reaching = defs_for("void f() { int x = 1; emit(x); }")
+    x = var_named(fn, "x")
+    (site,) = def_map.of_var(x)
+    ((block, load_idx),) = loads_of(fn, "x")
+    assert reaching.reaches_load(site, block.label, load_idx)
+
+
+def test_strong_store_kills_previous():
+    _, fn, def_map, reaching = defs_for(
+        "void f() { int x = 1; x = 2; emit(x); }"
+    )
+    x = var_named(fn, "x")
+    first, second = sorted(def_map.of_var(x), key=lambda s: s.index)
+    ((block, load_idx),) = loads_of(fn, "x")
+    assert not reaching.reaches_load(first, block.label, load_idx)
+    assert reaching.reaches_load(second, block.label, load_idx)
+
+
+def test_both_branch_defs_reach_join():
+    _, fn, def_map, reaching = defs_for(
+        """
+        int c;
+        void f() {
+          int x = 0;
+          if (c < 0) { x = 1; } else { x = 2; }
+          emit(x);
+        }
+        """
+    )
+    x = var_named(fn, "x")
+    sites = def_map.of_var(x)
+    ((block, load_idx),) = loads_of(fn, "x")
+    live = reaching.reaching(block.label, load_idx)
+    live_x = {s for s in live if s.var == x}
+    # init is killed on both arms; the two arm stores reach the join.
+    assert len(live_x) == 2
+
+
+def test_weak_def_does_not_kill():
+    _, fn, def_map, reaching = defs_for(
+        """
+        void f(int c) {
+          int a = 5;
+          int b = 0;
+          int *p;
+          if (c < 0) { p = &a; } else { p = &b; }
+          *p = 9;
+          emit(a);
+        }
+        """
+    )
+    a = var_named(fn, "a")
+    sites = sorted(def_map.of_var(a), key=lambda s: (s.block_label, s.index))
+    ((block, load_idx),) = loads_of(fn, "a")
+    live = {s for s in reaching.reaching(block.label, load_idx) if s.var == a}
+    # Both the initializing store and the weak indirect def reach.
+    assert len(live) == 2
+
+
+def test_loop_carried_definition_reaches_header():
+    _, fn, def_map, reaching = defs_for(
+        """
+        int n;
+        void f() {
+          int i = 0;
+          while (i < n) { i = i + 1; }
+          emit(i);
+        }
+        """
+    )
+    i = var_named(fn, "i")
+    sites = def_map.of_var(i)
+    assert len(sites) == 2
+    # The header load of i sees both the init and the loop increment.
+    header_loads = loads_of(fn, "i")
+    header_block, header_idx = header_loads[0]
+    live = {s for s in reaching.reaching(header_block.label, header_idx) if s.var == i}
+    assert len(live) == 2

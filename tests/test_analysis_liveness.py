@@ -1,0 +1,157 @@
+"""Tests for the variable liveness analysis."""
+
+import pytest
+
+from repro.analysis import VariableLiveness
+from repro.ir import Load, Store, lower_program
+from repro.lang import parse_program
+
+
+def liveness_for(source, fn_name="main"):
+    module = lower_program(parse_program(source))
+    from repro.analysis import analyze_aliases
+
+    analyze_aliases(module)
+    fn = module.function(fn_name)
+    return module, fn, VariableLiveness(fn, module)
+
+
+def store_positions(fn, var_name):
+    return [
+        (block.label, idx)
+        for block in fn.blocks
+        for idx, instruction in enumerate(block.instructions)
+        if isinstance(instruction, Store) and instruction.var.name == var_name
+    ]
+
+
+def var_named(fn_or_module, name):
+    candidates = getattr(fn_or_module, "frame_variables", None)
+    if candidates is None:
+        candidates = fn_or_module.globals
+    for var in candidates:
+        if var.name == name:
+            return var
+    raise AssertionError(name)
+
+
+def test_store_then_load_keeps_live():
+    module, fn, live = liveness_for("void main() { int x = 1; emit(x); }")
+    x = var_named(fn, "x")
+    ((label, idx),) = store_positions(fn, "x")
+    assert x in live.live_after(label, idx)
+
+
+def test_store_never_read_is_dead():
+    module, fn, live = liveness_for("void main() { int x = 1; emit(2); }")
+    x = var_named(fn, "x")
+    ((label, idx),) = store_positions(fn, "x")
+    assert x not in live.live_after(label, idx)
+
+
+def test_overwritten_before_read_is_dead():
+    module, fn, live = liveness_for(
+        "void main() { int x = 1; x = 2; emit(x); }"
+    )
+    x = var_named(fn, "x")
+    first, second = sorted(store_positions(fn, "x"), key=lambda p: p[1])
+    assert x not in live.live_after(*first)
+    assert x in live.live_after(*second)
+
+
+def test_live_through_one_branch_arm():
+    module, fn, live = liveness_for(
+        """
+        void main() {
+          int x = 1;
+          if (read_int()) { emit(x); } else { emit(0); }
+        }
+        """
+    )
+    x = var_named(fn, "x")
+    ((label, idx),) = store_positions(fn, "x")
+    # Some path reads x: live.
+    assert x in live.live_after(label, idx)
+
+
+def test_loop_carried_liveness():
+    module, fn, live = liveness_for(
+        """
+        void main() {
+          int s = 0;
+          while (read_int()) { s = s + 1; }
+          emit(s);
+        }
+        """
+    )
+    s = var_named(fn, "s")
+    for position in store_positions(fn, "s"):
+        assert s in live.live_after(*position)
+
+
+def test_globals_live_at_return():
+    module, fn, live = liveness_for("int g; void main() { g = 5; }")
+    g = var_named(module, "g")
+    ((label, idx),) = store_positions(fn, "g")
+    assert g in live.live_after(label, idx)
+
+
+def test_user_call_keeps_address_taken_and_globals_live():
+    module, fn, live = liveness_for(
+        """
+        int g;
+        void peek(int *p) { emit(*p); emit(g); }
+        void main() {
+          int x = 7;
+          peek(&x);
+        }
+        """
+    )
+    x = var_named(fn, "x")
+    g = var_named(module, "g")
+    ((label, idx),) = store_positions(fn, "x")
+    assert x in live.live_after(label, idx)
+    # g also live across the call path.
+    assert g in live.live_before(label, idx) or g in live.live_after(label, idx)
+
+
+def test_builtin_call_reads_nothing():
+    module, fn, live = liveness_for(
+        "void main() { int x = 1; emit(9); x = 2; emit(x); }"
+    )
+    x = var_named(fn, "x")
+    first, second = sorted(store_positions(fn, "x"), key=lambda p: p[1])
+    # emit(9) between the stores does not read x: first store dead.
+    assert x not in live.live_after(*first)
+
+
+def test_unknown_indirect_load_keeps_everything_live():
+    module, fn, live = liveness_for(
+        """
+        void main() {
+          int x = 1;
+          int wild = read_int();
+          emit(*wild);
+        }
+        """
+    )
+    x = var_named(fn, "x")
+    ((label, idx),) = store_positions(fn, "x")
+    assert x in live.live_after(label, idx)
+
+
+def test_indirect_load_with_alias_set_keeps_targets_live():
+    module, fn, live = liveness_for(
+        """
+        void main() {
+          int x = 1;
+          int y = 2;
+          int *p = &x;
+          emit(*p);
+          emit(y);
+        }
+        """
+    )
+    x = var_named(fn, "x")
+    ((label, idx),) = store_positions(fn, "x")
+    assert x in live.live_after(label, idx)

@@ -1,0 +1,144 @@
+"""Unit and property tests for the interval domain."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Interval, taken_partition
+from repro.ir import RelOp
+
+VALUES = st.integers(min_value=-1000, max_value=1000)
+
+
+def test_top_contains_everything():
+    top = Interval.top()
+    assert top.contains(0)
+    assert top.contains(-(10**12))
+    assert top.is_top
+
+
+def test_empty_interval():
+    empty = Interval.empty()
+    assert empty.is_empty
+    assert not empty.contains(0)
+
+
+def test_point_interval():
+    p = Interval.point(5)
+    assert p.contains(5)
+    assert not p.contains(4)
+
+
+def test_from_relop_lt_taken():
+    interval = Interval.from_relop(RelOp.LT, 10, taken=True)
+    assert interval.contains(9)
+    assert not interval.contains(10)
+
+
+def test_from_relop_lt_not_taken():
+    interval = Interval.from_relop(RelOp.LT, 10, taken=False)
+    assert interval.contains(10)
+    assert not interval.contains(9)
+
+
+def test_from_relop_eq_taken_is_point():
+    interval = Interval.from_relop(RelOp.EQ, 3, taken=True)
+    assert interval == Interval.point(3)
+
+
+def test_from_relop_eq_not_taken_is_none():
+    assert Interval.from_relop(RelOp.EQ, 3, taken=False) is None
+
+
+def test_from_relop_ne_taken_is_none():
+    assert Interval.from_relop(RelOp.NE, 3, taken=True) is None
+
+
+def test_from_relop_ne_not_taken_is_point():
+    assert Interval.from_relop(RelOp.NE, 3, taken=False) == Interval.point(3)
+
+
+def test_subsumes_paper_example():
+    # "range [0, 5] subsumes range [0, 10]" (§4).
+    assert Interval(0, 5).subsumes(Interval(0, 10))
+    assert not Interval(0, 10).subsumes(Interval(0, 5))
+
+
+def test_subsumes_with_infinite_ends():
+    assert Interval.at_most(4).subsumes(Interval.at_most(10))
+    assert not Interval.at_most(11).subsumes(Interval.at_most(10))
+
+
+def test_empty_subsumes_everything():
+    assert Interval.empty().subsumes(Interval.point(1))
+    assert not Interval.point(1).subsumes(Interval.empty())
+
+
+def test_intersect():
+    assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+    assert Interval(0, 1).intersect(Interval(5, 6)).is_empty
+
+
+def test_union_hull():
+    assert Interval(0, 1).union_hull(Interval(5, 6)) == Interval(0, 6)
+    assert Interval.empty().union_hull(Interval(2, 3)) == Interval(2, 3)
+
+
+def test_shift():
+    assert Interval(0, 5).shift(3) == Interval(3, 8)
+    assert Interval.at_most(5).shift(-2) == Interval.at_most(3)
+
+
+def test_negate():
+    assert Interval(2, 5).negate() == Interval(-5, -2)
+    assert Interval.at_least(1).negate() == Interval.at_most(-1)
+
+
+def test_str_rendering():
+    assert str(Interval.at_most(5)) == "[-inf, 5]"
+    assert str(Interval.empty()) == "[empty]"
+
+
+@given(
+    op=st.sampled_from(list(RelOp)),
+    bound=VALUES,
+    value=VALUES,
+)
+def test_taken_partition_is_exact_partition(op, bound, value):
+    """Every value falls in exactly one side of the partition, and the
+    side it falls in matches the operator's truth value."""
+    taken, not_taken = taken_partition(op, bound)
+    in_taken = taken.contains(value) if taken is not None else value != bound
+    in_not = not_taken.contains(value) if not_taken is not None else value != bound
+    if op.evaluate(value, bound):
+        assert in_taken and not in_not
+    else:
+        assert in_not and not in_taken
+
+
+@given(
+    lo1=VALUES, w1=st.integers(0, 100),
+    lo2=VALUES, w2=st.integers(0, 100),
+    probe=VALUES,
+)
+def test_subsumption_implies_membership(lo1, w1, lo2, w2, probe):
+    """If A subsumes B, any point of A is a point of B."""
+    a = Interval(lo1, lo1 + w1)
+    b = Interval(lo2, lo2 + w2)
+    if a.subsumes(b) and a.contains(probe):
+        assert b.contains(probe)
+
+
+@given(lo=VALUES, w=st.integers(0, 50), delta=VALUES, probe=VALUES)
+def test_shift_consistency(lo, w, delta, probe):
+    interval = Interval(lo, lo + w)
+    assert interval.shift(delta).contains(probe + delta) == interval.contains(probe)
+
+
+@given(op=st.sampled_from(list(RelOp)), a=VALUES, b=VALUES)
+def test_relop_negate_is_complement(op, a, b):
+    assert op.evaluate(a, b) != op.negate().evaluate(a, b)
+
+
+@given(op=st.sampled_from(list(RelOp)), a=VALUES, b=VALUES)
+def test_relop_swap_exchanges_operands(op, a, b):
+    assert op.evaluate(a, b) == op.swap().evaluate(b, a)

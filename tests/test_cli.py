@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FIGURE1 = """
+int user;
+void main() {
+  user = read_int();
+  if (user == 0) { emit(100); } else { emit(200); }
+  int someinput = read_int();
+  if (user == 0) { emit(111); } else { emit(222); }
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "figure1.c"
+    path.write_text(FIGURE1)
+    return str(path)
+
+
+def test_compile_dumps_tables(source_file, capsys):
+    assert main(["compile", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "tables for main" in out
+    assert "BCV" in out
+    assert "hash trials" in out
+
+
+def test_compile_with_ir(source_file, capsys):
+    assert main(["compile", source_file, "--ir"]) == 0
+    out = capsys.readouterr().out
+    assert "func main(" in out
+    assert "br " in out
+
+
+def test_run_clean(source_file, capsys):
+    assert main(["run", source_file, "--inputs", "5 1"]) == 0
+    out = capsys.readouterr().out
+    assert "outputs: [200, 222]" in out
+    assert "alarms : none" in out
+
+
+def test_run_detects_nothing_on_admin(source_file, capsys):
+    assert main(["run", source_file, "--inputs", "0,1"]) == 0
+    out = capsys.readouterr().out
+    assert "[100, 111]" in out
+
+
+def test_attack_detected_exit_code(source_file, capsys):
+    from repro.interp import GLOBAL_BASE
+
+    rc = main(
+        [
+            "attack",
+            source_file,
+            "--inputs",
+            "5 1",
+            "--trigger",
+            "2",
+            "--address",
+            hex(GLOBAL_BASE),
+            "--value",
+            "0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "DETECTED" in out
+    assert "control flow changed: True" in out
+
+
+def test_attack_noop_value(source_file, capsys):
+    from repro.interp import GLOBAL_BASE
+
+    rc = main(
+        [
+            "attack",
+            source_file,
+            "--inputs",
+            "5 1",
+            "--trigger",
+            "2",
+            "--address",
+            hex(GLOBAL_BASE),
+            "--value",
+            "5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "control flow changed: False" in out
+
+
+def test_campaign_small(capsys):
+    assert main(["campaign", "sysklogd", "--attacks", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "workload sysklogd" in out
+    assert "detected of changed" in out
+
+
+def test_timing_small(capsys):
+    assert main(["timing", "telnetd", "--scale", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "normalized perf" in out
+
+
+def test_record_and_replay_clean(source_file, tmp_path, capsys):
+    trace = str(tmp_path / "trace.jsonl")
+    assert main(["record", source_file, "--inputs", "5 1", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["replay", source_file, trace]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_replay_flags_tampered_trace(source_file, tmp_path, capsys):
+    # Record a tampered run's events manually, then replay offline.
+    from repro import TamperSpec, compile_program
+    from repro.interp import GLOBAL_BASE, run_program
+    from repro.runtime.replay import TraceRecorder, dump_trace
+
+    program = compile_program(FIGURE1)
+    recorder = TraceRecorder()
+    run_program(
+        program.module,
+        inputs=[5, 1],
+        tamper=TamperSpec("read", 2, GLOBAL_BASE, 0),
+        event_listeners=[recorder],
+    )
+    trace = tmp_path / "bad.jsonl"
+    with open(trace, "w") as handle:
+        dump_trace(recorder.events, handle)
+    rc = main(["replay", source_file, str(trace)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "ALARM" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["campaign", "nginx"])

@@ -1,0 +1,80 @@
+"""Unit tests for the §5.4 context-switch timing model."""
+
+import random
+
+import pytest
+
+from repro.cpu import IPDSHardwareModel, IPDSHardwareParams, timed_run
+from repro.pipeline import compile_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    workload = get_workload("sysklogd")
+    return compile_program(workload.source, workload.name)
+
+
+def test_disabled_by_default(program):
+    hw = IPDSHardwareModel(program.tables, IPDSHardwareParams())
+    assert hw.maybe_context_switch(10**9) == 0
+    assert hw.stats.context_switches == 0
+
+
+def test_switch_fires_on_interval(program):
+    params = IPDSHardwareParams(context_switch_interval=1000)
+    hw = IPDSHardwareModel(program.tables, params)
+    hw.on_call("main", 0)
+    assert hw.maybe_context_switch(500) == 0  # not yet
+    stall = hw.maybe_context_switch(1000)
+    assert stall > 0
+    assert hw.stats.context_switches == 1
+    # Next interval boundary.
+    assert hw.maybe_context_switch(1500) == 0
+    assert hw.maybe_context_switch(2100) > 0
+    assert hw.stats.context_switches == 2
+
+
+def test_lazy_stall_is_bounded_by_eager_bits(program):
+    lazy = IPDSHardwareParams(
+        context_switch_interval=1000, lazy_context_switch=True
+    )
+    eager = IPDSHardwareParams(
+        context_switch_interval=1000, lazy_context_switch=False
+    )
+    hw_lazy = IPDSHardwareModel(program.tables, lazy)
+    hw_eager = IPDSHardwareModel(program.tables, eager)
+    for hw in (hw_lazy, hw_eager):
+        hw.on_call("main", 0)
+    stall_lazy = hw_lazy.maybe_context_switch(1000)
+    stall_eager = hw_eager.maybe_context_switch(1000)
+    assert stall_lazy <= stall_eager
+    # Lazy stall covers at most context_switch_eager_bits of traffic.
+    max_words = (lazy.context_switch_eager_bits + 63) // 64
+    assert stall_lazy <= max_words * lazy.spill_word_latency
+
+
+def test_switch_with_empty_stack_costs_nothing_live(program):
+    params = IPDSHardwareParams(
+        context_switch_interval=100, lazy_context_switch=False
+    )
+    hw = IPDSHardwareModel(program.tables, params)
+    # No frames pushed: nothing to save.
+    stall = hw.maybe_context_switch(100)
+    assert stall == 0
+    assert hw.stats.context_switches == 1
+
+
+def test_end_to_end_switching_costs_cycles(program):
+    workload = get_workload("sysklogd")
+    inputs = workload.make_inputs(random.Random("cs"), 5)
+    quiet = timed_run(program, inputs)
+    noisy = timed_run(
+        program,
+        inputs,
+        ipds_params=IPDSHardwareParams(
+            context_switch_interval=2000, lazy_context_switch=False
+        ),
+    )
+    assert noisy.ipds_stats.context_switches > 0
+    assert noisy.cycles >= quiet.cycles

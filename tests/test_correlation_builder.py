@@ -1,0 +1,259 @@
+"""Tests for BAT/BCV construction against the paper's own examples."""
+
+import pytest
+
+from repro.correlation import (
+    BranchAction,
+    build_program_tables,
+)
+from repro.ir import lower_program
+from repro.lang import parse_program
+
+
+def tables_for(source, fn_name="f"):
+    module = lower_program(parse_program(source))
+    program, stats = build_program_tables(module)
+    return module, program.by_function[fn_name], stats
+
+
+def branch_pc_by_var(module, tables, var_name):
+    """PC of the (sole) checked/analyzable branch on a variable."""
+    pcs = [m.pc for m in tables.branch_meta if m.var_name == var_name]
+    assert len(pcs) == 1, f"{var_name}: {tables.branch_meta}"
+    return pcs[0]
+
+
+def actions_of(tables, pc, taken):
+    return {
+        target: action for target, action in tables.actions_for(pc, taken)
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 3.a / Figure 4: the paper's running example
+# ----------------------------------------------------------------------
+
+FIGURE_3A = """
+int x;
+int y;
+void f() {
+  while (read_int()) {
+    if (y < 5) { emit(1); }              // BR1
+    if (x > 10) { x = read_int(); }      // BR2; BB3 redefines x
+    else { y = read_int(); }             // BB4 redefines y
+    if (y < 10) { emit(2); }             // BR5
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fig3a():
+    module = lower_program(parse_program(FIGURE_3A))
+    program, stats = build_program_tables(module)
+    return module, program.by_function["f"]
+
+
+def test_fig3a_br1_taken_sets_br5_taken(fig3a):
+    module, tables = fig3a
+    # Two branches are on y (BR1: y<5 and BR5: y<10); BR1 lowers first.
+    y_pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "y")
+    br1, br5 = y_pcs
+    slot5 = tables.hash_params.slot(br5)
+    slot1 = tables.hash_params.slot(br1)
+    acts = actions_of(tables, br1, taken=True)
+    # y < 5 subsumes y < 10: BR1 taken => BR5 taken, and BR1 itself.
+    assert acts.get(slot5) is BranchAction.SET_T
+    assert acts.get(slot1) is BranchAction.SET_T
+
+
+def test_fig3a_br1_not_taken_does_not_determine_br5(fig3a):
+    module, tables = fig3a
+    y_pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "y")
+    br1, br5 = y_pcs
+    slot5 = tables.hash_params.slot(br5)
+    acts = actions_of(tables, br1, taken=False)
+    # y >= 5 does not decide y < 10 — no SET_T/SET_NT for BR5.
+    assert acts.get(slot5) in (None, BranchAction.SET_UN)
+
+
+def test_fig3a_br5_not_taken_sets_br1_not_taken(fig3a):
+    module, tables = fig3a
+    y_pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "y")
+    br1, br5 = y_pcs
+    slot1 = tables.hash_params.slot(br1)
+    acts = actions_of(tables, br5, taken=False)
+    # y >= 10 subsumes y >= 5: BR5 not-taken => BR1 not-taken.
+    assert acts.get(slot1) is BranchAction.SET_NT
+
+
+def test_fig3a_br2_taken_kills_br2(fig3a):
+    # BR2 taken enters BB3 which redefines x => BR2's status UNKNOWN
+    # (Figure 4's narrative).
+    module, tables = fig3a
+    br2 = branch_pc_by_var(module, tables, "x")
+    slot2 = tables.hash_params.slot(br2)
+    acts = actions_of(tables, br2, taken=True)
+    assert acts.get(slot2) is BranchAction.SET_UN
+
+
+def test_fig3a_br2_not_taken_keeps_self_correlation(fig3a):
+    # BR2 not-taken goes through BB4 (redefines y, not x): next time
+    # BR2 must again be not-taken (scenario 2).
+    module, tables = fig3a
+    br2 = branch_pc_by_var(module, tables, "x")
+    slot2 = tables.hash_params.slot(br2)
+    acts = actions_of(tables, br2, taken=False)
+    assert acts.get(slot2) is BranchAction.SET_NT
+
+
+def test_fig3a_br2_not_taken_kills_y_branches(fig3a):
+    # BB4 redefines y: entering it must reset BR1/BR5 to unknown
+    # (Figure 4: "This causes the status vector of BR5 to be unknown").
+    module, tables = fig3a
+    br2 = branch_pc_by_var(module, tables, "x")
+    y_pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "y")
+    br1, br5 = y_pcs
+    acts = actions_of(tables, br2, taken=False)
+    assert acts.get(tables.hash_params.slot(br5)) is BranchAction.SET_UN
+    assert acts.get(tables.hash_params.slot(br1)) is BranchAction.SET_UN
+
+
+def test_fig3a_bcv_contains_all_three_branches(fig3a):
+    module, tables = fig3a
+    y_pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "y")
+    br2 = branch_pc_by_var(module, tables, "x")
+    for pc in [*y_pcs, br2]:
+        assert tables.is_checked(pc)
+
+
+def test_fig3a_loop_driver_branch_not_checked(fig3a):
+    # The while(read_int()) branch depends on a call result: never
+    # checkable (the compiler cannot infer anything about it).
+    module, tables = fig3a
+    analyzed = {m.pc for m in tables.branch_meta if m.var_name is not None}
+    all_pcs = set(tables.branch_pcs)
+    unanalyzed = all_pcs - analyzed
+    assert len(unanalyzed) == 1
+    (driver_pc,) = unanalyzed
+    assert not tables.is_checked(driver_pc)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: loop with backward branch
+# ----------------------------------------------------------------------
+
+
+def test_figure2_subsumption_across_loop():
+    # if (x < 0) … then the x < 10 check later must be taken.
+    source = """
+    int x;
+    void f() {
+      while (read_int()) {
+        if (x < 0) { emit(1); }
+        if (x < 10) { emit(2); }
+      }
+    }
+    """
+    module, tables, _ = tables_for(source)
+    pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "x")
+    br_neg, br_ten = pcs
+    acts = actions_of(tables, br_neg, taken=True)
+    assert acts.get(tables.hash_params.slot(br_ten)) is BranchAction.SET_T
+
+
+# ----------------------------------------------------------------------
+# Structural properties
+# ----------------------------------------------------------------------
+
+
+def test_unanalyzable_function_has_empty_tables():
+    source = "void f() { emit(read_int()); }"
+    module, tables, _ = tables_for(source)
+    assert tables.branch_pcs == ()
+    assert tables.bcv_slots == frozenset()
+    assert dict(tables.bat) == {}
+
+
+def test_branch_without_correlation_not_in_bcv():
+    # A single branch on a variable that is redefined on every path to
+    # re-reaching it cannot be predicted.
+    source = """
+    int x;
+    void f() {
+      while (read_int()) {
+        if (x < 5) { emit(1); }
+        x = read_int();
+      }
+    }
+    """
+    module, tables, _ = tables_for(source)
+    # The x-branch's own-edge regions contain the x redefinition, so
+    # every potential SET resolves to UN and the BCV stays empty.
+    assert tables.bcv_slots == frozenset()
+
+
+def test_kill_edges_cover_call_pseudo_stores():
+    source = """
+    int g;
+    void clobber() { g = read_int(); }
+    void f() {
+      while (read_int()) {
+        if (g < 5) { emit(1); }
+        if (read_int()) { clobber(); }
+      }
+    }
+    """
+    module = lower_program(parse_program(source))
+    program, _ = build_program_tables(module)
+    tables = program.by_function["f"]
+    g_pc = [m.pc for m in tables.branch_meta if m.var_name == "g"]
+    if not tables.bcv_slots:
+        pytest.skip("g branch not checkable in this lowering")
+    (g_pc,) = g_pc
+    g_slot = tables.hash_params.slot(g_pc)
+    # The branch guarding the clobber() call must kill g's status on its
+    # taken edge.
+    kill_edges = [
+        key
+        for key, entries in tables.bat.items()
+        if (g_slot, BranchAction.SET_UN) in entries
+    ]
+    assert kill_edges, tables.describe()
+
+
+def test_conflicting_inferences_resolve_to_unknown():
+    # if (x < 5) then inside: if (x > 20) — taken-taken is statically
+    # infeasible; the builder must not emit contradictory SETs.
+    source = """
+    int x;
+    void f() {
+      while (read_int()) {
+        if (x < 5) {
+          if (x > 20) { emit(1); }
+        }
+      }
+    }
+    """
+    module, tables, stats = tables_for(source)
+    # x<5 taken implies x>20 not-taken: SET_NT, never SET_T.
+    pcs = sorted(m.pc for m in tables.branch_meta if m.var_name == "x")
+    outer, inner = pcs
+    acts = actions_of(tables, outer, taken=True)
+    inner_slot = tables.hash_params.slot(inner)
+    assert acts.get(inner_slot) is BranchAction.SET_NT
+
+
+def test_build_stats_populated():
+    module, tables, stats = tables_for(FIGURE_3A)
+    (fn_stats,) = stats
+    assert fn_stats.branches == 4
+    assert fn_stats.checked == 3
+    assert fn_stats.hash_trials >= 1
+
+
+def test_describe_renders():
+    module, tables, _ = tables_for(FIGURE_3A)
+    text = tables.describe()
+    assert "tables for f" in text
+    assert "BCV" in text

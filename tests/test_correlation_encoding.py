@@ -1,0 +1,116 @@
+"""Tests for the Fig. 8 binary-size accounting."""
+
+import pytest
+
+from repro.correlation import (
+    ACTION_BITS,
+    BranchAction,
+    FunctionTables,
+    HashParams,
+    ProgramTables,
+    STATUS_BITS,
+    summarize_sizes,
+    table_sizes,
+)
+from repro.correlation.encoding import _pointer_bits
+from repro.pipeline import compile_program
+
+
+def make_tables(bits, bat):
+    params = HashParams(1, 2, bits)
+    pcs = []
+    used = set()
+    pc = 0x400000
+    while len(pcs) < min(2, params.space):
+        slot = params.slot(pc)
+        if slot not in used:
+            used.add(slot)
+            pcs.append(pc)
+        pc += 4
+    return FunctionTables(
+        function_name="f",
+        hash_params=params,
+        branch_pcs=tuple(pcs),
+        bcv_slots=frozenset({params.slot(pcs[0])}),
+        bat=bat,
+    )
+
+
+def test_pointer_bits():
+    assert _pointer_bits(0) == 1
+    assert _pointer_bits(1) == 1
+    assert _pointer_bits(3) == 2
+    assert _pointer_bits(7) == 3
+    assert _pointer_bits(8) == 4
+
+
+def test_bsv_is_two_bits_per_slot():
+    tables = make_tables(4, {})
+    sizes = table_sizes(tables)
+    assert sizes.bsv_bits == STATUS_BITS * 16
+    assert sizes.bcv_bits == 16
+    assert sizes.hash_space == 16
+
+
+def test_empty_bat_still_has_heads():
+    tables = make_tables(3, {})
+    sizes = table_sizes(tables)
+    # Two head pointers per slot, pointer width 1 (nil only).
+    assert sizes.bat_bits == 2 * 8 * 1
+    assert sizes.action_entries == 0
+
+
+def test_bat_entry_costs_slot_action_and_next():
+    tables = make_tables(3, {})
+    slot = tables.hash_params.slot(tables.branch_pcs[0])
+    bat = {(slot, True): ((slot, BranchAction.SET_T),)}
+    with_entry = make_tables(3, bat)
+    sizes = table_sizes(with_entry)
+    pointer = _pointer_bits(1)
+    expected_entry = 3 + ACTION_BITS + pointer  # slot index + action + next
+    assert sizes.bat_bits == 2 * 8 * pointer + expected_entry
+    assert sizes.action_entries == 1
+
+
+def test_total_bits_sums_components():
+    tables = make_tables(4, {})
+    sizes = table_sizes(tables)
+    assert sizes.total_bits == sizes.bsv_bits + sizes.bcv_bits + sizes.bat_bits
+
+
+def test_summary_averages_per_function():
+    source = """
+    int a;
+    void one() { if (a < 1) { emit(1); } if (a < 2) { emit(2); } }
+    void two() { emit(3); }
+    void main() { one(); two(); }
+    """
+    program = compile_program(source)
+    summary = summarize_sizes(program.tables)
+    assert len(summary.per_function) == 3
+    assert summary.avg_bsv_bits == pytest.approx(2 * summary.avg_bcv_bits)
+    assert summary.avg_total_bits == pytest.approx(
+        summary.avg_bsv_bits + summary.avg_bcv_bits + summary.avg_bat_bits
+    )
+
+
+def test_empty_program_summary():
+    summary = summarize_sizes(ProgramTables())
+    assert summary.avg_bsv_bits == 0.0
+    assert summary.per_function == ()
+
+
+def test_bat_dominates_on_real_code():
+    source = """
+    int x;
+    void main() {
+      while (read_int()) {
+        if (x < 5) { emit(1); }
+        if (x < 10) { emit(2); }
+        if (x < 20) { emit(3); }
+      }
+    }
+    """
+    program = compile_program(source)
+    summary = summarize_sizes(program.tables)
+    assert summary.avg_bat_bits > summary.avg_bsv_bits > summary.avg_bcv_bits

@@ -1,0 +1,94 @@
+"""Tests for the §5.2 collision-free hash search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correlation import (
+    HashParams,
+    HashSearchError,
+    find_perfect_hash,
+    minimum_bits,
+)
+from repro.ir import CODE_BASE, INSTRUCTION_BYTES
+
+
+def pcs_strategy(max_count=48):
+    """Realistic branch PC sets: word-aligned, clustered in a function."""
+    return st.lists(
+        st.integers(min_value=0, max_value=4000),
+        min_size=0,
+        max_size=max_count,
+        unique=True,
+    ).map(lambda offsets: [CODE_BASE + o * INSTRUCTION_BYTES for o in offsets])
+
+
+def test_minimum_bits():
+    assert minimum_bits(0) == 0
+    assert minimum_bits(1) == 0
+    assert minimum_bits(2) == 1
+    assert minimum_bits(3) == 2
+    assert minimum_bits(16) == 4
+    assert minimum_bits(17) == 5
+
+
+def test_empty_pc_set_gets_trivial_hash():
+    result = find_perfect_hash([])
+    assert result.params.space == 1
+    assert result.trials == 0
+
+
+def test_single_branch():
+    result = find_perfect_hash([CODE_BASE])
+    assert result.params.space == 1
+    assert result.params.slot(CODE_BASE) == 0
+
+
+def test_duplicate_pcs_rejected():
+    with pytest.raises(HashSearchError):
+        find_perfect_hash([CODE_BASE, CODE_BASE])
+
+
+def test_hash_params_slot_is_within_space():
+    params = HashParams(3, 7, 5)
+    for pc in range(CODE_BASE, CODE_BASE + 4000, 4):
+        assert 0 <= params.slot(pc) < params.space
+
+
+def test_str_renderings():
+    assert "2^5" in str(HashParams(3, 7, 5))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pcs=pcs_strategy())
+def test_found_hash_is_collision_free(pcs):
+    result = find_perfect_hash(pcs)
+    slots = [result.params.slot(pc) for pc in pcs]
+    assert len(set(slots)) == len(pcs)
+    assert all(0 <= s < result.params.space for s in slots)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pcs=pcs_strategy(max_count=24))
+def test_space_at_least_minimal(pcs):
+    result = find_perfect_hash(pcs)
+    assert result.params.space >= len(pcs)
+
+
+def test_search_is_deterministic():
+    rng = random.Random("hash-det")
+    pcs = sorted(
+        {CODE_BASE + rng.randrange(0, 2000) * 4 for _ in range(30)}
+    )
+    a = find_perfect_hash(pcs)
+    b = find_perfect_hash(pcs)
+    assert a == b
+
+
+def test_dense_consecutive_branches():
+    # Worst case locality: branches in consecutive instruction slots.
+    pcs = [CODE_BASE + i * INSTRUCTION_BYTES for i in range(64)]
+    result = find_perfect_hash(pcs)
+    assert len({result.params.slot(pc) for pc in pcs}) == 64

@@ -1,0 +1,146 @@
+"""Micro-tests for the pipeline timing model using synthetic streams."""
+
+import pytest
+
+from repro.cpu import ProcessorParams, TimingModel
+from repro.ir import BinOp, Const, Load, Reg, Store, Variable, VarKind
+
+
+def make_model(**overrides):
+    params = ProcessorParams(**overrides) if overrides else ProcessorParams()
+    return TimingModel(params), params
+
+
+def const(index, address):
+    instruction = Const(Reg(index), index)
+    instruction.address = address
+    return instruction
+
+
+def test_ilp_limited_by_commit_width():
+    model, params = make_model()
+    # Warm-up covers the cold I-cache fetch of the block.
+    for i in range(16):
+        model.on_instruction(const(i, 0x400000 + 4 * (i % 8)), None)
+    warm_cycles = model.stats.cycles
+    # 64 more independent single-cycle ops in the now-warm block.
+    for i in range(16, 80):
+        model.on_instruction(const(i, 0x400000 + 4 * (i % 8)), None)
+    delta = model.stats.cycles - warm_cycles
+    # Ideal steady state: 64 / commit_width = 8 cycles; allow slack.
+    assert delta <= 8 + 8
+    assert delta >= 64 // params.commit_width
+
+
+def test_dependency_chain_serializes():
+    model, params = make_model()
+    first = Const(Reg(0), 1)
+    first.address = 0x400000
+    model.on_instruction(first, None)
+    for i in range(1, 40):
+        op = BinOp(Reg(i), "+", Reg(i - 1), 1)
+        op.address = 0x400000
+        model.on_instruction(op, None)
+    # A 40-deep add chain takes at least ~40 cycles.
+    assert model.stats.cycles >= 40
+
+
+def test_division_latency_applies():
+    model, params = make_model()
+    a = Const(Reg(0), 100)
+    a.address = 0x400000
+    model.on_instruction(a, None)
+    div = BinOp(Reg(1), "/", Reg(0), 3)
+    div.address = 0x400004
+    model.on_instruction(div, None)
+    dependent = BinOp(Reg(2), "+", Reg(1), 1)
+    dependent.address = 0x400008
+    model.on_instruction(dependent, None)
+    assert model.stats.cycles >= params.div_latency
+
+
+def test_load_pays_memory_latency_on_cold_miss():
+    model, params = make_model()
+    var = Variable("v", VarKind.GLOBAL, 1, 1)
+    load = Load(Reg(0), var)
+    load.address = 0x400000
+    model.on_instruction(load, 0x1000)
+    # Cold: TLB miss + L1 miss + L2 miss + DRAM.
+    assert model.stats.cycles >= params.memory_latency(32)
+    assert model.stats.loads == 1
+
+
+def test_warm_load_is_fast():
+    model, params = make_model()
+    var = Variable("v", VarKind.GLOBAL, 1, 1)
+    cold = Load(Reg(0), var)
+    cold.address = 0x400000
+    model.on_instruction(cold, 0x1000)
+    cold_cycles = model.stats.cycles
+    warm = Load(Reg(1), var)
+    warm.address = 0x400004
+    model.on_instruction(warm, 0x1000)
+    assert model.stats.cycles - cold_cycles <= params.l1d.latency + 2
+
+
+def test_mispredict_inserts_fetch_bubble():
+    model, params = make_model()
+    # Train nothing; feed an alternating branch so mispredicts happen.
+    baseline, _ = make_model()
+    for i in range(50):
+        instruction = const(i, 0x400000)
+        model.on_instruction(instruction, None)
+        baseline.on_instruction(instruction, None)
+        # Alternate outcomes on the model only.
+        model.on_branch_outcome("f", 0x400100, i % 2 == 0)
+    assert model.stats.cycles > baseline.stats.cycles
+
+
+def test_lsq_pressure_throttles_memory_ops():
+    small, params = make_model(lsq_size=2)
+    roomy, _ = make_model(lsq_size=64)
+    var = Variable("v", VarKind.GLOBAL, 1, 1)
+    for i in range(64):
+        load_a = Load(Reg(i * 2), var)
+        load_a.address = 0x400000
+        store_a = Store(var, Reg(i * 2))
+        store_a.address = 0x400004
+        # Spread addresses to miss the L1 occasionally.
+        small.on_instruction(load_a, 0x1000 + i * 64)
+        small.on_instruction(store_a, 0x1000 + i * 64)
+        load_b = Load(Reg(i * 2 + 1), var)
+        load_b.address = 0x400000
+        store_b = Store(var, Reg(i * 2 + 1))
+        store_b.address = 0x400004
+        roomy.on_instruction(load_b, 0x1000 + i * 64)
+        roomy.on_instruction(store_b, 0x1000 + i * 64)
+    assert small.stats.cycles >= roomy.stats.cycles
+
+
+def test_ruu_window_limits_lookahead():
+    small, _ = make_model(ruu_size=4)
+    roomy, _ = make_model(ruu_size=128)
+    var = Variable("v", VarKind.GLOBAL, 1, 1)
+    # A long-latency load followed by many independent ops: the big
+    # window hides the load, the small one cannot.
+    for model in (small, roomy):
+        load = Load(Reg(0), var)
+        load.address = 0x400000
+        model.on_instruction(load, 0x9000)
+        for i in range(1, 60):
+            model.on_instruction(const(i, 0x400000 + 4 * (i % 8)), None)
+    assert small.stats.cycles >= roomy.stats.cycles
+
+
+def test_stats_counters():
+    model, _ = make_model()
+    var = Variable("v", VarKind.GLOBAL, 1, 1)
+    load = Load(Reg(0), var)
+    load.address = 0x400000
+    store = Store(var, Reg(0))
+    store.address = 0x400004
+    model.on_instruction(load, 0x1000)
+    model.on_instruction(store, 0x1000)
+    assert model.stats.loads == 1
+    assert model.stats.stores == 1
+    assert model.stats.instructions == 2

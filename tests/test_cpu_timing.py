@@ -1,0 +1,164 @@
+"""Integration tests for the timing model and the IPDS hardware model."""
+
+import random
+
+import pytest
+
+from repro.cpu import (
+    IPDSHardwareModel,
+    IPDSHardwareParams,
+    ProcessorParams,
+    normalized_performance,
+    timed_run,
+)
+from repro.pipeline import compile_program
+from repro.workloads import get_workload
+
+LOOPY = """
+int n;
+void main() {
+  n = read_int();
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    if (s < 1000) { s = s + i; }
+  }
+  emit(s);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def loopy():
+    return compile_program(LOOPY)
+
+
+def test_timed_run_executes_and_counts(loopy):
+    result = timed_run(loopy, inputs=[50])
+    assert result.run.ok
+    assert result.timing.instructions == result.run.steps
+    assert result.timing.cycles > 0
+    assert 0 < result.ipc <= 8  # bounded by the commit width
+
+
+def test_cycles_scale_with_work(loopy):
+    small = timed_run(loopy, inputs=[10])
+    large = timed_run(loopy, inputs=[1000])
+    assert large.cycles > small.cycles * 5
+
+
+def test_timed_run_deterministic(loopy):
+    a = timed_run(loopy, inputs=[200])
+    b = timed_run(loopy, inputs=[200])
+    assert a.cycles == b.cycles
+    assert a.timing.instructions == b.timing.instructions
+
+
+def test_baseline_never_slower_than_ipds(loopy):
+    comp = normalized_performance(loopy, inputs=[500])
+    assert comp.baseline_cycles <= comp.ipds_cycles
+    assert 0.0 <= comp.normalized_performance <= 1.0
+
+
+def test_ipds_latency_positive_when_checked(loopy):
+    result = timed_run(loopy, inputs=[100], with_ipds=True)
+    assert result.ipds_stats is not None
+    assert result.ipds_stats.requests > 0
+    if result.ipds_stats.checks:
+        assert result.ipds_stats.avg_check_latency > 0
+
+
+def test_predictor_accuracy_high_on_regular_loop(loopy):
+    result = timed_run(loopy, inputs=[2000])
+    assert result.predictor_accuracy > 0.9
+
+
+def test_tiny_queue_costs_performance():
+    workload = get_workload("sendmail")
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(random.Random("timing"), scale=5)
+    roomy = normalized_performance(
+        program, inputs, ipds_params=IPDSHardwareParams(request_queue_size=64)
+    )
+    tiny = normalized_performance(
+        program, inputs, ipds_params=IPDSHardwareParams(request_queue_size=2)
+    )
+    assert tiny.ipds_cycles >= roomy.ipds_cycles
+    assert tiny.commit_stalls >= roomy.commit_stalls
+
+
+def test_workload_degradation_is_small():
+    workload = get_workload("telnetd")
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(random.Random("deg"), scale=10)
+    comp = normalized_performance(program, inputs, workload.name)
+    # The paper's headline: sub-percent degradation in most cases.
+    assert comp.degradation_pct < 5.0
+    assert comp.normalized_performance > 0.95
+
+
+def test_check_latency_in_paper_ballpark():
+    # §6 reports 11.7 cycles on average; ours should be the same order
+    # (single digits to low tens).
+    workload = get_workload("httpd")
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(random.Random("lat"), scale=10)
+    result = timed_run(program, inputs)
+    assert 1.0 <= result.ipds_stats.avg_check_latency <= 40.0
+
+
+# ----------------------------------------------------------------------
+# IPDS hardware model in isolation
+# ----------------------------------------------------------------------
+
+
+def test_spill_fires_when_stack_outgrows_buffers():
+    source = """
+    int g;
+    void leaf() { if (g < 1) { emit(1); } if (g < 2) { emit(2); } }
+    void mid() { leaf(); if (g < 3) { emit(3); } }
+    void main() { g = read_int(); mid(); if (g < 4) { emit(4); } }
+    """
+    program = compile_program(source)
+    # Absurdly small buffers force spilling on every nested call.
+    params = IPDSHardwareParams(
+        bsv_stack_bits=4, bcv_stack_bits=2, bat_stack_bits=8
+    )
+    hw = IPDSHardwareModel(program.tables, params)
+    hw.on_call("main", 0)
+    hw.on_call("mid", 10)
+    hw.on_call("leaf", 20)
+    assert hw.stats.spill_events > 0
+    spills_before = hw.stats.spill_events
+    hw.on_return(30)  # leaf returns; mid's frame may need a fill
+    assert hw.stats.spill_events >= spills_before
+
+
+def test_no_spill_with_roomy_buffers():
+    workload = get_workload("sysklogd")
+    program = compile_program(workload.source, workload.name)
+    hw = IPDSHardwareModel(program.tables, IPDSHardwareParams())
+    hw.on_call("main", 0)
+    assert hw.stats.spill_events == 0
+
+
+def test_branch_in_unknown_function_is_free():
+    workload = get_workload("telnetd")
+    program = compile_program(workload.source, workload.name)
+    hw = IPDSHardwareModel(program.tables)
+    assert hw.on_branch("not_a_function", 0x400000, True, 0) == 0
+    assert hw.stats.requests == 0
+
+
+def test_queue_backpressure_stalls_commit():
+    workload = get_workload("telnetd")
+    program = compile_program(workload.source, workload.name)
+    tables = program.tables.tables_for("main")
+    pc = tables.branch_pcs[0]
+    hw = IPDSHardwareModel(
+        program.tables, IPDSHardwareParams(request_queue_size=2)
+    )
+    hw.on_call("main", 0)
+    # Hammer the same cycle with requests; the third+ must stall.
+    stalls = [hw.on_branch("main", pc, True, 0) for _ in range(6)]
+    assert any(s > 0 for s in stalls)
+    assert hw.stats.commit_stalls > 0

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    saved_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "IPDS verdict" in out
+    assert "infeasible path" in out
+
+
+def test_server_campaign(capsys):
+    run_example("server_campaign.py", ["10"])
+    out = capsys.readouterr().out
+    assert "telnetd" in out
+    assert "zero false positives" in out
+
+
+def test_correlation_explorer(capsys):
+    run_example("correlation_explorer.py")
+    out = capsys.readouterr().out
+    assert "lowered IR" in out
+    assert "branch facts" in out
+    assert "alarms: none" in out
+
+
+def test_timing_study(capsys):
+    run_example("timing_study.py", ["sysklogd", "3"])
+    out = capsys.readouterr().out
+    assert "normalized performance" in out
+    assert "queue-size sensitivity" in out
+
+
+def test_optimization_and_baselines(capsys):
+    run_example("optimization_and_baselines.py")
+    out = capsys.readouterr().out
+    assert "optimization removes correlations" in out
+    assert "IPDS vs. trained n-gram baseline" in out

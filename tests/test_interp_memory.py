@@ -1,0 +1,120 @@
+"""Tests for the memory map and frame layout."""
+
+import pytest
+
+from repro.interp import (
+    GLOBAL_BASE,
+    MemoryMap,
+    STACK_BASE,
+    layout_frame,
+)
+from repro.ir import lower_program
+from repro.lang import parse_program
+
+
+def lower(source):
+    return lower_program(parse_program(source))
+
+
+def var_named(holder, name):
+    candidates = getattr(holder, "frame_variables", None)
+    if candidates is None:
+        candidates = holder.globals
+    for var in candidates:
+        if var.name == name:
+            return var
+    raise AssertionError(name)
+
+
+def test_globals_laid_out_in_declaration_order():
+    module = lower("int a; int b[3]; int c; void main() { }")
+    mm = MemoryMap(module)
+    a = mm.global_addresses[var_named(module, "a")]
+    b = mm.global_addresses[var_named(module, "b")]
+    c = mm.global_addresses[var_named(module, "c")]
+    assert a == GLOBAL_BASE
+    assert b == a + 1
+    assert c == b + 3  # array occupies 3 words
+
+
+def test_global_initializers_populate_memory():
+    module = lower("int a = 5; int b = -2; void main() { }")
+    mm = MemoryMap(module)
+    assert mm.read(mm.global_addresses[var_named(module, "a")]) == 5
+    assert mm.read(mm.global_addresses[var_named(module, "b")]) == -2
+
+
+def test_uninitialized_reads_zero():
+    module = lower("void main() { }")
+    mm = MemoryMap(module)
+    assert mm.read(0xDEADBEEF) == 0
+
+
+def test_write_then_read():
+    module = lower("void main() { }")
+    mm = MemoryMap(module)
+    mm.write(0x2000, -77)
+    assert mm.read(0x2000) == -77
+
+
+def test_frame_layout_params_then_locals():
+    module = lower("void f(int p, int q) { int l; int arr[4]; int m; }")
+    fn = module.function("f")
+    layout = layout_frame(fn)
+    p = layout.offsets[var_named(fn, "p")]
+    q = layout.offsets[var_named(fn, "q")]
+    l = layout.offsets[var_named(fn, "l")]
+    arr = layout.offsets[var_named(fn, "arr")]
+    m = layout.offsets[var_named(fn, "m")]
+    assert (p, q) == (0, 1)
+    assert l == 2
+    assert arr == 3
+    assert m == 7  # after the 4-word array
+    assert layout.size == 8
+
+
+def test_address_of_local_needs_frame_base():
+    module = lower("void f() { int x; }")
+    mm = MemoryMap(module)
+    x = var_named(module.function("f"), "x")
+    with pytest.raises(KeyError):
+        mm.address_of(x, None)
+    assert mm.address_of(x, STACK_BASE) == STACK_BASE
+
+
+def test_address_of_global_ignores_frame():
+    module = lower("int g; void main() { }")
+    mm = MemoryMap(module)
+    g = var_named(module, "g")
+    assert mm.address_of(g, None) == GLOBAL_BASE
+    assert mm.address_of(g, STACK_BASE) == GLOBAL_BASE
+
+
+def test_live_stack_slots_enumerates_words():
+    module = lower(
+        "void inner(int a) { int buf[2]; } void main() { int x; inner(x); }"
+    )
+    mm = MemoryMap(module)
+    main_base = STACK_BASE
+    inner_base = STACK_BASE + mm.frame_size("main")
+    slots = mm.live_stack_slots([("main", main_base), ("inner", inner_base)])
+    names = [(fn, var) for _, fn, var in slots]
+    assert ("main", "x") in names
+    assert ("inner", "a") in names
+    assert names.count(("inner", "buf")) == 2  # one entry per word
+    addresses = [addr for addr, _, _ in slots]
+    assert len(set(addresses)) == len(addresses)
+
+
+def test_global_slots_cover_arrays():
+    module = lower("int a; int b[3]; void main() { }")
+    mm = MemoryMap(module)
+    slots = mm.global_slots()
+    assert len(slots) == 4
+    assert all(fn == "<global>" for _, fn, _ in slots)
+
+
+def test_frame_size():
+    module = lower("void f(int a) { int b; int c[5]; }")
+    mm = MemoryMap(module)
+    assert mm.frame_size("f") == 7

@@ -1,0 +1,102 @@
+"""Unit tests for IR instruction helpers and renderings."""
+
+import pytest
+
+from repro.ir import (
+    AddrOf,
+    BinOp,
+    Call,
+    Cmp,
+    CondBranch,
+    Const,
+    Jump,
+    Load,
+    LoadIndirect,
+    Reg,
+    RelOp,
+    Return,
+    Store,
+    StoreIndirect,
+    UnOp,
+    Variable,
+    VarKind,
+    defined_reg,
+    used_regs,
+)
+
+V = Variable("x", VarKind.LOCAL, 1, 1)
+G = Variable("g", VarKind.GLOBAL, 4, 2, is_array=True)
+
+
+def test_variable_str_prefixes():
+    assert str(V) == "%x.1"
+    assert str(G) == "@g.2"
+    assert str(Reg(3)) == "t3"
+
+
+def test_instruction_renderings():
+    cases = [
+        (Const(Reg(0), 5), "t0 = 5"),
+        (BinOp(Reg(1), "+", Reg(0), 2), "t1 = t0 + 2"),
+        (UnOp(Reg(2), "-", Reg(1)), "t2 = -t1"),
+        (Cmp(Reg(3), RelOp.LT, Reg(1), 7), "t3 = t1 < 7"),
+        (Load(Reg(4), V), "t4 = load %x.1"),
+        (Store(V, Reg(4)), "store %x.1, t4"),
+        (AddrOf(Reg(5), G), "t5 = addr @g.2"),
+        (LoadIndirect(Reg(6), Reg(5)), "t6 = load [t5]"),
+        (StoreIndirect(Reg(5), 9), "store [t5], 9"),
+        (Call(Reg(7), "f", [Reg(6), 1]), "t7 = call f(t6, 1)"),
+        (Call(None, "emit", [3]), "call emit(3)"),
+        (Jump("bb2"), "jump bb2"),
+        (
+            CondBranch(Reg(7), RelOp.GE, 0, "bb1", "bb2"),
+            "br t7 >= 0 ? bb1 : bb2",
+        ),
+        (Return(Reg(7)), "ret t7"),
+        (Return(None), "ret"),
+    ]
+    for instruction, expected in cases:
+        assert str(instruction) == expected
+
+
+def test_defined_reg():
+    assert defined_reg(Const(Reg(0), 1)) == Reg(0)
+    assert defined_reg(Store(V, 1)) is None
+    assert defined_reg(Jump("bb0")) is None
+    assert defined_reg(Call(None, "emit", [1])) is None
+    assert defined_reg(Call(Reg(2), "f", [])) == Reg(2)
+
+
+def test_used_regs():
+    assert used_regs(BinOp(Reg(2), "+", Reg(0), Reg(1))) == [Reg(0), Reg(1)]
+    assert used_regs(BinOp(Reg(2), "+", Reg(0), 5)) == [Reg(0)]
+    assert used_regs(Store(V, Reg(3))) == [Reg(3)]
+    assert set(used_regs(StoreIndirect(Reg(1), Reg(2)))) == {Reg(1), Reg(2)}
+    assert used_regs(Call(Reg(0), "f", [Reg(4), 2, Reg(5)])) == [Reg(4), Reg(5)]
+    assert used_regs(Return(None)) == []
+    assert used_regs(Return(Reg(9))) == [Reg(9)]
+    assert used_regs(Const(Reg(0), 7)) == []
+
+
+def test_relop_str_values():
+    assert RelOp.LT.value == "<"
+    assert RelOp.NE.value == "!="
+
+
+def test_relop_negate_involution():
+    for op in RelOp:
+        assert op.negate().negate() is op
+
+
+def test_relop_swap_involution():
+    for op in RelOp:
+        assert op.swap().swap() is op
+
+
+def test_variable_identity_is_by_fields():
+    a = Variable("x", VarKind.LOCAL, 1, 1)
+    b = Variable("x", VarKind.LOCAL, 1, 1)
+    shadow = Variable("x", VarKind.LOCAL, 1, 2)
+    assert a == b
+    assert a != shadow
+    assert hash(a) == hash(b)

@@ -1,0 +1,154 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.lang import LexError, TokenType, tokenize
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def test_empty_source_yields_only_eof():
+    assert types("") == [TokenType.EOF]
+
+
+def test_whitespace_only_yields_only_eof():
+    assert types("  \t\n\r\n  ") == [TokenType.EOF]
+
+
+def test_decimal_literal():
+    tokens = tokenize("42")
+    assert tokens[0].type is TokenType.INT_LITERAL
+    assert tokens[0].int_value == 42
+
+
+def test_hex_literal():
+    tokens = tokenize("0x2A")
+    assert tokens[0].int_value == 42
+
+
+def test_hex_literal_uppercase_prefix():
+    assert tokenize("0XFF")[0].int_value == 255
+
+
+def test_hex_literal_without_digits_rejected():
+    with pytest.raises(LexError):
+        tokenize("0x")
+
+
+def test_literal_with_alpha_suffix_rejected():
+    with pytest.raises(LexError):
+        tokenize("123abc")
+
+
+def test_identifier_with_underscore():
+    tokens = tokenize("_my_var2")
+    assert tokens[0].type is TokenType.IDENT
+    assert tokens[0].text == "_my_var2"
+
+
+def test_keywords_are_not_identifiers():
+    assert types("int void if else while for return break continue") == [
+        TokenType.KW_INT,
+        TokenType.KW_VOID,
+        TokenType.KW_IF,
+        TokenType.KW_ELSE,
+        TokenType.KW_WHILE,
+        TokenType.KW_FOR,
+        TokenType.KW_RETURN,
+        TokenType.KW_BREAK,
+        TokenType.KW_CONTINUE,
+        TokenType.EOF,
+    ]
+
+
+def test_keyword_prefix_is_identifier():
+    tokens = tokenize("iffy whiled")
+    assert tokens[0].type is TokenType.IDENT
+    assert tokens[1].type is TokenType.IDENT
+
+
+def test_two_char_operators_take_precedence():
+    assert types("<= >= == != && ||") == [
+        TokenType.LE,
+        TokenType.GE,
+        TokenType.EQ,
+        TokenType.NE,
+        TokenType.AND_AND,
+        TokenType.OR_OR,
+        TokenType.EOF,
+    ]
+
+
+def test_adjacent_single_char_operators():
+    # "<-" is LT then MINUS, not an arrow.
+    assert types("<-") == [TokenType.LT, TokenType.MINUS, TokenType.EOF]
+
+
+def test_assign_vs_eq():
+    assert types("= ==") == [TokenType.ASSIGN, TokenType.EQ, TokenType.EOF]
+
+
+def test_punctuation():
+    assert types("(){}[],;") == [
+        TokenType.LPAREN,
+        TokenType.RPAREN,
+        TokenType.LBRACE,
+        TokenType.RBRACE,
+        TokenType.LBRACKET,
+        TokenType.RBRACKET,
+        TokenType.COMMA,
+        TokenType.SEMICOLON,
+        TokenType.EOF,
+    ]
+
+
+def test_line_comment_skipped():
+    assert types("1 // comment until end\n2") == [
+        TokenType.INT_LITERAL,
+        TokenType.INT_LITERAL,
+        TokenType.EOF,
+    ]
+
+
+def test_line_comment_at_eof_without_newline():
+    assert types("1 // trailing") == [TokenType.INT_LITERAL, TokenType.EOF]
+
+
+def test_block_comment_skipped():
+    assert types("1 /* a\nb */ 2") == [
+        TokenType.INT_LITERAL,
+        TokenType.INT_LITERAL,
+        TokenType.EOF,
+    ]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("1 /* never closed")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_locations_track_lines_and_columns():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].location.line == 1
+    assert tokens[0].location.column == 1
+    assert tokens[1].location.line == 2
+    assert tokens[1].location.column == 3
+
+
+def test_location_in_error_message():
+    with pytest.raises(LexError) as exc:
+        tokenize("x\n  $", filename="prog.c")
+    assert "prog.c:2:3" in str(exc.value)
+
+
+def test_int_value_on_non_literal_raises():
+    token = tokenize("abc")[0]
+    with pytest.raises(ValueError):
+        token.int_value

@@ -1,0 +1,113 @@
+"""Tests for the figure/table renderers and the reporting CLI."""
+
+import pytest
+
+from repro.attacks import AttackOutcome, CampaignSummary, WorkloadResult
+from repro.cpu import PerformanceComparison
+from repro.reporting import (
+    Fig8Row,
+    figure8_data,
+    figure9_data,
+    main,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_latency,
+    render_table1,
+)
+from repro.workloads import all_workloads
+
+
+def small_summary():
+    result = WorkloadResult(workload="telnetd", vuln_kind="bof")
+    result.attacks = [
+        AttackOutcome(0, 2, 0x100, "main.x", 1, True, True, True, None, None),
+        AttackOutcome(1, 2, 0x101, "main.y", 0, True, False, False, None, None),
+    ]
+    return CampaignSummary([result])
+
+
+def test_render_figure7_contains_rows_and_averages():
+    text = render_figure7(small_summary())
+    assert "telnetd" in text
+    assert "50.0%" in text  # changed
+    assert "average" in text
+    assert "paper" in text
+
+
+def test_render_figure8():
+    rows = [Fig8Row("telnetd", 64.0, 32.0, 500.0)]
+    avg = Fig8Row("average", 64.0, 32.0, 500.0)
+    text = render_figure8(rows, avg)
+    assert "BSV" in text and "BAT" in text
+    assert "500.0" in text
+
+
+def test_render_table1_contains_all_rows():
+    text = render_table1()
+    for fragment in ("1 GHz", "RUU size", "BAT stack", "2 Level"):
+        assert fragment in text
+
+
+def test_render_figure9_and_latency():
+    comparisons = [
+        PerformanceComparison(
+            workload="httpd",
+            baseline_cycles=1000,
+            ipds_cycles=1010,
+            instructions=5000,
+            avg_check_latency=6.5,
+            commit_stalls=3,
+        )
+    ]
+    fig9 = render_figure9(comparisons)
+    assert "httpd" in fig9 and "0.9901" in fig9
+    latency = render_latency(comparisons)
+    assert "6.5 cycles" in latency
+
+
+def test_figure8_data_covers_single_workload():
+    workload = all_workloads()[0]
+    rows, average = figure8_data(workloads=[workload])
+    assert len(rows) == 1
+    assert rows[0].workload == workload.name
+    assert average.avg_bsv == rows[0].avg_bsv
+
+
+def test_figure9_data_single_workload_small_scale():
+    workload = all_workloads()[0]
+    (comparison,) = figure9_data(scale=1, workloads=[workload])
+    assert comparison.workload == workload.name
+    assert comparison.baseline_cycles <= comparison.ipds_cycles
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+
+
+def test_cli_fig8(capsys):
+    assert main(["fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+
+
+def test_cli_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        main(["fig42"])
+
+
+def test_normalized_performance_properties():
+    comparison = PerformanceComparison(
+        workload="x",
+        baseline_cycles=100,
+        ipds_cycles=125,
+        instructions=1,
+        avg_check_latency=0.0,
+        commit_stalls=0,
+    )
+    assert comparison.normalized_performance == pytest.approx(0.8)
+    assert comparison.degradation_pct == pytest.approx(20.0)
+    zero = PerformanceComparison("x", 0, 0, 0, 0.0, 0)
+    assert zero.normalized_performance == 1.0

@@ -1,0 +1,93 @@
+"""Tests for the ten server workloads: they compile, run, and are clean."""
+
+import random
+
+import pytest
+
+from repro.pipeline import compile_program, monitored_run
+from repro.workloads import Workload, all_workloads, get_workload, workload_names
+
+EXPECTED_NAMES = [
+    "telnetd",
+    "wu-ftpd",
+    "xinetd",
+    "crond",
+    "sysklogd",
+    "atftpd",
+    "httpd",
+    "sendmail",
+    "sshd",
+    "portmap",
+]
+
+
+def test_all_ten_workloads_registered():
+    assert workload_names() == EXPECTED_NAMES
+
+
+def test_vulnerability_kinds_match_paper():
+    kinds = {w.name: w.vuln_kind for w in all_workloads()}
+    assert kinds["wu-ftpd"] == "fmt"
+    assert kinds["sysklogd"] == "fmt"
+    for name in EXPECTED_NAMES:
+        if name not in ("wu-ftpd", "sysklogd"):
+            assert kinds[name] == "bof", name
+
+
+def test_bad_vuln_kind_rejected():
+    with pytest.raises(ValueError):
+        Workload(
+            name="x",
+            vuln_kind="nope",
+            source="void main() { }",
+            make_inputs=lambda rng: [],
+            description="",
+        )
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_workload_compiles_with_correlations(name):
+    workload = get_workload(name)
+    program = compile_program(workload.source, name)
+    # Every server must have at least one checked branch — otherwise
+    # the IPDS has nothing to verify.
+    assert program.tables.total_checked > 0, name
+    assert program.tables.total_branches > 0
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+@pytest.mark.parametrize("seed", range(8))
+def test_workload_clean_runs_are_ok_and_alarm_free(name, seed):
+    workload = get_workload(name)
+    program = compile_program(workload.source, name)
+    rng = random.Random(f"{name}:{seed}")
+    inputs = workload.make_inputs(rng)
+    result, ipds = monitored_run(program, inputs=inputs)
+    assert result.ok, (name, seed, result.status)
+    assert not ipds.detected, (name, seed, [str(a) for a in ipds.alarms])
+    assert result.outputs, name  # every server says something
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_workload_inputs_deterministic(name):
+    workload = get_workload(name)
+    a = workload.make_inputs(random.Random("fixed"))
+    b = workload.make_inputs(random.Random("fixed"))
+    assert a == b
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_workload_runs_deterministic(name):
+    workload = get_workload(name)
+    program = compile_program(workload.source, name)
+    inputs = workload.make_inputs(random.Random("det"))
+    r1, _ = monitored_run(program, inputs=inputs)
+    r2, _ = monitored_run(program, inputs=inputs)
+    assert r1.outputs == r2.outputs
+    assert r1.branch_trace == r2.branch_trace
+    assert r1.steps == r2.steps
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_workload("nginx")

@@ -10,7 +10,9 @@ construction (the campaign raises on any clean-run alarm).
 Run with ``pytest benchmarks/bench_fig7_detection.py --benchmark-only``.
 Set ``REPRO_FIG7_ATTACKS`` to change the per-benchmark attack count
 (default 30 to keep the harness quick; the paper used 100 — use
-``python -m repro.reporting fig7`` for the full run).
+``python -m repro.reporting fig7`` for the full run) and
+``REPRO_FIG7_JOBS`` to shard each campaign across processes (results
+are identical at any job count).
 """
 
 import os
@@ -18,22 +20,22 @@ import os
 import pytest
 
 from repro.attacks import CampaignSummary, run_workload_campaign
+from repro.parallel import compile_cache_stats
 from repro.reporting import render_figure7
 from repro.workloads import workload_names
 
 ATTACKS = int(os.environ.get("REPRO_FIG7_ATTACKS", "30"))
+JOBS = int(os.environ.get("REPRO_FIG7_JOBS", "1"))
 
 _RESULTS = {}
 
 
 @pytest.mark.parametrize("name", workload_names())
 def test_fig7_campaign(benchmark, compiled_workloads, name):
-    workload, program = compiled_workloads[name]
+    workload, _ = compiled_workloads[name]
 
     def campaign():
-        return run_workload_campaign(
-            workload, attacks=ATTACKS, program=program
-        )
+        return run_workload_campaign(workload, attacks=ATTACKS, jobs=JOBS)
 
     result = benchmark.pedantic(campaign, rounds=1, iterations=1)
     _RESULTS[name] = result
@@ -41,6 +43,14 @@ def test_fig7_campaign(benchmark, compiled_workloads, name):
     assert result.detected <= result.changed <= result.total == ATTACKS
     benchmark.extra_info["pct_changed"] = result.pct_changed
     benchmark.extra_info["pct_detected"] = result.pct_detected
+    # The campaign must reuse the fixture's build, never recompile:
+    # every lookup after the ten fixture compiles is a cache hit.
+    stats = compile_cache_stats()
+    assert stats.hits >= 1
+    assert stats.misses <= len(workload_names())
+    benchmark.extra_info["compile_cache"] = (
+        f"{stats.hits} hits / {stats.misses} misses"
+    )
 
 
 def test_fig7_summary_shape(benchmark, compiled_workloads):

@@ -9,15 +9,21 @@ import random
 
 import pytest
 
-from repro.pipeline import compile_program
+from repro.pipeline import compile_program_cached
 from repro.workloads import all_workloads
 
 
 @pytest.fixture(scope="session")
 def compiled_workloads():
-    """{name: (Workload, ProtectedProgram)} for all ten servers."""
+    """{name: (Workload, ProtectedProgram)} for all ten servers.
+
+    Compiled through the content-addressed cache, so every benchmark
+    module in the session (and any sharded campaign worker forked from
+    it) reuses the same build instead of recompiling.
+    """
     return {
-        w.name: (w, compile_program(w.source, w.name)) for w in all_workloads()
+        w.name: (w, compile_program_cached(w.source, w.name))
+        for w in all_workloads()
     }
 
 

@@ -19,12 +19,13 @@ from .interp.interpreter import RunResult, RunStatus, TamperSpec
 from .pipeline import (
     ProtectedProgram,
     compile_program,
+    compile_program_cached,
     monitored_run,
     unmonitored_run,
 )
 from .runtime.ipds import IPDS, Alarm
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Alarm",
@@ -34,6 +35,7 @@ __all__ = [
     "RunStatus",
     "TamperSpec",
     "compile_program",
+    "compile_program_cached",
     "monitored_run",
     "unmonitored_run",
     "__version__",

@@ -6,7 +6,10 @@ from .campaign import (
     CampaignSummary,
     TAMPER_VALUES,
     WorkloadResult,
+    attack_rng,
+    attack_seed,
     run_attack,
+    run_campaign,
     run_full_campaign,
     run_workload_campaign,
 )
@@ -17,7 +20,10 @@ __all__ = [
     "CampaignSummary",
     "TAMPER_VALUES",
     "WorkloadResult",
+    "attack_rng",
+    "attack_seed",
     "run_attack",
+    "run_campaign",
     "run_full_campaign",
     "run_workload_campaign",
 ]

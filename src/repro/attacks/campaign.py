@@ -29,13 +29,34 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interp.interpreter import Interpreter, RunStatus, TamperSpec
 from ..lang.errors import ReproError
-from ..pipeline import ProtectedProgram, compile_program, monitored_run
-from ..workloads.registry import Workload, all_workloads
+from ..pipeline import ProtectedProgram, monitored_run
+from ..workloads.registry import Workload, resolve_workloads
 
 #: Values an attacker plausibly writes: flag flips, sign flips, and the
 #: large garbage real overflow payloads leave behind (0x41414141 is the
 #: classic "AAAA" fill) — single-word memory-corruption payloads.
 TAMPER_VALUES = (0, 1, -1, 2, 7, 4242, -999, 65536, 0x41414141)
+
+
+def attack_seed(seed_prefix: str, workload_name: str, index: int) -> str:
+    """The seed string of attack ``index`` against one workload.
+
+    Every random choice an attack makes (inputs, trigger, target word,
+    payload) flows from this one string, which depends only on the
+    campaign's ``seed_prefix``, the workload, and the attack index —
+    never on execution order, process identity, or module-level RNG
+    state.  That purity is what lets the sharded engine in
+    :mod:`repro.parallel.engine` split a campaign across processes and
+    still merge outcomes identical to the serial run.
+    """
+    return f"{seed_prefix}{workload_name}:{index}"
+
+
+def attack_rng(
+    seed_prefix: str, workload_name: str, index: int
+) -> random.Random:
+    """An explicit, reproducible RNG for one attack."""
+    return random.Random(attack_seed(seed_prefix, workload_name, index))
 
 
 class CampaignError(ReproError):
@@ -124,6 +145,7 @@ def run_attack(
     seed_prefix: str = "",
     step_limit: int = 500_000,
     attack_model: str = "input",
+    rng: Optional[random.Random] = None,
 ) -> AttackOutcome:
     """Run one independent attack (clean + probe + attack runs).
 
@@ -136,10 +158,14 @@ def run_attack(
     * ``"process"`` (model 2) — a malicious co-resident process snoops
       and tampers the victim's memory at an *arbitrary moment*
       (step-count trigger) and an arbitrary data address.
+
+    ``rng`` defaults to :func:`attack_rng` — an explicit per-attack
+    generator, so results never depend on shared RNG state.
     """
     if attack_model not in ("input", "process"):
         raise ValueError(f"unknown attack model {attack_model!r}")
-    rng = random.Random(f"{seed_prefix}{workload.name}:{index}")
+    if rng is None:
+        rng = attack_rng(seed_prefix, workload.name, index)
     inputs = workload.make_inputs(rng)
 
     # 1. Clean monitored run: reference trace + zero-FP assertion.
@@ -212,10 +238,38 @@ def run_workload_campaign(
     step_limit: int = 500_000,
     program: Optional[ProtectedProgram] = None,
     attack_model: str = "input",
+    opt_level: int = 0,
+    jobs: int = 1,
 ) -> WorkloadResult:
-    """Attack one workload ``attacks`` times independently."""
+    """Attack one workload ``attacks`` times independently.
+
+    ``jobs > 1`` shards the attack indices across a process pool via
+    :mod:`repro.parallel.engine`; the merged result is identical to the
+    serial one for the same ``seed_prefix``.  The sharded path ignores
+    a pre-compiled ``program`` — workers recompile through the
+    content-addressed cache instead (same program, built once per
+    process).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        from ..parallel.engine import run_workload_sharded
+
+        return run_workload_sharded(
+            workload,
+            attacks,
+            seed_prefix=seed_prefix,
+            step_limit=step_limit,
+            attack_model=attack_model,
+            opt_level=opt_level,
+            jobs=jobs,
+        )
     if program is None:
-        program = compile_program(workload.source, workload.name)
+        from ..pipeline import compile_program_cached
+
+        program = compile_program_cached(
+            workload.source, workload.name, opt_level
+        )
     result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
     for index in range(attacks):
         result.attacks.append(
@@ -228,15 +282,46 @@ def run_workload_campaign(
     return result
 
 
+def run_campaign(
+    workloads: Optional[Sequence[Workload]] = None,
+    attacks: int = 100,
+    *,
+    seed_prefix: str = "",
+    step_limit: int = 500_000,
+    attack_model: str = "input",
+    opt_level: int = 0,
+    jobs: int = 1,
+) -> CampaignSummary:
+    """The Figure-7 experiment, optionally sharded across processes.
+
+    The canonical campaign entry point: ``jobs=1`` runs inline,
+    ``jobs=N`` fans shards out over a ``ProcessPoolExecutor`` and
+    merges outcomes back into index order.  Either way the zero-FP
+    invariant is asserted globally (any clean-run alarm raises
+    :class:`CampaignError`), and outcomes — hence rendered reports —
+    are byte-identical at any job count.
+    """
+    from ..parallel.engine import run_campaign as _engine_run_campaign
+
+    return _engine_run_campaign(
+        workloads,
+        attacks,
+        seed_prefix=seed_prefix,
+        step_limit=step_limit,
+        attack_model=attack_model,
+        opt_level=opt_level,
+        jobs=jobs,
+    )
+
+
 def run_full_campaign(
     attacks: int = 100,
     seed_prefix: str = "",
     workloads: Optional[Sequence[Workload]] = None,
+    jobs: int = 1,
 ) -> CampaignSummary:
     """The whole Figure-7 experiment: every workload × N attacks."""
-    chosen = list(workloads) if workloads is not None else all_workloads()
-    results = [
-        run_workload_campaign(w, attacks=attacks, seed_prefix=seed_prefix)
-        for w in chosen
-    ]
-    return CampaignSummary(results)
+    chosen = resolve_workloads(workloads)
+    return run_campaign(
+        chosen, attacks, seed_prefix=seed_prefix, jobs=jobs
+    )

@@ -8,7 +8,8 @@ Subcommands:
 * ``attack FILE``   — execute with a single-word tampering injected and
   report whether control flow changed and whether the IPDS caught it;
 * ``campaign NAME`` — run a Figure-7 style campaign against one of the
-  built-in server workloads;
+  built-in server workloads (or ``all``), optionally sharded across
+  processes with ``--jobs``;
 * ``timing NAME``   — baseline-vs-IPDS timing for one workload.
 """
 
@@ -19,12 +20,12 @@ import random
 import sys
 from typing import List, Optional, Sequence
 
-from .attacks.campaign import run_workload_campaign
+from .attacks.campaign import run_campaign, run_workload_campaign
 from .correlation.encoding import table_sizes
 from .cpu.simulator import normalized_performance
 from .interp.interpreter import TamperSpec
 from .ir.printer import format_module
-from .pipeline import compile_program, monitored_run, unmonitored_run
+from .pipeline import compile_program, compile_program_cached, monitored_run, unmonitored_run
 from .workloads.registry import get_workload, workload_names
 
 
@@ -37,6 +38,13 @@ def _parse_inputs(text: str) -> List[int]:
     if not text:
         return []
     return [int(piece) for piece in text.replace(",", " ").split()]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -133,8 +141,27 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.workload == "all":
+        from .reporting import render_figure7
+
+        summary = run_campaign(
+            attacks=args.attacks,
+            seed_prefix=args.seed_prefix,
+            attack_model=args.model,
+            opt_level=args.opt,
+            jobs=args.jobs,
+        )
+        print(render_figure7(summary))
+        return 0
     workload = get_workload(args.workload)
-    result = run_workload_campaign(workload, attacks=args.attacks)
+    result = run_workload_campaign(
+        workload,
+        attacks=args.attacks,
+        seed_prefix=args.seed_prefix,
+        attack_model=args.model,
+        opt_level=args.opt,
+        jobs=args.jobs,
+    )
     print(f"workload {workload.name} ({workload.vuln_kind}), "
           f"{result.total} attacks:")
     print(f"  control flow changed: {result.changed} ({result.pct_changed:.1f}%)")
@@ -145,7 +172,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 def cmd_timing(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    program = compile_program(workload.source, workload.name)
+    program = compile_program_cached(workload.source, workload.name)
     inputs = workload.make_inputs(
         random.Random(f"cli:{workload.name}"), args.scale
     )
@@ -206,8 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("campaign", help="Figure-7 campaign on a workload")
-    p.add_argument("workload", choices=workload_names())
+    p.add_argument("workload", choices=workload_names() + ["all"],
+                   help="one server, or 'all' for the full registry")
     p.add_argument("--attacks", type=int, default=100)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="shard attacks across N processes (same results "
+                        "at any value; see docs on seed semantics)")
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.add_argument("--model", choices=["input", "process"], default="input")
+    p.add_argument("--seed-prefix", default="",
+                   help="campaign seed namespace (attack i draws from "
+                        "seed '<prefix><workload>:<i>')")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("timing", help="Figure-9 timing for a workload")

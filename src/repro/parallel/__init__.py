@@ -1,0 +1,48 @@
+"""Parallel campaign engine: compile cache + sharded execution.
+
+Public surface:
+
+* :func:`run_campaign` / :func:`run_workload_sharded` /
+  :func:`run_clean_sweep` — deterministic sharded campaigns (same
+  merged outcomes at any ``jobs``);
+* :func:`cached_compile` and friends — the content-addressed compile
+  cache both the serial and sharded paths go through.
+"""
+
+from .cache import (
+    CACHE_ENV,
+    CacheStats,
+    cache_dir,
+    cached_compile,
+    compile_cache_stats,
+    compile_fingerprint,
+    reset_compile_cache,
+)
+from .engine import (
+    MAX_JOBS,
+    CleanTask,
+    ShardTask,
+    merge_outcomes,
+    run_campaign,
+    run_clean_sweep,
+    run_workload_sharded,
+    shard_indices,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "CacheStats",
+    "CleanTask",
+    "MAX_JOBS",
+    "ShardTask",
+    "cache_dir",
+    "cached_compile",
+    "compile_cache_stats",
+    "compile_fingerprint",
+    "merge_outcomes",
+    "reset_compile_cache",
+    "run_campaign",
+    "run_clean_sweep",
+    "run_workload_sharded",
+    "shard_indices",
+]

@@ -1,0 +1,327 @@
+"""Sharded campaign execution over a process pool.
+
+The Figure-7 methodology runs ``attacks`` independent attacks per
+workload; every attack already derives its RNG from a pure function of
+``(seed_prefix, workload name, attack index)`` (see
+:func:`repro.attacks.campaign.attack_rng`), so attacks can execute in
+any order, on any process, and still reproduce the serial campaign
+bit-for-bit.  This engine exploits that: it slices each workload's
+index range into contiguous shards, runs shards on a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and merges outcomes
+back into index order.  ``jobs=1`` short-circuits to a plain serial
+loop, and the merged result is identical at any job count.
+
+Workers receive only primitives (workload *names* plus scalar knobs) —
+each worker resolves the workload from the registry and compiles it
+through the content-addressed compile cache, so a workload's
+:class:`ProtectedProgram` is built at most once per process regardless
+of how many shards land there.
+
+Zero false positives stays a *global* assertion: any clean-run alarm
+raises :class:`~repro.attacks.campaign.CampaignError` inside the
+worker, which propagates out of :func:`run_campaign` after cancelling
+the remaining shards.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..attacks.campaign import (
+    AttackOutcome,
+    CampaignError,
+    CampaignSummary,
+    WorkloadResult,
+    run_attack,
+)
+from ..pipeline import monitored_run
+from ..workloads.registry import Workload, get_workload, resolve_workloads
+from .cache import cached_compile
+
+#: Hard ceiling on worker processes, mirroring how many shards a
+#: campaign meaningfully splits into.
+MAX_JOBS = 64
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker's slice of a workload campaign (picklable)."""
+
+    workload: str
+    indices: Tuple[int, ...]
+    seed_prefix: str
+    step_limit: int
+    attack_model: str
+    opt_level: int
+
+
+@dataclass(frozen=True)
+class CleanTask:
+    """One worker's slice of a clean-run sweep (picklable)."""
+
+    workload: str
+    sessions: Tuple[int, ...]
+    seed_prefix: str
+    step_limit: int
+    opt_level: int
+
+
+def shard_indices(count: int, shards: int) -> List[Tuple[int, ...]]:
+    """Slice ``range(count)`` into at most ``shards`` contiguous blocks.
+
+    Deterministic, order-preserving, and never emits an empty block;
+    concatenating the blocks always reproduces ``range(count)``.
+    """
+    if count <= 0:
+        return []
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    blocks: List[Tuple[int, ...]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        blocks.append(tuple(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def _normalize_jobs(jobs: int) -> int:
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return min(jobs, MAX_JOBS)
+
+
+def _workload_name(workload: Union[Workload, str]) -> str:
+    name = workload if isinstance(workload, str) else workload.name
+    # Shards resolve workloads by name inside the worker; fail fast in
+    # the parent if the name is not registered (ad-hoc Workload objects
+    # outside the registry only support the serial path).
+    get_workload(name)
+    return name
+
+
+def _run_shard(task: ShardTask) -> List[AttackOutcome]:
+    """Worker entry point: one shard of one workload's campaign."""
+    workload = get_workload(task.workload)
+    program = cached_compile(workload.source, workload.name, task.opt_level)
+    return [
+        run_attack(
+            program,
+            workload,
+            index,
+            seed_prefix=task.seed_prefix,
+            step_limit=task.step_limit,
+            attack_model=task.attack_model,
+        )
+        for index in task.indices
+    ]
+
+
+def _run_clean_shard(task: CleanTask) -> List[str]:
+    """Worker entry point: monitored clean sessions; returns alarms."""
+    workload = get_workload(task.workload)
+    program = cached_compile(workload.source, workload.name, task.opt_level)
+    alarms: List[str] = []
+    for session in task.sessions:
+        rng = random.Random(f"{task.seed_prefix}{workload.name}:{session}")
+        inputs = workload.make_inputs(rng)
+        _, ipds = monitored_run(
+            program, inputs=inputs, step_limit=task.step_limit
+        )
+        if ipds.detected:
+            alarms.append(
+                f"{workload.name}[session {session}, opt {task.opt_level}]: "
+                f"{ipds.alarms[0]}"
+            )
+    return alarms
+
+
+def merge_outcomes(
+    workload: Workload, attacks: int, shards: Sequence[Sequence[AttackOutcome]]
+) -> WorkloadResult:
+    """Merge shard outcomes back into the serial campaign's order.
+
+    Validates completeness: the merged list must cover exactly
+    ``range(attacks)`` — a shard that silently dropped work is a
+    campaign-integrity failure, not a statistic.
+    """
+    merged = sorted(
+        (outcome for shard in shards for outcome in shard),
+        key=lambda outcome: outcome.index,
+    )
+    indices = [outcome.index for outcome in merged]
+    if indices != list(range(attacks)):
+        raise CampaignError(
+            f"sharded campaign for {workload.name} lost outcomes: "
+            f"expected {attacks} indices, merged {indices[:10]}..."
+        )
+    result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
+    result.attacks = merged
+    return result
+
+
+def _serial_workload(
+    workload: Workload,
+    attacks: int,
+    seed_prefix: str,
+    step_limit: int,
+    attack_model: str,
+    opt_level: int,
+) -> WorkloadResult:
+    program = cached_compile(workload.source, workload.name, opt_level)
+    result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
+    for index in range(attacks):
+        result.attacks.append(
+            run_attack(
+                program,
+                workload,
+                index,
+                seed_prefix=seed_prefix,
+                step_limit=step_limit,
+                attack_model=attack_model,
+            )
+        )
+    return result
+
+
+def run_workload_sharded(
+    workload: Union[Workload, str],
+    attacks: int = 100,
+    *,
+    seed_prefix: str = "",
+    step_limit: int = 500_000,
+    attack_model: str = "input",
+    opt_level: int = 0,
+    jobs: int = 1,
+) -> WorkloadResult:
+    """One workload's campaign, sharded across ``jobs`` processes."""
+    summary = run_campaign(
+        workloads=[_workload_name(workload)],
+        attacks=attacks,
+        seed_prefix=seed_prefix,
+        step_limit=step_limit,
+        attack_model=attack_model,
+        opt_level=opt_level,
+        jobs=jobs,
+    )
+    return summary.results[0]
+
+
+def run_campaign(
+    workloads: Optional[Sequence[Union[Workload, str]]] = None,
+    attacks: int = 100,
+    *,
+    seed_prefix: str = "",
+    step_limit: int = 500_000,
+    attack_model: str = "input",
+    opt_level: int = 0,
+    jobs: int = 1,
+) -> CampaignSummary:
+    """The full campaign, sharded across a process pool.
+
+    Identical merged outcomes (and therefore byte-identical reports) at
+    any ``jobs`` value; ``jobs=1`` runs inline without a pool.
+    """
+    jobs = _normalize_jobs(jobs)
+    chosen = resolve_workloads(workloads)
+    if jobs == 1 or attacks <= 0 or not chosen:
+        results = [
+            _serial_workload(
+                workload, attacks, seed_prefix, step_limit,
+                attack_model, opt_level,
+            )
+            for workload in chosen
+        ]
+        return CampaignSummary(results)
+
+    # Warm the in-process cache before forking so fork-based workers
+    # inherit compiled programs for free; spawn-based workers fall back
+    # to compiling (through their own cache) once per process.
+    for workload in chosen:
+        cached_compile(workload.source, workload.name, opt_level)
+
+    futures: Dict[str, List[Future]] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as executor:
+        try:
+            for workload in chosen:
+                futures[workload.name] = [
+                    executor.submit(
+                        _run_shard,
+                        ShardTask(
+                            workload=workload.name,
+                            indices=block,
+                            seed_prefix=seed_prefix,
+                            step_limit=step_limit,
+                            attack_model=attack_model,
+                            opt_level=opt_level,
+                        ),
+                    )
+                    for block in shard_indices(attacks, jobs)
+                ]
+            results = [
+                merge_outcomes(
+                    workload,
+                    attacks,
+                    [future.result() for future in futures[workload.name]],
+                )
+                for workload in chosen
+            ]
+        except BaseException:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+    return CampaignSummary(results)
+
+
+def run_clean_sweep(
+    workloads: Optional[Sequence[Union[Workload, str]]] = None,
+    sessions: int = 3,
+    *,
+    seed_prefix: str = "clean:",
+    step_limit: int = 500_000,
+    opt_level: int = 0,
+    jobs: int = 1,
+) -> int:
+    """Monitored clean runs for every workload — the zero-FP sweep.
+
+    Returns the number of clean sessions executed; raises
+    :class:`CampaignError` listing every alarm if any session alarmed.
+    """
+    jobs = _normalize_jobs(jobs)
+    chosen = resolve_workloads(workloads)
+    tasks = [
+        CleanTask(
+            workload=workload.name,
+            sessions=block,
+            seed_prefix=seed_prefix,
+            step_limit=step_limit,
+            opt_level=opt_level,
+        )
+        for workload in chosen
+        for block in shard_indices(sessions, jobs)
+    ]
+    alarms: List[str] = []
+    if jobs == 1:
+        for task in tasks:
+            alarms.extend(_run_clean_shard(task))
+    else:
+        for workload in chosen:
+            cached_compile(workload.source, workload.name, opt_level)
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            try:
+                pending = [
+                    executor.submit(_run_clean_shard, task) for task in tasks
+                ]
+                for future in pending:
+                    alarms.extend(future.result())
+            except BaseException:
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+    if alarms:
+        raise CampaignError(
+            f"{len(alarms)} false positive(s) on clean runs: "
+            + "; ".join(alarms[:5])
+        )
+    return len(chosen) * sessions

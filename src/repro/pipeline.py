@@ -74,6 +74,22 @@ def compile_program(
     )
 
 
+def compile_program_cached(
+    source: str, name: str = "<source>", opt_level: int = 0
+) -> ProtectedProgram:
+    """:func:`compile_program` behind the content-addressed cache.
+
+    Same result, but each distinct ``(name, opt_level, source)`` is
+    compiled at most once per process (and once per cache directory
+    when ``REPRO_COMPILE_CACHE`` points at one).  Callers must treat
+    the returned program as shared and immutable.  See
+    :mod:`repro.parallel.cache`.
+    """
+    from .parallel.cache import cached_compile
+
+    return cached_compile(source, name, opt_level)
+
+
 def monitored_run(
     program: ProtectedProgram,
     inputs: Sequence[int] = (),

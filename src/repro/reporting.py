@@ -14,11 +14,11 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .attacks.campaign import CampaignSummary, run_full_campaign
+from .attacks.campaign import CampaignSummary, run_campaign
 from .correlation.encoding import SizeSummary, summarize_sizes
 from .cpu.params import IPDSHardwareParams, ProcessorParams
 from .cpu.simulator import PerformanceComparison, normalized_performance
-from .pipeline import ProtectedProgram, compile_program
+from .pipeline import ProtectedProgram, compile_program_cached
 from .workloads.registry import Workload, all_workloads
 
 
@@ -33,10 +33,21 @@ def _bar(value: float, scale: float = 1.0, width: int = 40) -> str:
 
 
 def figure7_data(
-    attacks: int = 100, workloads: Optional[Sequence[Workload]] = None
+    attacks: int = 100,
+    workloads: Optional[Sequence[Workload]] = None,
+    jobs: int = 1,
+    seed_prefix: str = "",
 ) -> CampaignSummary:
-    """Run the Figure 7 campaign (100 independent attacks/server)."""
-    return run_full_campaign(attacks=attacks, workloads=workloads)
+    """Run the Figure 7 campaign (100 independent attacks/server).
+
+    ``jobs`` shards the campaign across processes.  Because attacks are
+    seeded purely by ``(seed_prefix, workload, index)`` and shard
+    outcomes are merged back into index order, the summary — and hence
+    :func:`render_figure7`'s text — is byte-identical at any ``jobs``.
+    """
+    return run_campaign(
+        workloads, attacks=attacks, seed_prefix=seed_prefix, jobs=jobs
+    )
 
 
 def render_figure7(summary: CampaignSummary) -> str:
@@ -88,7 +99,7 @@ def figure8_data(
     rows: List[Fig8Row] = []
     all_sizes: List[SizeSummary] = []
     for workload in chosen:
-        program = compile_program(workload.source, workload.name)
+        program = compile_program_cached(workload.source, workload.name)
         summary = summarize_sizes(program.tables)
         all_sizes.append(summary)
         rows.append(
@@ -192,7 +203,7 @@ def figure9_data(
     chosen = list(workloads) if workloads is not None else all_workloads()
     comparisons: List[PerformanceComparison] = []
     for workload in chosen:
-        program = compile_program(workload.source, workload.name)
+        program = compile_program_cached(workload.source, workload.name)
         rng = random.Random(f"fig9:{workload.name}")
         inputs = workload.make_inputs(rng, scale)
         comparisons.append(
@@ -256,6 +267,13 @@ def render_latency(comparisons: List[PerformanceComparison]) -> str:
 # ----------------------------------------------------------------------
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.reporting",
@@ -273,6 +291,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--scale", type=int, default=20,
         help="session-length multiplier for fig9 traces (default 20)",
     )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="shard the fig7 campaign across N processes "
+             "(byte-identical output at any value)",
+    )
     args = parser.parse_args(argv)
 
     wants = (
@@ -284,7 +307,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     fig9 = None
     for artifact in wants:
         if artifact == "fig7":
-            blocks.append(render_figure7(figure7_data(attacks=args.attacks)))
+            blocks.append(
+                render_figure7(
+                    figure7_data(attacks=args.attacks, jobs=args.jobs)
+                )
+            )
         elif artifact == "fig8":
             blocks.append(render_figure8(*figure8_data()))
         elif artifact == "table1":

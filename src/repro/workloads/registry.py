@@ -16,9 +16,10 @@ drive varied but realistic sessions from a seeded RNG.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,18 @@ class Workload:
         if self.vuln_kind not in ("bof", "fmt"):
             raise ValueError(f"bad vulnerability kind {self.vuln_kind!r}")
 
+    def fingerprint(self) -> str:
+        """Content address of this workload's program source.
+
+        Stable across processes and sessions; campaign shards and the
+        compile cache key off the source text this digest covers, so
+        two workloads with equal fingerprints compile identically.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.name}\n{self.vuln_kind}\n".encode("utf-8"))
+        digest.update(self.source.encode("utf-8"))
+        return digest.hexdigest()
+
 
 _REGISTRY: Dict[str, Workload] = {}
 
@@ -53,7 +66,11 @@ def register(workload: Workload) -> Workload:
 
 def get_workload(name: str) -> Workload:
     _ensure_loaded()
-    return _REGISTRY[name]
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r} (known: {known})") from None
 
 
 def all_workloads() -> List[Workload]:
@@ -76,6 +93,23 @@ def all_workloads() -> List[Workload]:
 
 def workload_names() -> List[str]:
     return [w.name for w in all_workloads()]
+
+
+def resolve_workloads(
+    specs: Optional[Sequence[Union[Workload, str]]] = None,
+) -> List[Workload]:
+    """Normalize a mixed name/instance list to :class:`Workload` objects.
+
+    ``None`` means every registered workload, in the paper's order —
+    the shape every campaign entry point (serial CLI, sharded engine,
+    reporting) funnels through.
+    """
+    if specs is None:
+        return all_workloads()
+    return [
+        spec if isinstance(spec, Workload) else get_workload(spec)
+        for spec in specs
+    ]
 
 
 def _ensure_loaded() -> None:

@@ -1,0 +1,103 @@
+"""Round-trip tests: encoding sizes and the §5.4 binary image recover
+identical BCV/BSV/BAT tables for every workload in the registry.
+
+``pack_program -> load_program`` must be lossless for every function of
+every registered server (at opt level 0 and 1), the packed blob sizes
+must agree byte-for-byte with the Figure-8 bit accounting in
+``repro.correlation.encoding``, and re-packing the loaded tables must
+reproduce the original image exactly.
+"""
+
+import pytest
+
+from repro.correlation.binary_image import load_program, pack_program
+from repro.correlation.encoding import table_sizes
+from repro.pipeline import compile_program_cached
+from repro.workloads import all_workloads, workload_names
+
+
+@pytest.fixture(scope="module", params=[0, 1], ids=["opt0", "opt1"])
+def compiled_registry(request):
+    opt = request.param
+    return opt, {
+        w.name: compile_program_cached(w.source, w.name, opt)
+        for w in all_workloads()
+    }
+
+
+def _entries(program):
+    return {
+        fn.name: program.module.function_extent(fn.name)[0]
+        for fn in program.module.functions
+    }
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_image_roundtrip_recovers_tables(compiled_registry, name):
+    _, programs = compiled_registry
+    program = programs[name]
+    image = program.to_image()
+    loaded, entries = load_program(image)
+
+    assert set(loaded.by_function) == set(program.tables.by_function)
+    assert entries == _entries(program)
+    for fn_name, original in program.tables.by_function.items():
+        recovered = loaded.by_function[fn_name]
+        assert recovered.hash_params == original.hash_params
+        assert recovered.branch_pcs == tuple(original.branch_pcs)
+        assert recovered.bcv_slots == frozenset(original.bcv_slots)
+        original_bat = {
+            key: tuple(chain)
+            for key, chain in original.bat.items()
+            if chain
+        }
+        recovered_bat = {
+            key: tuple(chain)
+            for key, chain in recovered.bat.items()
+            if chain
+        }
+        assert recovered_bat == original_bat, fn_name
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_repack_is_byte_identical(compiled_registry, name):
+    _, programs = compiled_registry
+    program = programs[name]
+    image = program.to_image()
+    loaded, entries = load_program(image)
+    assert pack_program(loaded, entries) == image
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_blob_sizes_match_fig8_accounting(compiled_registry, name):
+    """The wire blobs are exactly the Fig. 8 bit counts, rounded up."""
+    from repro.correlation.binary_image import _pack_bat, _pack_bcv
+
+    _, programs = compiled_registry
+    program = programs[name]
+    for tables in program.tables:
+        sizes = table_sizes(tables)
+        bcv_blob = _pack_bcv(tables)
+        bat_blob, entry_count = _pack_bat(tables)
+        assert len(bcv_blob) == (sizes.bcv_bits + 7) // 8
+        assert len(bat_blob) == (sizes.bat_bits + 7) // 8
+        assert entry_count == sizes.action_entries
+        # BSV is runtime state: 2 bits per hash slot.
+        assert sizes.bsv_bits == 2 * tables.space
+
+
+def test_loaded_tables_drive_the_same_slots(compiled_registry):
+    """Functional equivalence: the recovered tables answer slot/check
+    queries identically to the originals (the runtime's access paths)."""
+    _, programs = compiled_registry
+    program = programs["telnetd"]
+    loaded, _ = load_program(program.to_image())
+    for fn_name, original in program.tables.by_function.items():
+        recovered = loaded.by_function[fn_name]
+        for pc in original.branch_pcs:
+            assert recovered.slot_of(pc) == original.slot_of(pc)
+            assert recovered.is_checked(pc) == original.is_checked(pc)
+            for taken in (True, False):
+                assert recovered.actions_for(pc, taken) == tuple(
+                    original.actions_for(pc, taken)
+                )

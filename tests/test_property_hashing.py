@@ -1,0 +1,107 @@
+"""Property-based tests for the §5.2 perfect-hash search.
+
+The contract under test: for any set of distinct branch PCs the search
+either returns a parameterization that is *actually* collision-free, or
+fails loudly with :class:`HashSearchError` — it must never hand back a
+colliding configuration, because a collision silently merges two
+branches' BSV/BCV/BAT slots and corrupts detection.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correlation import hashing
+from repro.correlation.hashing import (
+    HashParams,
+    HashSearchError,
+    find_perfect_hash,
+    minimum_bits,
+)
+
+#: Branch PCs are word-aligned instruction addresses.
+pc_sets = st.lists(
+    st.integers(0, (1 << 20) - 1).map(lambda word: word * 4),
+    unique=True,
+    min_size=0,
+    max_size=48,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pcs=pc_sets)
+def test_search_result_is_collision_free(pcs):
+    result = find_perfect_hash(pcs)
+    slots = [result.params.slot(pc) for pc in pcs]
+    assert len(set(slots)) == len(pcs), (pcs, result.params)
+    assert result.collision_free
+    assert all(0 <= slot < result.params.space for slot in slots)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pcs=pc_sets)
+def test_search_is_deterministic(pcs):
+    first = find_perfect_hash(pcs)
+    second = find_perfect_hash(pcs)
+    assert first.params == second.params
+    assert first.trials == second.trials
+
+
+@settings(max_examples=100, deadline=None)
+@given(pcs=pc_sets.filter(lambda pcs: len(pcs) >= 1))
+def test_search_effort_and_space_bounds(pcs):
+    result = find_perfect_hash(pcs)
+    assert result.trials >= 1
+    assert result.params.bits >= minimum_bits(len(pcs))
+    assert result.params.bits <= hashing.MAX_BITS
+    assert result.params.space >= len(pcs)
+    assert 1 <= result.params.shift1 <= result.params.shift2 <= hashing.MAX_SHIFT
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pcs=pc_sets.filter(lambda pcs: len(pcs) >= 1),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_slot_stays_inside_space(pcs, seed):
+    params = find_perfect_hash(pcs).params
+    # Arbitrary (even unregistered) PCs must still map inside the table.
+    probe = (seed * 4) & 0xFFFFFFFF
+    assert 0 <= params.slot(probe) < params.space
+
+
+@settings(max_examples=60, deadline=None)
+@given(pcs=pc_sets.filter(lambda pcs: len(pcs) >= 1))
+def test_duplicate_pcs_fail_loudly(pcs):
+    with pytest.raises(HashSearchError, match="duplicate"):
+        find_perfect_hash(list(pcs) + [pcs[0]])
+
+
+def test_exhausted_search_raises_not_returns(monkeypatch):
+    """When no parameterization works, the search must raise — never
+    return a colliding config."""
+    monkeypatch.setattr(hashing, "MAX_SHIFT", 1)
+    monkeypatch.setattr(hashing, "MAX_BITS", 1)
+    # Words 0 and 2 collide in a 2-slot space for every (s1, s2) in the
+    # shrunken window: slot(0)=0^0^0=0, slot(8>>2=2)=2^1^1=2 -> 0 mod 2.
+    pcs = [0, 8, 4]
+    with pytest.raises(HashSearchError, match="no collision-free hash"):
+        find_perfect_hash(pcs)
+
+
+def test_empty_set_gets_trivial_table():
+    result = find_perfect_hash([])
+    assert result.trials == 0
+    assert result.params.space == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    shift1=st.integers(1, 12),
+    shift2=st.integers(1, 12),
+    bits=st.integers(0, 16),
+    pc=st.integers(0, 2**32 - 1),
+)
+def test_hash_params_slot_range(shift1, shift2, bits, pc):
+    params = HashParams(shift1, shift2, bits)
+    assert 0 <= params.slot(pc) < params.space

@@ -1,0 +1,66 @@
+"""Zero-false-positive regression: the paper's headline invariant.
+
+Every registered workload, run clean under IPDS monitoring, must raise
+no alarms — at opt level 0 and 1, serially and sharded across two
+worker processes.  Until now this was only spot-checked inside attack
+campaigns; here it is a standing regression gate over the whole
+registry.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import CampaignError
+from repro.parallel import run_clean_sweep
+from repro.pipeline import compile_program_cached, monitored_run
+from repro.workloads import all_workloads, workload_names
+
+SESSIONS = 3
+
+
+@pytest.mark.parametrize("opt_level", [0, 1], ids=["opt0", "opt1"])
+@pytest.mark.parametrize("name", workload_names())
+def test_clean_runs_never_alarm(name, opt_level):
+    workload = next(w for w in all_workloads() if w.name == name)
+    program = compile_program_cached(workload.source, workload.name, opt_level)
+    for session in range(SESSIONS):
+        rng = random.Random(f"zfp:{name}:{session}")
+        inputs = workload.make_inputs(rng)
+        result, ipds = monitored_run(program, inputs=inputs, step_limit=500_000)
+        assert not ipds.detected, (
+            name,
+            opt_level,
+            session,
+            [str(alarm) for alarm in ipds.alarms],
+        )
+
+
+@pytest.mark.parametrize("opt_level", [0, 1], ids=["opt0", "opt1"])
+def test_clean_sweep_serial(opt_level):
+    runs = run_clean_sweep(sessions=2, opt_level=opt_level, jobs=1)
+    assert runs == 2 * len(workload_names())
+
+
+@pytest.mark.parametrize("opt_level", [0, 1], ids=["opt0", "opt1"])
+def test_clean_sweep_sharded(opt_level):
+    """The same invariant must hold through the parallel engine."""
+    runs = run_clean_sweep(sessions=2, opt_level=opt_level, jobs=2)
+    assert runs == 2 * len(workload_names())
+
+
+def test_clean_sweep_raises_on_alarm(monkeypatch):
+    """A single alarm anywhere must abort the sweep loudly."""
+    from repro.parallel import engine
+
+    real = engine._run_clean_shard
+
+    def poisoned(task):
+        alarms = real(task)
+        if task.workload == "httpd":
+            alarms = alarms + ["httpd[injected]: synthetic alarm"]
+        return alarms
+
+    monkeypatch.setattr(engine, "_run_clean_shard", poisoned)
+    with pytest.raises(CampaignError, match="false positive"):
+        engine.run_clean_sweep(sessions=1, jobs=1)

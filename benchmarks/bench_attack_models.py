@@ -12,7 +12,6 @@ import os
 import pytest
 
 from repro.attacks import run_workload_campaign
-from repro.workloads import workload_names
 
 ATTACKS = int(os.environ.get("REPRO_FIG7_ATTACKS", "30"))
 JOBS = int(os.environ.get("REPRO_FIG7_JOBS", "1"))

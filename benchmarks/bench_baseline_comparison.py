@@ -14,7 +14,6 @@ import os
 import pytest
 
 from repro.baselines import compare_detectors
-from repro.workloads import all_workloads
 
 ATTACKS = int(os.environ.get("REPRO_BASELINE_ATTACKS", "25"))
 WORKLOADS = ["telnetd", "httpd", "sendmail", "sshd"]

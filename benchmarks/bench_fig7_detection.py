@@ -13,13 +13,22 @@ Set ``REPRO_FIG7_ATTACKS`` to change the per-benchmark attack count
 ``python -m repro.reporting fig7`` for the full run) and
 ``REPRO_FIG7_JOBS`` to shard each campaign across processes (results
 are identical at any job count).
+
+Each campaign runs with a :class:`MetricsRegistry` attached, and the
+summary test writes ``BENCH_fig7_detection.json`` at the repo root:
+per-workload and aggregate events/sec and steps/sec, the seed numbers
+of the bench trajectory.
 """
 
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.attacks import CampaignSummary, run_workload_campaign
+from repro.observability import MetricsRegistry
 from repro.parallel import compile_cache_stats
 from repro.reporting import render_figure7
 from repro.workloads import workload_names
@@ -27,22 +36,43 @@ from repro.workloads import workload_names
 ATTACKS = int(os.environ.get("REPRO_FIG7_ATTACKS", "30"))
 JOBS = int(os.environ.get("REPRO_FIG7_JOBS", "1"))
 
+BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_fig7_detection.json"
+
 _RESULTS = {}
+_METRICS = {}
 
 
 @pytest.mark.parametrize("name", workload_names())
 def test_fig7_campaign(benchmark, compiled_workloads, name):
     workload, _ = compiled_workloads[name]
+    registry = MetricsRegistry()
 
     def campaign():
-        return run_workload_campaign(workload, attacks=ATTACKS, jobs=JOBS)
+        return run_workload_campaign(
+            workload, attacks=ATTACKS, jobs=JOBS, metrics=registry
+        )
 
+    start = time.perf_counter()
     result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
     _RESULTS[name] = result
+    events = registry.value("ipds.events")
+    steps = registry.value("interp.steps")
+    _METRICS[name] = {
+        "attacks": ATTACKS,
+        "jobs": JOBS,
+        "seconds": round(elapsed, 6),
+        "ipds_events": events,
+        "interp_steps": steps,
+        "events_per_sec": round(events / elapsed) if elapsed else 0,
+        "steps_per_sec": round(steps / elapsed) if elapsed else 0,
+    }
     # Soundness: detection only on control-flow-changing tamperings.
     assert result.detected <= result.changed <= result.total == ATTACKS
+    assert registry.value("campaign.attacks") == ATTACKS
     benchmark.extra_info["pct_changed"] = result.pct_changed
     benchmark.extra_info["pct_detected"] = result.pct_detected
+    benchmark.extra_info["events_per_sec"] = _METRICS[name]["events_per_sec"]
     # The campaign must reuse the fixture's build, never recompile:
     # every lookup after the ten fixture compiles is a cache hit.
     stats = compile_cache_stats()
@@ -68,6 +98,37 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
     summary = benchmark.pedantic(summarize, rounds=1, iterations=1)
     print()
     print(render_figure7(summary))
+    if _METRICS:
+        total_events = sum(m["ipds_events"] for m in _METRICS.values())
+        total_steps = sum(m["interp_steps"] for m in _METRICS.values())
+        total_seconds = sum(m["seconds"] for m in _METRICS.values())
+        BENCH_OUT.write_text(
+            json.dumps(
+                {
+                    "bench": "fig7_detection",
+                    "attacks_per_workload": ATTACKS,
+                    "jobs": JOBS,
+                    "workloads": _METRICS,
+                    "total": {
+                        "seconds": round(total_seconds, 6),
+                        "ipds_events": total_events,
+                        "interp_steps": total_steps,
+                        "events_per_sec": (
+                            round(total_events / total_seconds)
+                            if total_seconds else 0
+                        ),
+                        "steps_per_sec": (
+                            round(total_steps / total_seconds)
+                            if total_seconds else 0
+                        ),
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {BENCH_OUT}")
     # Shape: a nontrivial fraction of tamperings change control flow,
     # and the IPDS catches a sizable share of those.
     assert summary.avg_pct_changed > 5.0

@@ -10,7 +10,7 @@ import os
 
 import pytest
 
-from repro.cpu import normalized_performance, timed_run
+from repro.cpu import normalized_performance
 from repro.reporting import render_figure9
 from repro.workloads import workload_names
 

@@ -11,7 +11,6 @@ import os
 import pytest
 
 from repro.cpu import timed_run
-from repro.reporting import render_latency
 from repro.workloads import workload_names
 
 SCALE = int(os.environ.get("REPRO_FIG9_SCALE", "10"))

@@ -1,0 +1,123 @@
+"""Observer-bus dispatch overhead.
+
+Measures what attaching observers costs one interpreter execution:
+
+* ``bare``        — no observers at all (the bus short-circuits);
+* ``noop_events`` — one control-flow-only no-op observer (call /
+  return / branch dispatch, no per-instruction hook);
+* ``noop_instr``  — a no-op observer that also subscribes to the
+  per-instruction stream (the expensive hot path);
+* ``full_stack``  — the real four-consumer configuration: IPDS +
+  baseline timing model + n-gram syscall capture + trace recorder on
+  one pass.
+
+Run with ``pytest benchmarks/bench_observer_overhead.py --benchmark-only``.
+Writes ``BENCH_observer_overhead.json`` at the repo root with per-config
+steps/sec and the overhead of each config relative to ``bare`` — the
+number the bus's pre-filtering (control-flow-only observers never pay
+per-instruction dispatch) is meant to keep small.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.compare import SyscallTraceObserver
+from repro.cpu.params import ProcessorParams
+from repro.cpu.pipeline import TimingModel
+from repro.cpu.simulator import TimingObserver
+from repro.pipeline import observed_run
+from repro.runtime.observer import ExecutionObserver
+from repro.runtime.replay import TraceRecorder
+
+WORKLOAD = "telnetd"
+SCALE = 12
+ROUNDS = 7
+CONFIGS = ["bare", "noop_events", "noop_instr", "full_stack"]
+
+BENCH_OUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_observer_overhead.json"
+)
+
+_TIMINGS = {}
+
+
+class _NoopInstructionObserver(ExecutionObserver):
+    """Subscribes to every instruction, does nothing with it."""
+
+    def on_instruction(self, instruction, touched):
+        pass
+
+
+def _observers(config):
+    if config == "bare":
+        return []
+    if config == "noop_events":
+        return [ExecutionObserver()]
+    if config == "noop_instr":
+        return [_NoopInstructionObserver()]
+    if config == "full_stack":
+        return [
+            None,  # placeholder: fresh IPDS built per run
+            TimingObserver(TimingModel(ProcessorParams(), None)),
+            SyscallTraceObserver(),
+            TraceRecorder(),
+        ]
+    raise ValueError(config)
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_observer_overhead(benchmark, compiled_workloads, workload_inputs,
+                           config):
+    workload, program = compiled_workloads[WORKLOAD]
+    inputs = workload_inputs(WORKLOAD, SCALE)
+
+    def execute():
+        observers = _observers(config)
+        if config == "full_stack":
+            observers[0] = program.new_ipds()
+        return observed_run(program, observers=observers, inputs=inputs)
+
+    # Warm outside the timed region (allocator, caches, CPU frequency).
+    reference = execute()
+    result = benchmark.pedantic(
+        execute, rounds=ROUNDS, iterations=1, warmup_rounds=2
+    )
+    assert result.steps == reference.steps
+    # The harness's own best-of-rounds measurement, not wall clock
+    # around it — minimum is the standard low-noise micro number.
+    best = benchmark.stats.stats.min
+    _TIMINGS[config] = {
+        "seconds_per_run": round(best, 6),
+        "steps": result.steps,
+        "steps_per_sec": round(result.steps / best) if best else 0,
+    }
+    benchmark.extra_info["steps_per_sec"] = _TIMINGS[config]["steps_per_sec"]
+    if config == CONFIGS[-1]:
+        _write_report()
+
+
+def _write_report():
+    assert set(CONFIGS) <= set(_TIMINGS), "all overhead cases must run"
+    bare = _TIMINGS["bare"]["seconds_per_run"]
+    for timing in _TIMINGS.values():
+        timing["overhead_vs_bare_pct"] = (
+            round(100.0 * (timing["seconds_per_run"] / bare - 1.0), 2)
+            if bare else 0.0
+        )
+    BENCH_OUT.write_text(
+        json.dumps(
+            {
+                "bench": "observer_overhead",
+                "workload": WORKLOAD,
+                "scale": SCALE,
+                "rounds": ROUNDS,
+                "configs": _TIMINGS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"\nwrote {BENCH_OUT}")

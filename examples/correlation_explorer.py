@@ -9,7 +9,6 @@ branch event with the BSV status it was verified against.
 """
 
 from repro.analysis import analyze_branches, analyze_definitions, analyze_purity, analyze_aliases
-from repro.correlation import build_program_tables
 from repro.ir import format_function, lower_program
 from repro.lang import parse_program
 from repro.pipeline import compile_program

@@ -21,15 +21,19 @@ from .pipeline import (
     compile_program,
     compile_program_cached,
     monitored_run,
+    observed_run,
     unmonitored_run,
 )
 from .runtime.ipds import IPDS, Alarm
+from .runtime.observer import ExecutionObserver, ObserverBus
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Alarm",
+    "ExecutionObserver",
     "IPDS",
+    "ObserverBus",
     "ProtectedProgram",
     "RunResult",
     "RunStatus",
@@ -37,6 +41,7 @@ __all__ = [
     "compile_program",
     "compile_program_cached",
     "monitored_run",
+    "observed_run",
     "unmonitored_run",
     "__version__",
 ]

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..ir.function import IRFunction, IRModule
+from ..ir.function import IRModule
 from ..ir.instructions import (
     AddrOf,
     BinOp,

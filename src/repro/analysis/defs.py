@@ -11,18 +11,11 @@ the load whose branch it predicts (Fig. 5, lines 6–9).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from ..ir.cfg import iter_rpo
 from ..ir.function import BasicBlock, IRFunction, IRModule
-from ..ir.instructions import (
-    Call,
-    Instruction,
-    Load,
-    Store,
-    StoreIndirect,
-    Variable,
-)
+from ..ir.instructions import Call, Instruction, Store, StoreIndirect, Variable
 from .purity import PurityResult
 
 
@@ -168,7 +161,7 @@ class ReachingDefinitions:
 
     def reaching(self, block_label: str, index: int) -> FrozenSet[DefSite]:
         """Definitions live immediately *before* ``block[index]``."""
-        block = self._fn.block(block_label)
+        self._fn.block(block_label)  # validate the label before trusting the index
         live: Set[DefSite] = set(self._block_in[block_label])
         for i in range(index):
             for site in self._defs.at(block_label, i):

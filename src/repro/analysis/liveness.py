@@ -13,7 +13,7 @@ non-escaping local that is dead immediately afterwards can be removed.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, Set
 
 from ..ir.builder import BUILTINS
 from ..ir.cfg import iter_rpo

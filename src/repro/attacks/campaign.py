@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..interp.interpreter import Interpreter, RunStatus, TamperSpec
 from ..lang.errors import ReproError
+from ..observability.metrics import MetricsRegistry
 from ..pipeline import ProtectedProgram, monitored_run
 from ..workloads.registry import Workload, resolve_workloads
 
@@ -146,6 +147,7 @@ def run_attack(
     step_limit: int = 500_000,
     attack_model: str = "input",
     rng: Optional[random.Random] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AttackOutcome:
     """Run one independent attack (clean + probe + attack runs).
 
@@ -161,6 +163,10 @@ def run_attack(
 
     ``rng`` defaults to :func:`attack_rng` — an explicit per-attack
     generator, so results never depend on shared RNG state.
+
+    ``metrics`` (optional) accumulates telemetry counters — event and
+    step volumes, outcome tallies — without touching the outcome
+    itself, so metrics-on and metrics-off campaigns stay bit-identical.
     """
     if attack_model not in ("input", "process"):
         raise ValueError(f"unknown attack model {attack_model!r}")
@@ -217,6 +223,19 @@ def run_attack(
         attacked.branch_trace != clean.branch_trace
         or attacked.status is not clean.status
     )
+    if metrics is not None:
+        metrics.increment("campaign.attacks")
+        metrics.increment("campaign.executions", 3)  # clean + probe + attack
+        metrics.increment("interp.steps", clean.steps + attacked.steps)
+        metrics.increment(
+            "ipds.events", clean_ipds.stats.events + ipds.stats.events
+        )
+        metrics.increment(
+            "ipds.checks", clean_ipds.stats.checks + ipds.stats.checks
+        )
+        metrics.increment("campaign.tamper_fired", int(attacked.tamper_fired))
+        metrics.increment("campaign.control_flow_changed", int(changed))
+        metrics.increment("campaign.detected", int(ipds.detected))
     return AttackOutcome(
         index=index,
         trigger_read=trigger,
@@ -240,6 +259,7 @@ def run_workload_campaign(
     attack_model: str = "input",
     opt_level: int = 0,
     jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> WorkloadResult:
     """Attack one workload ``attacks`` times independently.
 
@@ -248,7 +268,8 @@ def run_workload_campaign(
     serial one for the same ``seed_prefix``.  The sharded path ignores
     a pre-compiled ``program`` — workers recompile through the
     content-addressed cache instead (same program, built once per
-    process).
+    process).  ``metrics`` accumulates campaign telemetry (merged back
+    across shards when sharded).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -263,6 +284,7 @@ def run_workload_campaign(
             attack_model=attack_model,
             opt_level=opt_level,
             jobs=jobs,
+            metrics=metrics,
         )
     if program is None:
         from ..pipeline import compile_program_cached
@@ -270,13 +292,16 @@ def run_workload_campaign(
         program = compile_program_cached(
             workload.source, workload.name, opt_level
         )
+    if metrics is not None:
+        metrics.increment("campaign.workloads")
+        metrics.increment("campaign.jobs")
     result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
     for index in range(attacks):
         result.attacks.append(
             run_attack(
                 program, workload, index,
                 seed_prefix=seed_prefix, step_limit=step_limit,
-                attack_model=attack_model,
+                attack_model=attack_model, metrics=metrics,
             )
         )
     return result
@@ -291,6 +316,7 @@ def run_campaign(
     attack_model: str = "input",
     opt_level: int = 0,
     jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CampaignSummary:
     """The Figure-7 experiment, optionally sharded across processes.
 
@@ -299,7 +325,9 @@ def run_campaign(
     merges outcomes back into index order.  Either way the zero-FP
     invariant is asserted globally (any clean-run alarm raises
     :class:`CampaignError`), and outcomes — hence rendered reports —
-    are byte-identical at any job count.
+    are byte-identical at any job count.  ``metrics`` accumulates
+    telemetry (per-workload spans, event/step counters); sharded runs
+    merge worker-side counters back into it at the join point.
     """
     from ..parallel.engine import run_campaign as _engine_run_campaign
 
@@ -311,6 +339,7 @@ def run_campaign(
         attack_model=attack_model,
         opt_level=opt_level,
         jobs=jobs,
+        metrics=metrics,
     )
 
 

@@ -1,12 +1,18 @@
 """Baseline detectors for comparison (related-work §7)."""
 
-from .compare import ComparisonResult, capture_trace, compare_detectors
+from .compare import (
+    ComparisonResult,
+    SyscallTraceObserver,
+    capture_trace,
+    compare_detectors,
+)
 from .ngram import NGramDetector, PAD
 
 __all__ = [
     "ComparisonResult",
     "NGramDetector",
     "PAD",
+    "SyscallTraceObserver",
     "capture_trace",
     "compare_detectors",
 ]

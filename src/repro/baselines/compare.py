@@ -18,8 +18,32 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..attacks.campaign import TAMPER_VALUES
 from ..interp.interpreter import Interpreter, TamperSpec
-from ..pipeline import ProtectedProgram, compile_program
+from ..ir.instructions import Call, Instruction
+from ..pipeline import ProtectedProgram, compile_program, observed_run
+from ..runtime.observer import ExecutionObserver
 from ..workloads.registry import Workload
+
+
+class SyscallTraceObserver(ExecutionObserver):
+    """Captures the coarse syscall-granularity view of one execution.
+
+    Records every call — builtin "system calls" and user functions
+    alike — as a call-site-aware symbol (Feng et al. [10] style: the
+    same syscall from a different program point is a different
+    symbol).  Rides the observer bus's instruction stream, so it can
+    share a single execution with the IPDS and timing consumers.
+    """
+
+    def __init__(self) -> None:
+        self.symbols: List[str] = []
+
+    def on_instruction(
+        self, instruction: Instruction, touched: Optional[int]
+    ) -> None:
+        if isinstance(instruction, Call):
+            self.symbols.append(
+                f"{instruction.callee}@{instruction.address:x}"
+            )
 
 
 def capture_trace(
@@ -28,25 +52,21 @@ def capture_trace(
     tamper: Optional[TamperSpec] = None,
     step_limit: int = 500_000,
 ) -> Tuple[List[str], List[Tuple[int, bool]], bool]:
-    """Run once; returns (syscall trace, branch trace, ipds detected)."""
-    syscalls: List[str] = []
+    """Run once; returns (syscall trace, branch trace, ipds detected).
+
+    Single-pass: the IPDS checker and the n-gram syscall capture are
+    two observers of the same execution.
+    """
+    syscalls = SyscallTraceObserver()
     ipds = program.new_ipds()
-
-    def observe(callee: str, pc: int) -> None:
-        # Call-site-aware symbols (Feng et al. [10] style): the same
-        # syscall from a different program point is a different symbol.
-        syscalls.append(f"{callee}@{pc:x}")
-
-    interpreter = Interpreter(
-        program.module,
+    result = observed_run(
+        program,
+        observers=[ipds, syscalls],
         inputs=inputs,
         tamper=tamper,
         step_limit=step_limit,
-        event_listeners=[ipds.process],
-        syscall_listener=observe,
     )
-    result = interpreter.run()
-    return syscalls, result.branch_trace, ipds.detected
+    return syscalls.symbols, result.branch_trace, ipds.detected
 
 
 @dataclass

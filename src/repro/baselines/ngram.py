@@ -17,7 +17,7 @@ the comparison conservative in the baseline's favour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import Sequence, Set, Tuple
 
 #: Padding symbol for windows at the start of a trace.
 PAD = "<start>"

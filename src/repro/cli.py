@@ -11,6 +11,14 @@ Subcommands:
   built-in server workloads (or ``all``), optionally sharded across
   processes with ``--jobs``;
 * ``timing NAME``   — baseline-vs-IPDS timing for one workload.
+
+Observability: ``run``, ``attack``, ``campaign`` and ``timing`` accept
+``--metrics-out PATH`` (a structured JSON run manifest, or append-mode
+JSONL when the path ends in ``.jsonl``) and ``--trace-out PATH``
+(committed control-flow events for the single-run commands — directly
+replayable with ``repro.cli replay`` — or a per-attack outcome log for
+campaigns).  ``run`` and ``replay`` accept ``--allow-unprotected`` for
+tolerant partial-coverage checking.
 """
 
 from __future__ import annotations
@@ -25,7 +33,15 @@ from .correlation.encoding import table_sizes
 from .cpu.simulator import normalized_performance
 from .interp.interpreter import TamperSpec
 from .ir.printer import format_module
-from .pipeline import compile_program, compile_program_cached, monitored_run, unmonitored_run
+from .observability import (
+    JsonlWriter,
+    MetricsRegistry,
+    RunManifest,
+    export_trace,
+    write_manifest,
+)
+from .pipeline import compile_program, compile_program_cached, observed_run, unmonitored_run
+from .runtime.replay import TraceRecorder
 from .workloads.registry import get_workload, workload_names
 
 
@@ -68,14 +84,76 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_ipds_metrics(metrics: MetricsRegistry, ipds) -> None:
+    metrics.increment("ipds.events", ipds.stats.events)
+    metrics.increment("ipds.checks", ipds.stats.checks)
+    metrics.increment("ipds.alarms", len(ipds.alarms))
+    if ipds.stats.unprotected_calls:
+        metrics.increment(
+            "ipds.unprotected_calls", ipds.stats.unprotected_calls
+        )
+    if ipds.stats.unprotected_branches:
+        metrics.increment(
+            "ipds.unprotected_branches", ipds.stats.unprotected_branches
+        )
+
+
+def _emit_manifest(
+    args: argparse.Namespace,
+    manifest: RunManifest,
+    metrics: MetricsRegistry,
+    **results: object,
+) -> None:
+    if not args.metrics_out:
+        return
+    manifest.finish(metrics, **results)
+    write_manifest(manifest, args.metrics_out)
+    print(f"metrics: manifest -> {args.metrics_out}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    program = compile_program(_read_source(args.file), args.file, args.opt)
-    result, ipds = monitored_run(
-        program, inputs=_parse_inputs(args.inputs), entry=args.entry
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        "run",
+        file=args.file,
+        inputs=args.inputs,
+        entry=args.entry,
+        opt=args.opt,
+        allow_unprotected=args.allow_unprotected,
     )
+    with metrics.span("compile"):
+        program = compile_program(_read_source(args.file), args.file, args.opt)
+    ipds = program.new_ipds(allow_unprotected=args.allow_unprotected)
+    observers: List[object] = [ipds]
+    recorder: Optional[TraceRecorder] = None
+    if args.trace_out:
+        recorder = TraceRecorder()
+        observers.append(recorder)
+    with metrics.span("execute"):
+        result = observed_run(
+            program,
+            observers=observers,
+            inputs=_parse_inputs(args.inputs),
+            entry=args.entry,
+        )
+    metrics.increment("interp.steps", result.steps)
+    _record_ipds_metrics(metrics, ipds)
     print(f"status : {result.status.value}")
     print(f"outputs: {result.outputs}")
     print(f"steps  : {result.steps}")
+    if recorder is not None:
+        count = export_trace(recorder.events, args.trace_out)
+        print(f"trace  : {count} events -> {args.trace_out}")
+    _emit_manifest(
+        args,
+        manifest,
+        metrics,
+        status=result.status.value,
+        outputs=list(result.outputs),
+        steps=result.steps,
+        alarms=[str(alarm) for alarm in ipds.alarms],
+        unprotected_calls=ipds.stats.unprotected_calls,
+    )
     if ipds.detected:
         for alarm in ipds.alarms:
             print(f"ALARM  : {alarm}")
@@ -85,22 +163,63 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
-    program = compile_program(_read_source(args.file), args.file, args.opt)
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        "attack",
+        file=args.file,
+        inputs=args.inputs,
+        trigger_kind=args.trigger_kind,
+        trigger=args.trigger,
+        address=args.address,
+        value=args.value,
+        opt=args.opt,
+    )
+    with metrics.span("compile"):
+        program = compile_program(_read_source(args.file), args.file, args.opt)
     inputs = _parse_inputs(args.inputs)
-    clean = unmonitored_run(program, inputs=inputs, entry=args.entry)
+    with metrics.span("clean"):
+        clean = unmonitored_run(program, inputs=inputs, entry=args.entry)
     tamper = TamperSpec(
         trigger_kind=args.trigger_kind,
         trigger_value=args.trigger,
         address=int(args.address, 0),
         value=args.value,
     )
-    attacked, ipds = monitored_run(
-        program, inputs=inputs, entry=args.entry, tamper=tamper
-    )
+    ipds = program.new_ipds()
+    observers: List[object] = [ipds]
+    recorder: Optional[TraceRecorder] = None
+    if args.trace_out:
+        recorder = TraceRecorder()
+        observers.append(recorder)
+    with metrics.span("attack"):
+        attacked = observed_run(
+            program,
+            observers=observers,
+            inputs=inputs,
+            entry=args.entry,
+            tamper=tamper,
+        )
     changed = attacked.branch_trace != clean.branch_trace
+    metrics.increment("interp.steps", clean.steps + attacked.steps)
+    metrics.increment("attack.tamper_fired", int(attacked.tamper_fired))
+    metrics.increment("attack.control_flow_changed", int(changed))
+    metrics.increment("attack.detected", int(ipds.detected))
+    _record_ipds_metrics(metrics, ipds)
     print(f"tamper fired        : {attacked.tamper_fired}")
     print(f"control flow changed: {changed}")
     print(f"outputs             : {clean.outputs} -> {attacked.outputs}")
+    if recorder is not None:
+        count = export_trace(recorder.events, args.trace_out)
+        print(f"trace               : {count} events -> {args.trace_out}")
+    _emit_manifest(
+        args,
+        manifest,
+        metrics,
+        tamper_fired=attacked.tamper_fired,
+        control_flow_changed=changed,
+        detected=ipds.detected,
+        alarms=[str(alarm) for alarm in ipds.alarms],
+    )
     if ipds.detected:
         print(f"DETECTED            : {ipds.alarms[0]}")
         return 2
@@ -131,7 +250,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     program = compile_program(_read_source(args.file), args.file, args.opt)
     with open(args.trace, "r", encoding="utf-8") as handle:
-        alarms = replay(program.tables, load_trace(handle))
+        alarms = replay(
+            program.tables,
+            load_trace(handle),
+            allow_unprotected=args.allow_unprotected,
+        )
     if alarms:
         for alarm in alarms:
             print(f"ALARM: {alarm}")
@@ -140,7 +263,40 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dump_outcomes(results, path: str) -> int:
+    """Write one JSONL record per attack outcome (campaign --trace-out)."""
+    writer = JsonlWriter(path)
+    for result in results:
+        for outcome in result.attacks:
+            writer.write(
+                {
+                    "workload": result.workload,
+                    "index": outcome.index,
+                    "trigger_read": outcome.trigger_read,
+                    "address": outcome.address,
+                    "target": outcome.target_label,
+                    "value": outcome.value,
+                    "fired": outcome.fired,
+                    "control_flow_changed": outcome.control_flow_changed,
+                    "detected": outcome.detected,
+                    "clean_status": outcome.clean_status.value,
+                    "attack_status": outcome.attack_status.value,
+                }
+            )
+    return writer.records_written
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        "campaign",
+        workload=args.workload,
+        attacks=args.attacks,
+        jobs=args.jobs,
+        model=args.model,
+        opt=args.opt,
+        seed_prefix=args.seed_prefix,
+    )
     if args.workload == "all":
         from .reporting import render_figure7
 
@@ -150,40 +306,101 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             attack_model=args.model,
             opt_level=args.opt,
             jobs=args.jobs,
+            metrics=metrics,
         )
         print(render_figure7(summary))
-        return 0
-    workload = get_workload(args.workload)
-    result = run_workload_campaign(
-        workload,
-        attacks=args.attacks,
-        seed_prefix=args.seed_prefix,
-        attack_model=args.model,
-        opt_level=args.opt,
-        jobs=args.jobs,
-    )
-    print(f"workload {workload.name} ({workload.vuln_kind}), "
-          f"{result.total} attacks:")
-    print(f"  control flow changed: {result.changed} ({result.pct_changed:.1f}%)")
-    print(f"  detected            : {result.detected} ({result.pct_detected:.1f}%)")
-    print(f"  detected of changed : {result.pct_detected_of_changed:.1f}%")
+        results = summary.results
+        outcome_summary: dict = {
+            "workloads": len(summary.results),
+            "avg_pct_changed": summary.avg_pct_changed,
+            "avg_pct_detected": summary.avg_pct_detected,
+        }
+    else:
+        workload = get_workload(args.workload)
+        result = run_workload_campaign(
+            workload,
+            attacks=args.attacks,
+            seed_prefix=args.seed_prefix,
+            attack_model=args.model,
+            opt_level=args.opt,
+            jobs=args.jobs,
+            metrics=metrics,
+        )
+        print(f"workload {workload.name} ({workload.vuln_kind}), "
+              f"{result.total} attacks:")
+        print(f"  control flow changed: {result.changed} "
+              f"({result.pct_changed:.1f}%)")
+        print(f"  detected            : {result.detected} "
+              f"({result.pct_detected:.1f}%)")
+        print(f"  detected of changed : "
+              f"{result.pct_detected_of_changed:.1f}%")
+        results = [result]
+        outcome_summary = {
+            "total": result.total,
+            "changed": result.changed,
+            "detected": result.detected,
+        }
+    if args.trace_out:
+        count = _dump_outcomes(results, args.trace_out)
+        print(f"outcomes: {count} records -> {args.trace_out}")
+    _emit_manifest(args, manifest, metrics, **outcome_summary)
     return 0
 
 
 def cmd_timing(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        "timing", workload=args.workload, scale=args.scale
+    )
     workload = get_workload(args.workload)
-    program = compile_program_cached(workload.source, workload.name)
+    with metrics.span("compile"):
+        program = compile_program_cached(workload.source, workload.name)
     inputs = workload.make_inputs(
         random.Random(f"cli:{workload.name}"), args.scale
     )
-    comp = normalized_performance(program, inputs, workload.name)
+    observers: List[object] = []
+    recorder: Optional[TraceRecorder] = None
+    if args.trace_out:
+        recorder = TraceRecorder()
+        observers.append(recorder)
+    with metrics.span("simulate"):
+        comp = normalized_performance(
+            program, inputs, workload.name, observers=observers
+        )
+    metrics.increment("timing.instructions", comp.instructions)
+    metrics.increment("timing.baseline_cycles", comp.baseline_cycles)
+    metrics.increment("timing.ipds_cycles", comp.ipds_cycles)
     print(f"workload {workload.name}: {comp.instructions} instructions")
     print(f"  baseline cycles : {comp.baseline_cycles}")
     print(f"  IPDS cycles     : {comp.ipds_cycles}")
     print(f"  normalized perf : {comp.normalized_performance:.4f} "
           f"({comp.degradation_pct:.3f}% degradation)")
     print(f"  check latency   : {comp.avg_check_latency:.1f} cycles")
+    if recorder is not None:
+        count = export_trace(recorder.events, args.trace_out)
+        print(f"  trace           : {count} events -> {args.trace_out}")
+    _emit_manifest(
+        args,
+        manifest,
+        metrics,
+        instructions=comp.instructions,
+        baseline_cycles=comp.baseline_cycles,
+        ipds_cycles=comp.ipds_cycles,
+        normalized_performance=comp.normalized_performance,
+        avg_check_latency=comp.avg_check_latency,
+    )
     return 0
+
+
+def _add_observability_args(
+    p: argparse.ArgumentParser,
+    trace_help: str = "write the control-flow event trace "
+    "(replayable with the 'replay' subcommand)",
+) -> None:
+    p.add_argument("--metrics-out", default=None,
+                   help="write a JSON run manifest (counters, spans, "
+                        "results); appends one line if path ends in .jsonl")
+    p.add_argument("--trace-out", default=None, help=trace_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,6 +421,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", default="", help="e.g. '1 2 3'")
     p.add_argument("--entry", default="main")
     p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.add_argument("--allow-unprotected", action="store_true",
+                   help="tolerate calls into functions without correlation "
+                        "tables (partial coverage) instead of erroring")
+    _add_observability_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("attack", help="run with a memory tampering")
@@ -217,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--address", required=True,
                    help="word address to corrupt (accepts 0x..)")
     p.add_argument("--value", type=int, required=True)
+    _add_observability_args(p)
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("record", help="record a control-flow event trace")
@@ -230,6 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("trace")
     p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.add_argument("--allow-unprotected", action="store_true",
+                   help="tolerate trace events from functions without "
+                        "correlation tables (partial coverage)")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("campaign", help="Figure-7 campaign on a workload")
@@ -244,11 +469,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-prefix", default="",
                    help="campaign seed namespace (attack i draws from "
                         "seed '<prefix><workload>:<i>')")
+    _add_observability_args(
+        p, trace_help="append per-attack outcome records as JSONL"
+    )
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("timing", help="Figure-9 timing for a workload")
     p.add_argument("workload", choices=workload_names())
     p.add_argument("--scale", type=int, default=10)
+    _add_observability_args(p)
     p.set_defaults(func=cmd_timing)
 
     return parser

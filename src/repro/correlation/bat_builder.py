@@ -30,7 +30,7 @@ guarantee at some cost in detection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..analysis.branch_info import BranchFacts, analyze_branches
 from ..analysis.defs import DefinitionMap, ReachingDefinitions, analyze_definitions
@@ -40,7 +40,7 @@ from ..ir.cfg import CondEdge, edge_target, reachable_blocks, regions_by_edge
 from ..ir.function import IRFunction, IRModule
 from ..ir.instructions import Variable
 from .actions import BranchAction
-from .hashing import HashSearchResult, find_perfect_hash
+from .hashing import find_perfect_hash
 from .tables import BranchMeta, EventKey, FunctionTables, ProgramTables
 
 

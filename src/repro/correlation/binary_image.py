@@ -21,7 +21,6 @@ bit sizes rounded up — a property the tests pin.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..lang.errors import ReproError

@@ -20,7 +20,7 @@ is what the collision-free hash buys (§5.2): no per-slot PC tags.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import List
 
 from .tables import FunctionTables, ProgramTables
 

@@ -18,7 +18,7 @@ experiments can report search effort.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from ..lang.errors import ReproError
 

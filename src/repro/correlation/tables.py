@@ -9,7 +9,7 @@ pure data — the runtime in :mod:`repro.runtime` interprets them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from .actions import BranchAction
 from .hashing import HashParams

@@ -14,6 +14,7 @@ from .predictor import PredictorStats, TwoLevelPredictor
 from .simulator import (
     PerformanceComparison,
     TimedRun,
+    TimingObserver,
     normalized_performance,
     timed_run,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "TLB",
     "TimedRun",
     "TimingModel",
+    "TimingObserver",
     "TimingStats",
     "TwoLevelPredictor",
     "normalized_performance",

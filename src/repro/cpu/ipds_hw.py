@@ -15,7 +15,7 @@ checking proceeds entirely off the critical path.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..correlation.encoding import table_sizes

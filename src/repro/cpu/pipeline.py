@@ -24,24 +24,10 @@ such runs (IPDS / baseline), which this preserves.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Optional
 
-from ..ir.instructions import (
-    BinOp,
-    Call,
-    CondBranch,
-    Instruction,
-    Jump,
-    Load,
-    LoadIndirect,
-    Reg,
-    Return,
-    Store,
-    StoreIndirect,
-    defined_reg,
-    used_regs,
-)
+from ..ir.instructions import BinOp, CondBranch, Instruction, Load, LoadIndirect, Reg, Store, StoreIndirect, defined_reg, used_regs
 from .caches import MemoryHierarchy
 from .ipds_hw import IPDSHardwareModel
 from .params import ProcessorParams

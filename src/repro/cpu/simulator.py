@@ -1,23 +1,55 @@
 """Glue: run a protected program through the timing model.
 
-:func:`timed_run` executes one program once, with or without the IPDS
-hardware attached, and returns timing plus IPDS statistics.
-:func:`normalized_performance` performs the Figure 9 experiment for one
-workload: baseline run vs. IPDS run, same inputs, reporting the
-performance ratio.
+:class:`TimingObserver` adapts a :class:`TimingModel` to the
+execution-observer protocol, so timing rides the same event bus as the
+IPDS checker and trace recorders.  :func:`timed_run` executes one
+program once, with or without the IPDS hardware attached, and returns
+timing plus IPDS statistics.  :func:`normalized_performance` performs
+the Figure 9 experiment for one workload in a **single pass**: one
+execution drives the baseline timing model and the IPDS-attached
+timing model simultaneously (the model is trace-driven, so both see
+the identical committed stream the two separate runs used to produce).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..interp.interpreter import Interpreter, RunResult
+from ..ir.instructions import Instruction
 from ..pipeline import ProtectedProgram
-from ..runtime.events import BranchEvent, CallEvent, Event, ReturnEvent
+from ..runtime.events import BranchEvent, CallEvent, ReturnEvent
+from ..runtime.observer import ExecutionObserver
 from .ipds_hw import IPDSHardwareModel, IPDSTimingStats
 from .params import IPDSHardwareParams, ProcessorParams
 from .pipeline import TimingModel, TimingStats
+
+
+class TimingObserver(ExecutionObserver):
+    """Feeds one :class:`TimingModel` from the execution bus.
+
+    Each committed control-flow event and instruction is forwarded to
+    the model's cycle-accounting hooks; several independent observers
+    (e.g. baseline and IPDS-attached models) can ride one execution.
+    """
+
+    def __init__(self, model: TimingModel) -> None:
+        self.model = model
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self.model.on_branch_outcome(event.function_name, event.pc, event.taken)
+
+    def on_call(self, event: CallEvent) -> None:
+        self.model.on_call(event.function_name)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        self.model.on_return()
+
+    def on_instruction(
+        self, instruction: Instruction, touched: Optional[int]
+    ) -> None:
+        self.model.on_instruction(instruction, touched)
 
 
 @dataclass
@@ -47,28 +79,24 @@ def timed_run(
     processor: ProcessorParams = ProcessorParams(),
     ipds_params: IPDSHardwareParams = IPDSHardwareParams(),
     step_limit: int = 2_000_000,
+    observers: Sequence[object] = (),
 ) -> TimedRun:
-    """Execute once under the timing model."""
+    """Execute once under the timing model.
+
+    Extra ``observers`` share the same execution — e.g. a
+    :class:`~repro.runtime.replay.TraceRecorder` for an audit trace of
+    the timed run.
+    """
     ipds_hw = (
         IPDSHardwareModel(program.tables, ipds_params) if with_ipds else None
     )
     model = TimingModel(processor, ipds_hw)
-
-    def event_listener(event: Event) -> None:
-        if isinstance(event, BranchEvent):
-            model.on_branch_outcome(event.function_name, event.pc, event.taken)
-        elif isinstance(event, CallEvent):
-            model.on_call(event.function_name)
-        elif isinstance(event, ReturnEvent):
-            model.on_return()
-
     interpreter = Interpreter(
         program.module,
         inputs=inputs,
         entry=entry,
         step_limit=step_limit,
-        event_listeners=[event_listener],
-        instruction_listener=model.on_instruction,
+        observers=[TimingObserver(model), *observers],
         trace_branches=False,
     )
     result = interpreter.run()
@@ -111,27 +139,37 @@ def normalized_performance(
     processor: ProcessorParams = ProcessorParams(),
     ipds_params: IPDSHardwareParams = IPDSHardwareParams(),
     step_limit: int = 2_000_000,
+    observers: Sequence[object] = (),
 ) -> PerformanceComparison:
-    """Run baseline and IPDS configurations on the same inputs."""
-    baseline = timed_run(
-        program, inputs, with_ipds=False,
-        processor=processor, step_limit=step_limit,
+    """Baseline and IPDS configurations measured from **one** execution.
+
+    The timing model is trace-driven, so the baseline model and the
+    IPDS-attached model consume the identical committed stream; running
+    them as two observers of a single execution halves the experiment's
+    interpreter work while producing cycle counts identical to the old
+    two-pass protocol.  Extra ``observers`` (recorders, metrics taps)
+    ride the same pass.
+    """
+    baseline_model = TimingModel(processor, None)
+    ipds_hw = IPDSHardwareModel(program.tables, ipds_params)
+    protected_model = TimingModel(processor, ipds_hw)
+    interpreter = Interpreter(
+        program.module,
+        inputs=inputs,
+        step_limit=step_limit,
+        observers=[
+            TimingObserver(baseline_model),
+            TimingObserver(protected_model),
+            *observers,
+        ],
+        trace_branches=False,
     )
-    protected = timed_run(
-        program, inputs, with_ipds=True,
-        processor=processor, ipds_params=ipds_params, step_limit=step_limit,
-    )
+    interpreter.run()
     return PerformanceComparison(
         workload=workload_name,
-        baseline_cycles=baseline.cycles,
-        ipds_cycles=protected.cycles,
-        instructions=protected.timing.instructions,
-        avg_check_latency=(
-            protected.ipds_stats.avg_check_latency
-            if protected.ipds_stats
-            else 0.0
-        ),
-        commit_stalls=(
-            protected.ipds_stats.commit_stalls if protected.ipds_stats else 0
-        ),
+        baseline_cycles=baseline_model.stats.cycles,
+        ipds_cycles=protected_model.stats.cycles,
+        instructions=protected_model.stats.instructions,
+        avg_check_latency=ipds_hw.stats.avg_check_latency,
+        commit_stalls=ipds_hw.stats.commit_stalls,
     )

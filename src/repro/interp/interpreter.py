@@ -2,9 +2,12 @@
 
 Stand-in for the paper's Bochs-based attack testbed (§6): runs a
 program on a concrete memory map, feeds committed control-flow events
-to any number of listeners (the IPDS, tracers, the timing model), and
+to any number of observers (the IPDS, tracers, the timing model) over
+a single-dispatch :class:`~repro.runtime.observer.ObserverBus`, and
 can corrupt one memory word mid-run to simulate a memory-tampering
-attack.
+attack.  One execution can drive every consumer simultaneously — the
+checker, two timing models, an n-gram capture and an audit recorder
+all see the same committed stream without re-running the program.
 
 The attack trigger mirrors the paper's methodology: the tampering fires
 when the program consumes its *n*-th input (the "malicious input"
@@ -17,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.function import IRFunction, IRModule
 from ..ir.instructions import (
@@ -40,6 +43,7 @@ from ..ir.instructions import (
 )
 from ..lang.errors import ReproError
 from ..runtime.events import BranchEvent, CallEvent, Event, ReturnEvent
+from ..runtime.observer import build_bus
 from .state import MemoryMap, STACK_BASE
 
 
@@ -111,7 +115,14 @@ InstructionListener = Callable[[Instruction, Optional[int]], None]
 
 
 class Interpreter:
-    """Executes one module from its entry function."""
+    """Executes one module from its entry function.
+
+    Consumers attach through ``observers`` — objects implementing the
+    :class:`~repro.runtime.observer.ExecutionObserver` protocol.  The
+    legacy ``event_listeners`` / ``instruction_listener`` kwargs are
+    still accepted and are wrapped onto the same bus, so every event is
+    dispatched exactly once regardless of consumer style.
+    """
 
     def __init__(
         self,
@@ -126,6 +137,7 @@ class Interpreter:
         trace_branches: bool = True,
         probe: Optional[Tuple[str, int]] = None,
         syscall_listener: Optional[Callable[[str, int], None]] = None,
+        observers: Sequence[object] = (),
     ):
         if not module.finalized:
             raise InterpreterError("module must be finalized before execution")
@@ -137,8 +149,9 @@ class Interpreter:
         self._call_depth_limit = call_depth_limit
         self._tamper = tamper
         self._tamper_fired = False
-        self._listeners = list(event_listeners)
-        self._instruction_listener = instruction_listener
+        self._bus = build_bus(observers, event_listeners, instruction_listener)
+        self._wants_events = len(self._bus) > 0
+        self._wants_instructions = self._bus.wants_instructions
         # Coarse-grained observation channel for baseline anomaly
         # detectors: called with (callee name, call-site PC) of every
         # call — builtin "system calls" and user functions alike.  The
@@ -166,6 +179,7 @@ class Interpreter:
         """Execute until the entry function returns or a fault occurs."""
         entry_fn = self._module.function(self._entry)
         status, return_value = self._execute(entry_fn)
+        self._bus.finish()
         return RunResult(
             status=status,
             steps=self._steps,
@@ -183,8 +197,8 @@ class Interpreter:
     # -- machinery ---------------------------------------------------------
 
     def _emit_event(self, event: Event) -> None:
-        for listener in self._listeners:
-            listener(event)
+        if self._wants_events:
+            self._bus.emit(event)
 
     def _push_activation(
         self, fn: IRFunction, args: Sequence[int], return_reg: Optional[Reg]
@@ -280,8 +294,8 @@ class Interpreter:
                 outcome = self._step(activation, instruction)
             except ZeroDivisionError:
                 return RunStatus.DIV_BY_ZERO, None
-            if self._instruction_listener is not None:
-                self._instruction_listener(instruction, outcome)
+            if self._wants_instructions:
+                self._bus.emit_instruction(instruction, outcome)
             self._maybe_tamper_after_step()
             if not self._stack:
                 # Entry function returned; final value captured below.
@@ -428,6 +442,7 @@ def run_program(
     tamper: Optional[TamperSpec] = None,
     event_listeners: Sequence[EventListener] = (),
     step_limit: int = 2_000_000,
+    observers: Sequence[object] = (),
 ) -> RunResult:
     """Convenience wrapper: build an interpreter and run it."""
     interpreter = Interpreter(
@@ -437,5 +452,6 @@ def run_program(
         tamper=tamper,
         event_listeners=event_listeners,
         step_limit=step_limit,
+        observers=observers,
     )
     return interpreter.run()

@@ -19,7 +19,7 @@ paper assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..ir.function import IRFunction, IRModule

@@ -19,7 +19,7 @@ Design points that matter to the correlation analysis downstream:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from ..lang import ast_nodes as ast
 from ..lang.errors import LoweringError, SourceLocation

@@ -13,7 +13,7 @@ Checks the invariants the analyses and interpreter rely on:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from .dominators import DominatorTree, instruction_dominates
 from .function import BasicBlock, IRFunction, IRModule, IRError

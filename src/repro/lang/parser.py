@@ -157,9 +157,8 @@ class Parser:
     def _parse_function(self) -> FunctionDef:
         if self._match(TokenType.KW_VOID):
             return_type = Type.void()
-            start = self._peek(-1) if self._pos else self._peek()
         else:
-            start = self._expect(TokenType.KW_INT, "'int' or 'void'")
+            self._expect(TokenType.KW_INT, "'int' or 'void'")
             return_type = Type.int_()
         name = self._expect(TokenType.IDENT, "function name")
         self._expect(TokenType.LPAREN, "'('")

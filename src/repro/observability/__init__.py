@@ -1,0 +1,30 @@
+"""Observability layer: metrics, run manifests, JSONL telemetry.
+
+The production-deployment counterpart of the paper's measurement
+sections: every CLI command and campaign can account what it did
+(counters), how long each stage took (wall-clock spans), and emit a
+structured, machine-readable :class:`RunManifest` for dashboards and
+audit trails — without perturbing the deterministic experiment results
+themselves (metrics ride alongside, never inside, campaign outcomes).
+"""
+
+from .manifest import RunManifest
+from .metrics import Counter, MetricsRegistry, Span, Timer
+from .telemetry import (
+    JsonlWriter,
+    export_trace,
+    write_manifest,
+    write_metrics_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Timer",
+    "export_trace",
+    "write_manifest",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,159 @@
+"""Metrics registry: counters, timers, and wall-clock spans.
+
+Deliberately dependency-free and cheap: a counter bump is a dict lookup
+plus an integer add, so metrics can ride inside campaign hot loops.
+Registries merge, which is how per-process numbers from the sharded
+campaign engine roll up into one parent registry (the shard boundary is
+crossed as a plain ``snapshot()`` dict — picklable primitives only).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> int:
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Timer:
+    """Aggregate of wall-clock samples for one named stage."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": round(self.mean_seconds, 6),
+            "min_seconds": round(self.min_seconds, 6) if self.count else 0.0,
+            "max_seconds": round(self.max_seconds, 6),
+        }
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed wall-clock span (per-stage timing record)."""
+
+    name: str
+    seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seconds": round(self.seconds, 6)}
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters + timers + an ordered span log for one run."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    timers: Dict[str, Timer] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+
+    # -- counters ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        return self.counter(name).increment(amount)
+
+    def value(self, name: str) -> int:
+        counter = self.counters.get(name)
+        return counter.value if counter else 0
+
+    # -- timers / spans ---------------------------------------------------
+
+    def timer(self, name: str) -> Timer:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Timer(name)
+        return timer
+
+    def observe_seconds(self, name: str, seconds: float) -> None:
+        self.timer(name).observe(seconds)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a stage: records both a Timer sample and a Span entry."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.observe_seconds(name, elapsed)
+            self.spans.append(Span(name, elapsed))
+
+    # -- aggregation ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view (picklable, JSON-ready) of everything."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "timers": {
+                name: timer.to_dict()
+                for name, timer in sorted(self.timers.items())
+            },
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a child registry's ``snapshot()`` into this one.
+
+        Used at the sharded campaign engine's merge point: workers
+        return their snapshot alongside shard outcomes and the parent
+        accumulates them here.
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.increment(name, value)
+        for name, data in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            count = data.get("count", 0)
+            if not count:
+                continue
+            timer.count += count
+            timer.total_seconds += data.get("total_seconds", 0.0)
+            timer.min_seconds = min(
+                timer.min_seconds, data.get("min_seconds", float("inf"))
+            )
+            timer.max_seconds = max(
+                timer.max_seconds, data.get("max_seconds", 0.0)
+            )
+        for span in snapshot.get("spans", []):
+            self.spans.append(
+                Span(span.get("name", "?"), span.get("seconds", 0.0))
+            )

@@ -1,0 +1,99 @@
+"""JSONL telemetry and trace export.
+
+Output conventions:
+
+* paths ending in ``.jsonl`` get one JSON object per line, *appended* —
+  the accumulating-log style a fleet of runs writes into one file;
+* any other path gets a single pretty-printed JSON document,
+  overwritten — the one-shot artifact style.
+
+Both forms carry the same :class:`~repro.observability.manifest.RunManifest`
+payload, so ``--metrics-out run.json`` and ``--metrics-out runs.jsonl``
+differ only in framing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, Optional, Union
+
+from .manifest import RunManifest
+from .metrics import MetricsRegistry
+
+
+class JsonlWriter:
+    """Append-mode JSONL sink (one record per line)."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._count = 0
+
+    @property
+    def records_written(self) -> int:
+        return self._count
+
+    def write(self, record: Dict[str, Any]) -> None:
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+        self._count += 1
+
+    def write_all(self, records: Iterable[Dict[str, Any]]) -> int:
+        with open(self._path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                self._count += 1
+        return self._count
+
+
+def write_manifest(
+    manifest: Union[RunManifest, Dict[str, Any]], path: str
+) -> Dict[str, Any]:
+    """Write a manifest to ``path`` (JSONL append or JSON overwrite).
+
+    Returns the serialized payload for callers that also want it.
+    """
+    payload = (
+        manifest.to_dict() if isinstance(manifest, RunManifest) else manifest
+    )
+    if path.endswith(".jsonl"):
+        JsonlWriter(path).write(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def write_metrics_jsonl(
+    registry: MetricsRegistry, path: str, label: Optional[str] = None
+) -> int:
+    """Dump a registry as JSONL records: one per counter/timer/span."""
+    snapshot = registry.snapshot()
+    records = []
+    for name, value in snapshot["counters"].items():
+        records.append({"kind": "counter", "name": name, "value": value})
+    for name, data in snapshot["timers"].items():
+        records.append({"kind": "timer", "name": name, **data})
+    for span in snapshot["spans"]:
+        records.append({"kind": "span", **span})
+    if label is not None:
+        for record in records:
+            record["label"] = label
+    return JsonlWriter(path).write_all(records)
+
+
+def export_trace(events: Iterable[Any], path_or_stream: Union[str, IO[str]]) -> int:
+    """Write a committed control-flow event trace as JSONL.
+
+    Accepts a path or an open text stream; uses the same format as
+    :mod:`repro.runtime.replay`, so exported traces feed straight into
+    ``repro.cli replay``.  Returns the event count.
+    """
+    from ..runtime.replay import dump_trace
+
+    if isinstance(path_or_stream, str):
+        with open(path_or_stream, "w", encoding="utf-8") as handle:
+            return dump_trace(events, handle)
+    return dump_trace(events, path_or_stream)

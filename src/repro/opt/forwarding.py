@@ -22,7 +22,7 @@ function-wide and leave the dead load for DCE.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..ir.builder import BUILTINS
 from ..ir.function import IRFunction, IRModule

@@ -13,7 +13,7 @@ forwarded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from ..ir.function import IRFunction, IRModule
 

@@ -13,20 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..ir.function import IRFunction
-from ..ir.instructions import (
-    BinOp,
-    Call,
-    Cmp,
-    CondBranch,
-    Instruction,
-    LoadIndirect,
-    Operand,
-    Reg,
-    Return,
-    Store,
-    StoreIndirect,
-    UnOp,
-)
+from ..ir.instructions import BinOp, Call, Cmp, CondBranch, LoadIndirect, Operand, Reg, Return, Store, StoreIndirect, UnOp
 
 
 def substitute_uses(fn: IRFunction, mapping: Dict[Reg, Operand]) -> int:

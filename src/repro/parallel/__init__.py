@@ -21,6 +21,7 @@ from .cache import (
 from .engine import (
     MAX_JOBS,
     CleanTask,
+    ShardResult,
     ShardTask,
     merge_outcomes,
     run_campaign,
@@ -34,6 +35,7 @@ __all__ = [
     "CacheStats",
     "CleanTask",
     "MAX_JOBS",
+    "ShardResult",
     "ShardTask",
     "cache_dir",
     "cached_compile",

@@ -27,8 +27,8 @@ from __future__ import annotations
 
 import random
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..attacks.campaign import (
     AttackOutcome,
@@ -37,6 +37,7 @@ from ..attacks.campaign import (
     WorkloadResult,
     run_attack,
 )
+from ..observability.metrics import MetricsRegistry
 from ..pipeline import monitored_run
 from ..workloads.registry import Workload, get_workload, resolve_workloads
 from .cache import cached_compile
@@ -56,6 +57,19 @@ class ShardTask:
     step_limit: int
     attack_model: str
     opt_level: int
+    collect_metrics: bool = False
+
+
+@dataclass
+class ShardResult:
+    """One shard's outcomes plus its worker-side metrics snapshot.
+
+    The snapshot crosses the process boundary as plain primitives; the
+    parent folds it into its own registry at the merge point.
+    """
+
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -103,11 +117,12 @@ def _workload_name(workload: Union[Workload, str]) -> str:
     return name
 
 
-def _run_shard(task: ShardTask) -> List[AttackOutcome]:
+def _run_shard(task: ShardTask) -> ShardResult:
     """Worker entry point: one shard of one workload's campaign."""
     workload = get_workload(task.workload)
     program = cached_compile(workload.source, workload.name, task.opt_level)
-    return [
+    registry = MetricsRegistry() if task.collect_metrics else None
+    outcomes = [
         run_attack(
             program,
             workload,
@@ -115,9 +130,14 @@ def _run_shard(task: ShardTask) -> List[AttackOutcome]:
             seed_prefix=task.seed_prefix,
             step_limit=task.step_limit,
             attack_model=task.attack_model,
+            metrics=registry,
         )
         for index in task.indices
     ]
+    return ShardResult(
+        outcomes=outcomes,
+        metrics=registry.snapshot() if registry is not None else None,
+    )
 
 
 def _run_clean_shard(task: CleanTask) -> List[str]:
@@ -170,6 +190,7 @@ def _serial_workload(
     step_limit: int,
     attack_model: str,
     opt_level: int,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> WorkloadResult:
     program = cached_compile(workload.source, workload.name, opt_level)
     result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
@@ -182,6 +203,7 @@ def _serial_workload(
                 seed_prefix=seed_prefix,
                 step_limit=step_limit,
                 attack_model=attack_model,
+                metrics=metrics,
             )
         )
     return result
@@ -196,6 +218,7 @@ def run_workload_sharded(
     attack_model: str = "input",
     opt_level: int = 0,
     jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> WorkloadResult:
     """One workload's campaign, sharded across ``jobs`` processes."""
     summary = run_campaign(
@@ -206,6 +229,7 @@ def run_workload_sharded(
         attack_model=attack_model,
         opt_level=opt_level,
         jobs=jobs,
+        metrics=metrics,
     )
     return summary.results[0]
 
@@ -219,22 +243,43 @@ def run_campaign(
     attack_model: str = "input",
     opt_level: int = 0,
     jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CampaignSummary:
     """The full campaign, sharded across a process pool.
 
     Identical merged outcomes (and therefore byte-identical reports) at
     any ``jobs`` value; ``jobs=1`` runs inline without a pool.
+
+    ``metrics`` accumulates telemetry: per-workload wall-clock spans
+    plus the counters every attack records.  On the sharded path the
+    workers collect counters locally and return picklable snapshots
+    that are folded back into the parent registry at the merge point,
+    so the numbers are job-count-independent (spans, being wall-clock,
+    are not — they measure the actual schedule).
     """
     jobs = _normalize_jobs(jobs)
     chosen = resolve_workloads(workloads)
+    if metrics is not None:
+        metrics.increment("campaign.workloads", len(chosen))
+        metrics.increment("campaign.jobs", jobs)
     if jobs == 1 or attacks <= 0 or not chosen:
-        results = [
-            _serial_workload(
-                workload, attacks, seed_prefix, step_limit,
-                attack_model, opt_level,
-            )
-            for workload in chosen
-        ]
+        results = []
+        for workload in chosen:
+            if metrics is not None:
+                with metrics.span(f"workload.{workload.name}"):
+                    results.append(
+                        _serial_workload(
+                            workload, attacks, seed_prefix, step_limit,
+                            attack_model, opt_level, metrics,
+                        )
+                    )
+            else:
+                results.append(
+                    _serial_workload(
+                        workload, attacks, seed_prefix, step_limit,
+                        attack_model, opt_level,
+                    )
+                )
         return CampaignSummary(results)
 
     # Warm the in-process cache before forking so fork-based workers
@@ -243,6 +288,7 @@ def run_campaign(
     for workload in chosen:
         cached_compile(workload.source, workload.name, opt_level)
 
+    collect_metrics = metrics is not None
     futures: Dict[str, List[Future]] = {}
     with ProcessPoolExecutor(max_workers=jobs) as executor:
         try:
@@ -257,18 +303,35 @@ def run_campaign(
                             step_limit=step_limit,
                             attack_model=attack_model,
                             opt_level=opt_level,
+                            collect_metrics=collect_metrics,
                         ),
                     )
                     for block in shard_indices(attacks, jobs)
                 ]
-            results = [
-                merge_outcomes(
-                    workload,
-                    attacks,
-                    [future.result() for future in futures[workload.name]],
-                )
-                for workload in chosen
-            ]
+            results = []
+            for workload in chosen:
+                shard_results = [
+                    future.result() for future in futures[workload.name]
+                ]
+                if metrics is not None:
+                    with metrics.span(f"workload.{workload.name}.merge"):
+                        merged = merge_outcomes(
+                            workload,
+                            attacks,
+                            [shard.outcomes for shard in shard_results],
+                        )
+                    metrics.increment(
+                        "campaign.shards", len(shard_results)
+                    )
+                    for shard in shard_results:
+                        metrics.merge_snapshot(shard.metrics)
+                else:
+                    merged = merge_outcomes(
+                        workload,
+                        attacks,
+                        [shard.outcomes for shard in shard_results],
+                    )
+                results.append(merged)
         except BaseException:
             executor.shutdown(wait=False, cancel_futures=True)
             raise

@@ -7,6 +7,12 @@ This is the "whole system" wrapper a downstream user starts from::
     program = compile_program(source)
     result, ipds = monitored_run(program, inputs=[1, 2, 3])
     assert not ipds.detected
+
+For multi-consumer runs, :func:`observed_run` executes the program
+*once* and fans the committed event stream out to any set of
+:class:`~repro.runtime.observer.ExecutionObserver` instances — the
+IPDS checker, timing models, trace recorders and baseline capture all
+ride the same execution.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .correlation.bat_builder import BuildStats, build_program_tables
 from .correlation.tables import ProgramTables
-from .interp.interpreter import RunResult, TamperSpec, run_program
+from .interp.interpreter import Interpreter, RunResult, TamperSpec, run_program
 from .ir.function import IRModule
 from .ir.builder import lower_program
 from .ir.validate import verify_module
@@ -33,9 +39,15 @@ class ProtectedProgram:
     build_stats: List[BuildStats]
     source_name: str = "<source>"
 
-    def new_ipds(self, halt_on_alarm: bool = False) -> IPDS:
+    def new_ipds(
+        self, halt_on_alarm: bool = False, allow_unprotected: bool = False
+    ) -> IPDS:
         """A fresh IPDS instance for one monitored execution."""
-        return IPDS(self.tables, halt_on_alarm=halt_on_alarm)
+        return IPDS(
+            self.tables,
+            halt_on_alarm=halt_on_alarm,
+            allow_unprotected=allow_unprotected,
+        )
 
     def to_image(self) -> bytes:
         """The §5.4 binary table image: function information table plus
@@ -90,6 +102,37 @@ def compile_program_cached(
     return cached_compile(source, name, opt_level)
 
 
+def observed_run(
+    program: ProtectedProgram,
+    observers: Sequence[object] = (),
+    inputs: Sequence[int] = (),
+    entry: str = "main",
+    tamper: Optional[TamperSpec] = None,
+    step_limit: int = 2_000_000,
+    trace_branches: bool = True,
+) -> RunResult:
+    """Execute once, fanning events out to every observer.
+
+    One execution drives any number of consumers simultaneously —
+    checker, timing models, trace recorder, baseline capture — each
+    event dispatched exactly once through the observer bus::
+
+        ipds = program.new_ipds()
+        recorder = TraceRecorder()
+        result = observed_run(program, [ipds, recorder], inputs=[...])
+    """
+    interpreter = Interpreter(
+        program.module,
+        inputs=inputs,
+        entry=entry,
+        tamper=tamper,
+        step_limit=step_limit,
+        observers=observers,
+        trace_branches=trace_branches,
+    )
+    return interpreter.run()
+
+
 def monitored_run(
     program: ProtectedProgram,
     inputs: Sequence[int] = (),
@@ -97,15 +140,18 @@ def monitored_run(
     tamper: Optional[TamperSpec] = None,
     step_limit: int = 2_000_000,
     halt_on_alarm: bool = False,
+    allow_unprotected: bool = False,
 ) -> Tuple[RunResult, IPDS]:
     """Run a protected program with the IPDS attached."""
-    ipds = program.new_ipds(halt_on_alarm=halt_on_alarm)
-    result = run_program(
-        program.module,
+    ipds = program.new_ipds(
+        halt_on_alarm=halt_on_alarm, allow_unprotected=allow_unprotected
+    )
+    result = observed_run(
+        program,
+        observers=[ipds],
         inputs=inputs,
         entry=entry,
         tamper=tamper,
-        event_listeners=[ipds.process],
         step_limit=step_limit,
     )
     return result, ipds

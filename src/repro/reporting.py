@@ -12,13 +12,14 @@ import argparse
 import random
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .attacks.campaign import CampaignSummary, run_campaign
 from .correlation.encoding import SizeSummary, summarize_sizes
 from .cpu.params import IPDSHardwareParams, ProcessorParams
 from .cpu.simulator import PerformanceComparison, normalized_performance
-from .pipeline import ProtectedProgram, compile_program_cached
+from .observability import MetricsRegistry, RunManifest, write_manifest
+from .pipeline import compile_program_cached
 from .workloads.registry import Workload, all_workloads
 
 
@@ -37,6 +38,7 @@ def figure7_data(
     workloads: Optional[Sequence[Workload]] = None,
     jobs: int = 1,
     seed_prefix: str = "",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CampaignSummary:
     """Run the Figure 7 campaign (100 independent attacks/server).
 
@@ -44,9 +46,14 @@ def figure7_data(
     seeded purely by ``(seed_prefix, workload, index)`` and shard
     outcomes are merged back into index order, the summary — and hence
     :func:`render_figure7`'s text — is byte-identical at any ``jobs``.
+    ``metrics`` collects campaign telemetry without affecting the data.
     """
     return run_campaign(
-        workloads, attacks=attacks, seed_prefix=seed_prefix, jobs=jobs
+        workloads,
+        attacks=attacks,
+        seed_prefix=seed_prefix,
+        jobs=jobs,
+        metrics=metrics,
     )
 
 
@@ -296,8 +303,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="shard the fig7 campaign across N processes "
              "(byte-identical output at any value)",
     )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write a JSON (or append-mode .jsonl) run manifest with "
+             "per-artifact spans and campaign counters",
+    )
     args = parser.parse_args(argv)
 
+    registry = MetricsRegistry()
+    manifest = RunManifest.begin(
+        "reporting",
+        artifact=args.artifact,
+        attacks=args.attacks,
+        scale=args.scale,
+        jobs=args.jobs,
+    )
     wants = (
         ["fig7", "fig8", "table1", "fig9", "latency"]
         if args.artifact == "all"
@@ -306,23 +326,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     blocks: List[str] = []
     fig9 = None
     for artifact in wants:
-        if artifact == "fig7":
-            blocks.append(
-                render_figure7(
-                    figure7_data(attacks=args.attacks, jobs=args.jobs)
+        with registry.span(f"artifact.{artifact}"):
+            if artifact == "fig7":
+                blocks.append(
+                    render_figure7(
+                        figure7_data(
+                            attacks=args.attacks,
+                            jobs=args.jobs,
+                            metrics=registry,
+                        )
+                    )
                 )
-            )
-        elif artifact == "fig8":
-            blocks.append(render_figure8(*figure8_data()))
-        elif artifact == "table1":
-            blocks.append(render_table1())
-        elif artifact in ("fig9", "latency"):
-            if fig9 is None:
-                fig9 = figure9_data(scale=args.scale)
-            blocks.append(
-                render_figure9(fig9) if artifact == "fig9" else render_latency(fig9)
-            )
+            elif artifact == "fig8":
+                blocks.append(render_figure8(*figure8_data()))
+            elif artifact == "table1":
+                blocks.append(render_table1())
+            elif artifact in ("fig9", "latency"):
+                if fig9 is None:
+                    fig9 = figure9_data(scale=args.scale)
+                blocks.append(
+                    render_figure9(fig9)
+                    if artifact == "fig9"
+                    else render_latency(fig9)
+                )
     print("\n\n".join(blocks))
+    if args.metrics_out:
+        manifest.finish(registry, artifacts=wants)
+        write_manifest(manifest, args.metrics_out)
     return 0
 
 

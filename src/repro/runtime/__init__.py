@@ -1,8 +1,16 @@
-"""IPDS runtime: event types, BSV state, and the checker."""
+"""IPDS runtime: event types, the observer bus, BSV state, the checker."""
 
 from .bsv import BSVFrame
 from .events import BranchEvent, CallEvent, Event, ReturnEvent
 from .ipds import IPDS, Alarm, IPDSError, IPDSStats
+from .observer import (
+    CallbackObserver,
+    ExecutionObserver,
+    InstructionCallbackObserver,
+    ObserverBus,
+    as_observer,
+    build_bus,
+)
 from .replay import (
     TraceFormatError,
     TraceRecorder,
@@ -18,13 +26,19 @@ __all__ = [
     "BSVFrame",
     "BranchEvent",
     "CallEvent",
+    "CallbackObserver",
     "Event",
+    "ExecutionObserver",
     "IPDS",
     "IPDSError",
     "IPDSStats",
+    "InstructionCallbackObserver",
+    "ObserverBus",
     "ReturnEvent",
     "TraceFormatError",
     "TraceRecorder",
+    "as_observer",
+    "build_bus",
     "dump_trace",
     "event_from_json",
     "event_to_json",

@@ -7,7 +7,7 @@ move them between TAKEN / NOT_TAKEN / UNKNOWN.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..correlation.actions import BranchAction, BranchStatus
 from ..correlation.tables import FunctionTables

@@ -1,16 +1,23 @@
 """Runtime event stream vocabulary.
 
-The execution substrate (interpreter or CPU model) feeds the IPDS a
+The execution substrate (interpreter or CPU model) feeds consumers a
 stream of *committed* control-flow events: function calls, returns, and
-conditional-branch outcomes.  The IPDS never sees data values — exactly
+conditional-branch outcomes.  Consumers never see data values — exactly
 the paper's hardware interface (§5.4: "each committed branch is sent to
 the IPDS").
+
+Each event knows how to ``dispatch`` itself to an
+:class:`~repro.runtime.observer.ExecutionObserver`, so consumers get a
+typed callback (``on_call`` / ``on_return`` / ``on_branch``) instead of
+re-discovering the event kind with an isinstance chain, and how to
+serialize itself for the audit-log trace format
+(:mod:`repro.runtime.replay`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Any, Dict, Union
 
 
 @dataclass(frozen=True)
@@ -19,12 +26,24 @@ class CallEvent:
 
     function_name: str
 
+    def dispatch(self, observer: Any) -> Any:
+        return observer.on_call(self)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"k": "call", "fn": self.function_name}
+
 
 @dataclass(frozen=True)
 class ReturnEvent:
     """Leaving a function: pop its tables."""
 
     function_name: str
+
+    def dispatch(self, observer: Any) -> Any:
+        return observer.on_return(self)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"k": "ret", "fn": self.function_name}
 
 
 @dataclass(frozen=True)
@@ -38,6 +57,17 @@ class BranchEvent:
     @property
     def direction(self) -> str:
         return "T" if self.taken else "NT"
+
+    def dispatch(self, observer: Any) -> Any:
+        return observer.on_branch(self)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "k": "br",
+            "fn": self.function_name,
+            "pc": self.pc,
+            "t": int(self.taken),
+        }
 
 
 Event = Union[CallEvent, ReturnEvent, BranchEvent]

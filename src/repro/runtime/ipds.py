@@ -14,6 +14,11 @@ Verification-before-update ordering matters: the event's own actions
 describe the world *after* this branch, so they must not influence its
 own check.
 
+The checker is an :class:`~repro.runtime.observer.ExecutionObserver`:
+it plugs straight onto the interpreter's event bus (``on_call`` /
+``on_return`` / ``on_branch``), and :meth:`IPDS.process` remains as the
+single-event entry point for offline replay.
+
 The functional checker here decides *what* is detected; timing (queue
 occupancy, spills, detection latency) is modeled separately in
 :mod:`repro.cpu`.
@@ -21,7 +26,7 @@ occupancy, spills, detection latency) is modeled separately in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from ..correlation.actions import BranchStatus
@@ -29,6 +34,7 @@ from ..correlation.tables import ProgramTables
 from ..lang.errors import ReproError
 from .bsv import BSVFrame
 from .events import BranchEvent, CallEvent, Event, ReturnEvent
+from .observer import ExecutionObserver
 
 
 class IPDSError(ReproError):
@@ -64,20 +70,36 @@ class IPDSStats:
     updates: int = 0
     actions_fired: int = 0
     max_stack_depth: int = 0
+    unprotected_calls: int = 0
+    unprotected_branches: int = 0
 
 
-class IPDS:
+class IPDS(ExecutionObserver):
     """Infeasible Path Detection System runtime.
 
     ``halt_on_alarm`` mirrors a deployment that kills the process on
     the first alarm; the default records alarms and keeps checking so
     campaigns can observe everything.
+
+    ``allow_unprotected`` selects the tolerant partial-coverage mode:
+    a call into a function with no compiled tables pushes a sentinel
+    frame that is counted (``stats.unprotected_calls``) and skipped —
+    branches committed inside it are counted but never checked or used
+    for updates — instead of hard-raising :class:`IPDSError`.  This is
+    the deployment reality of a binary linked against unanalyzed
+    libraries.
     """
 
-    def __init__(self, tables: ProgramTables, halt_on_alarm: bool = False):
+    def __init__(
+        self,
+        tables: ProgramTables,
+        halt_on_alarm: bool = False,
+        allow_unprotected: bool = False,
+    ):
         self._tables = tables
-        self._stack: List[BSVFrame] = []
+        self._stack: List[Optional[BSVFrame]] = []
         self._halt_on_alarm = halt_on_alarm
+        self._allow_unprotected = allow_unprotected
         self._halted = False
         self.alarms: List[Alarm] = []
         self.stats = IPDSStats()
@@ -86,18 +108,30 @@ class IPDS:
 
     def process(self, event: Event) -> Optional[Alarm]:
         """Consume one event; returns an alarm if this event raised one."""
+        dispatch = getattr(event, "dispatch", None)
+        if dispatch is None:
+            raise IPDSError(f"unknown event {event!r}")
+        return dispatch(self)
+
+    def on_call(self, event: CallEvent) -> None:
         if self._halted:
             return None
         self.stats.events += 1
-        if isinstance(event, CallEvent):
-            self._push(event.function_name)
+        self._push(event.function_name)
+        return None
+
+    def on_return(self, event: ReturnEvent) -> None:
+        if self._halted:
             return None
-        if isinstance(event, ReturnEvent):
-            self._pop(event.function_name)
+        self.stats.events += 1
+        self._pop(event.function_name)
+        return None
+
+    def on_branch(self, event: BranchEvent) -> Optional[Alarm]:
+        if self._halted:
             return None
-        if isinstance(event, BranchEvent):
-            return self._branch(event)
-        raise IPDSError(f"unknown event {event!r}")
+        self.stats.events += 1
+        return self._branch(event)
 
     def run(self, events: Iterable[Event]) -> List[Alarm]:
         """Consume a whole stream; returns all alarms raised."""
@@ -124,10 +158,16 @@ class IPDS:
         try:
             tables = self._tables.tables_for(function_name)
         except KeyError:
-            raise IPDSError(
-                f"call into unprotected function {function_name!r}"
-            ) from None
-        self._stack.append(BSVFrame(tables))
+            if not self._allow_unprotected:
+                raise IPDSError(
+                    f"call into unprotected function {function_name!r}"
+                ) from None
+            # Tolerant mode: account for the frame so returns stay
+            # balanced, but there is nothing to check inside it.
+            self.stats.unprotected_calls += 1
+            self._stack.append(None)
+        else:
+            self._stack.append(BSVFrame(tables))
         self.stats.max_stack_depth = max(
             self.stats.max_stack_depth, len(self._stack)
         )
@@ -136,6 +176,8 @@ class IPDS:
         if not self._stack:
             raise IPDSError("return event with empty table stack")
         frame = self._stack.pop()
+        if frame is None:
+            return  # unprotected sentinel: nothing to verify
         if frame.tables.function_name != function_name:
             raise IPDSError(
                 f"return from {function_name!r} but top of stack is "
@@ -146,6 +188,10 @@ class IPDS:
         if not self._stack:
             raise IPDSError("branch event with empty table stack")
         frame = self._stack[-1]
+        if frame is None:
+            # Branch inside an unprotected frame: observed, not checked.
+            self.stats.unprotected_branches += 1
+            return None
         tables = frame.tables
         if tables.function_name != event.function_name:
             raise IPDSError(

@@ -1,0 +1,160 @@
+"""The execution-observer protocol and the event bus.
+
+The paper's runtime is a single committed-control-flow stream fanned
+out to consumers (§5.4: the IPDS checker, the timing hardware, the
+audit log).  :class:`ExecutionObserver` is the typed contract every
+consumer implements; :class:`ObserverBus` is the fan-out point the
+interpreter drives — each event is dispatched exactly once, through
+``event.dispatch(observer)``, instead of every consumer re-classifying
+the event with its own isinstance chain.
+
+Hooks (all optional — the base class implementations are no-ops):
+
+* ``on_call(event)``    — a function activation was pushed;
+* ``on_return(event)``  — a function activation was popped;
+* ``on_branch(event)``  — a conditional branch committed;
+* ``on_instruction(instruction, touched)`` — any instruction committed
+  (``touched`` is the data address it accessed, or ``None``);
+* ``finish()``          — the execution ended; flush/aggregate.
+
+The bus pre-filters ``on_instruction`` subscribers: observers that keep
+the base-class no-op never pay a per-instruction call, which is what
+makes attaching control-flow-only consumers (IPDS, trace recorders)
+essentially free on the instruction hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from .events import BranchEvent, CallEvent, Event, ReturnEvent
+
+
+class ExecutionObserver:
+    """Base class for committed-execution consumers.
+
+    Subclass and override the hooks you need; every default is a no-op
+    so observers state only what they consume.
+    """
+
+    def on_call(self, event: CallEvent) -> Any:
+        """A function activation was pushed."""
+
+    def on_return(self, event: ReturnEvent) -> Any:
+        """A function activation was popped."""
+
+    def on_branch(self, event: BranchEvent) -> Any:
+        """A conditional branch committed."""
+
+    def on_instruction(self, instruction: Any, touched: Optional[int]) -> Any:
+        """Any instruction committed (``touched`` = data address or None)."""
+
+    def finish(self) -> None:
+        """The observed execution ended."""
+
+
+class CallbackObserver(ExecutionObserver):
+    """Adapts a legacy ``Callable[[Event], None]`` listener to the bus.
+
+    Keeps the pre-bus listener style working: the callable receives
+    every control-flow event, exactly as ``event_listeners`` used to.
+    """
+
+    def __init__(self, callback: Callable[[Event], None]) -> None:
+        self._callback = callback
+
+    def on_call(self, event: CallEvent) -> None:
+        self._callback(event)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        self._callback(event)
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self._callback(event)
+
+
+class InstructionCallbackObserver(ExecutionObserver):
+    """Adapts a legacy ``(instruction, touched)`` listener to the bus."""
+
+    def __init__(
+        self, callback: Callable[[Any, Optional[int]], None]
+    ) -> None:
+        self._callback = callback
+
+    def on_instruction(self, instruction: Any, touched: Optional[int]) -> None:
+        self._callback(instruction, touched)
+
+
+def as_observer(consumer: Any) -> ExecutionObserver:
+    """Coerce a consumer to the observer protocol.
+
+    Observers pass through; bare callables (legacy event listeners) are
+    wrapped in a :class:`CallbackObserver`.
+    """
+    if isinstance(consumer, ExecutionObserver):
+        return consumer
+    if callable(consumer):
+        return CallbackObserver(consumer)
+    raise TypeError(
+        f"not an ExecutionObserver or event callable: {consumer!r}"
+    )
+
+
+class ObserverBus:
+    """Single-dispatch fan-out for one execution's event stream."""
+
+    __slots__ = ("observers", "_instruction_observers")
+
+    def __init__(self, observers: Iterable[Any] = ()) -> None:
+        self.observers: List[ExecutionObserver] = [
+            as_observer(observer) for observer in observers
+        ]
+        # Only observers that actually override on_instruction pay the
+        # per-instruction dispatch; everyone else rides the (much
+        # sparser) control-flow stream for free.
+        self._instruction_observers: List[ExecutionObserver] = [
+            observer
+            for observer in self.observers
+            if type(observer).on_instruction
+            is not ExecutionObserver.on_instruction
+        ]
+
+    def __len__(self) -> int:
+        return len(self.observers)
+
+    @property
+    def wants_instructions(self) -> bool:
+        return bool(self._instruction_observers)
+
+    def emit(self, event: Event) -> None:
+        """Dispatch one control-flow event to every observer, once."""
+        for observer in self.observers:
+            event.dispatch(observer)
+
+    def emit_instruction(self, instruction: Any, touched: Optional[int]) -> None:
+        """Dispatch one committed instruction to subscribers only."""
+        for observer in self._instruction_observers:
+            observer.on_instruction(instruction, touched)
+
+    def finish(self) -> None:
+        """Signal end-of-execution to every observer."""
+        for observer in self.observers:
+            observer.finish()
+
+
+def build_bus(
+    observers: Sequence[Any] = (),
+    event_listeners: Sequence[Callable[[Event], None]] = (),
+    instruction_listener: Optional[Callable[[Any, Optional[int]], None]] = None,
+) -> ObserverBus:
+    """One bus from the new protocol plus legacy listener kwargs.
+
+    Ordering is stable: protocol observers first (in the order given),
+    then wrapped legacy event listeners, then the wrapped legacy
+    instruction listener — matching the pre-bus emission order.
+    """
+    members: List[Any] = list(observers)
+    members.extend(CallbackObserver(listener) for listener in event_listeners)
+    if instruction_listener is not None:
+        members.append(InstructionCallbackObserver(instruction_listener))
+    return ObserverBus(members)

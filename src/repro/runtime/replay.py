@@ -12,12 +12,13 @@ Format: one JSON object per line (`jsonl`), tagged by event kind.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List
 
 from ..correlation.tables import ProgramTables
 from ..lang.errors import ReproError
 from .events import BranchEvent, CallEvent, Event, ReturnEvent
 from .ipds import IPDS, Alarm
+from .observer import ExecutionObserver
 
 
 class TraceFormatError(ReproError):
@@ -26,20 +27,10 @@ class TraceFormatError(ReproError):
 
 def event_to_json(event: Event) -> str:
     """One event as a compact JSON line (no trailing newline)."""
-    if isinstance(event, CallEvent):
-        return json.dumps({"k": "call", "fn": event.function_name})
-    if isinstance(event, ReturnEvent):
-        return json.dumps({"k": "ret", "fn": event.function_name})
-    if isinstance(event, BranchEvent):
-        return json.dumps(
-            {
-                "k": "br",
-                "fn": event.function_name,
-                "pc": event.pc,
-                "t": int(event.taken),
-            }
-        )
-    raise TraceFormatError(f"unknown event {event!r}")
+    to_json_dict = getattr(event, "to_json_dict", None)
+    if to_json_dict is None:
+        raise TraceFormatError(f"unknown event {event!r}")
+    return json.dumps(to_json_dict())
 
 
 def event_from_json(line: str) -> Event:
@@ -76,11 +67,25 @@ def load_trace(stream: IO[str]) -> Iterator[Event]:
             yield event_from_json(line)
 
 
-class TraceRecorder:
-    """An event listener that accumulates the stream for later dumping."""
+class TraceRecorder(ExecutionObserver):
+    """An observer that accumulates the stream for later dumping.
+
+    Attaches to the interpreter bus as an
+    :class:`~repro.runtime.observer.ExecutionObserver`; it also stays
+    callable so legacy ``event_listeners=[recorder]`` wiring works.
+    """
 
     def __init__(self) -> None:
         self.events: List[Event] = []
+
+    def on_call(self, event: CallEvent) -> None:
+        self.events.append(event)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        self.events.append(event)
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self.events.append(event)
 
     def __call__(self, event: Event) -> None:
         self.events.append(event)
@@ -90,7 +95,17 @@ def replay(
     tables: ProgramTables,
     events: Iterable[Event],
     halt_on_alarm: bool = False,
+    allow_unprotected: bool = False,
 ) -> List[Alarm]:
-    """Re-check a recorded event stream offline."""
-    checker = IPDS(tables, halt_on_alarm=halt_on_alarm)
+    """Re-check a recorded event stream offline.
+
+    ``allow_unprotected`` tolerates calls into functions absent from
+    ``tables`` (e.g. a trace recorded against a build with more
+    functions than the replaying tables cover).
+    """
+    checker = IPDS(
+        tables,
+        halt_on_alarm=halt_on_alarm,
+        allow_unprotected=allow_unprotected,
+    )
     return checker.run(events)

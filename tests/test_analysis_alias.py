@@ -1,13 +1,7 @@
 """Tests for points-to analysis, call graph, and purity."""
 
 from repro.lang import parse_program
-from repro.ir import (
-    Load,
-    LoadIndirect,
-    Store,
-    StoreIndirect,
-    lower_program,
-)
+from repro.ir import LoadIndirect, StoreIndirect, lower_program
 from repro.analysis import (
     analyze_aliases,
     analyze_purity,

@@ -1,7 +1,7 @@
 """Tests for branch check/inference predicate extraction."""
 
 from repro.lang import parse_program
-from repro.ir import Load, RelOp, lower_program
+from repro.ir import RelOp, lower_program
 from repro.analysis import (
     Interval,
     analyze_aliases,

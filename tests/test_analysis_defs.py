@@ -1,6 +1,5 @@
 """Tests for definition sites and reaching definitions."""
 
-import pytest
 
 from repro.lang import parse_program
 from repro.ir import Load, lower_program
@@ -170,7 +169,6 @@ def test_both_branch_defs_reach_join():
         """
     )
     x = var_named(fn, "x")
-    sites = def_map.of_var(x)
     ((block, load_idx),) = loads_of(fn, "x")
     live = reaching.reaching(block.label, load_idx)
     live_x = {s for s in live if s.var == x}
@@ -192,7 +190,6 @@ def test_weak_def_does_not_kill():
         """
     )
     a = var_named(fn, "a")
-    sites = sorted(def_map.of_var(a), key=lambda s: (s.block_label, s.index))
     ((block, load_idx),) = loads_of(fn, "a")
     live = {s for s in reaching.reaching(block.label, load_idx) if s.var == a}
     # Both the initializing store and the weak indirect def reach.

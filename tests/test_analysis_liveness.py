@@ -1,9 +1,8 @@
 """Tests for the variable liveness analysis."""
 
-import pytest
 
 from repro.analysis import VariableLiveness
-from repro.ir import Load, Store, lower_program
+from repro.ir import Store, lower_program
 from repro.lang import parse_program
 
 

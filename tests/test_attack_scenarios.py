@@ -7,10 +7,9 @@ the exact variable that carries the property and asserting the IPDS
 catches the resulting infeasible path.
 """
 
-import pytest
 
 from repro import TamperSpec, compile_program, monitored_run, unmonitored_run
-from repro.interp import Interpreter, MemoryMap, STACK_BASE
+from repro.interp import MemoryMap, STACK_BASE
 from repro.workloads import get_workload
 
 

@@ -12,8 +12,8 @@ from repro.correlation.binary_image import (
     pack_program,
 )
 from repro.correlation.encoding import table_sizes
-from repro.pipeline import compile_program, monitored_run
-from repro.runtime import BranchEvent, CallEvent, IPDS
+from repro.pipeline import compile_program
+from repro.runtime import IPDS
 from repro.workloads import all_workloads
 
 

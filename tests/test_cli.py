@@ -140,6 +140,149 @@ def test_replay_flags_tampered_trace(source_file, tmp_path, capsys):
     assert "ALARM" in out
 
 
+def test_attack_trace_out_replays_with_identical_alarm(
+    source_file, tmp_path, capsys
+):
+    """CLI round trip: tampered attack --trace-out, then offline replay.
+
+    The offline verdict must be the *same alarm* the online IPDS raised
+    — same function, pc, expected status, and event index.
+    """
+    from repro.interp import GLOBAL_BASE
+
+    trace = str(tmp_path / "attack.jsonl")
+    rc = main(
+        [
+            "attack", source_file,
+            "--inputs", "5 1",
+            "--trigger", "2",
+            "--address", hex(GLOBAL_BASE),
+            "--value", "0",
+            "--trace-out", trace,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 2
+    online = next(
+        line.split(": ", 1)[1]
+        for line in out.splitlines()
+        if line.startswith("DETECTED")
+    )
+
+    rc = main(["replay", source_file, trace])
+    out = capsys.readouterr().out
+    assert rc == 2
+    offline = next(
+        line.split(": ", 1)[1]
+        for line in out.splitlines()
+        if line.startswith("ALARM:")
+    )
+    assert offline == online
+
+
+def test_run_trace_out_is_replayable(source_file, tmp_path, capsys):
+    trace = str(tmp_path / "run.jsonl")
+    assert main(
+        ["run", source_file, "--inputs", "5 1", "--trace-out", trace]
+    ) == 0
+    capsys.readouterr()
+    assert main(["replay", source_file, trace]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_run_allow_unprotected_flag_accepted(source_file, capsys):
+    assert main(
+        ["run", source_file, "--inputs", "5 1", "--allow-unprotected"]
+    ) == 0
+    assert "alarms : none" in capsys.readouterr().out
+
+
+def test_metrics_out_manifests_for_all_commands(source_file, tmp_path, capsys):
+    import json
+
+    from repro.interp import GLOBAL_BASE
+
+    manifest = tmp_path / "m.json"
+
+    def read_manifest():
+        payload = json.loads(manifest.read_text())
+        assert payload["manifest_version"] == 1
+        assert payload["finished_at"] is not None
+        assert "counters" in payload["metrics"]
+        return payload
+
+    assert main(
+        ["run", source_file, "--inputs", "5 1", "--metrics-out", str(manifest)]
+    ) == 0
+    payload = read_manifest()
+    assert payload["command"] == "run"
+    assert payload["results"]["status"] == "ok"
+    assert payload["metrics"]["counters"]["interp.steps"] > 0
+
+    assert main(
+        [
+            "attack", source_file,
+            "--inputs", "5 1",
+            "--trigger", "2",
+            "--address", hex(GLOBAL_BASE),
+            "--value", "0",
+            "--metrics-out", str(manifest),
+        ]
+    ) == 2
+    payload = read_manifest()
+    assert payload["command"] == "attack"
+    assert payload["results"]["detected"] is True
+
+    assert main(
+        ["campaign", "sysklogd", "--attacks", "2",
+         "--metrics-out", str(manifest)]
+    ) == 0
+    payload = read_manifest()
+    assert payload["command"] == "campaign"
+    assert payload["metrics"]["counters"]["campaign.attacks"] == 2
+
+    assert main(
+        ["timing", "telnetd", "--scale", "2", "--metrics-out", str(manifest)]
+    ) == 0
+    payload = read_manifest()
+    assert payload["command"] == "timing"
+    assert payload["results"]["instructions"] > 0
+    capsys.readouterr()
+
+
+def test_metrics_out_jsonl_appends(source_file, tmp_path, capsys):
+    import json
+
+    log = tmp_path / "runs.jsonl"
+    for _ in range(2):
+        assert main(
+            ["run", source_file, "--inputs", "5 1",
+             "--metrics-out", str(log)]
+        ) == 0
+    capsys.readouterr()
+    lines = log.read_text().splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line)["command"] == "run" for line in lines)
+
+
+def test_campaign_trace_out_outcome_records(tmp_path, capsys):
+    import json
+
+    outcomes = tmp_path / "outcomes.jsonl"
+    assert main(
+        ["campaign", "sysklogd", "--attacks", "3",
+         "--trace-out", str(outcomes)]
+    ) == 0
+    capsys.readouterr()
+    records = [
+        json.loads(line) for line in outcomes.read_text().splitlines()
+    ]
+    assert len(records) == 3
+    assert [record["index"] for record in records] == [0, 1, 2]
+    assert all(record["workload"] == "sysklogd" for record in records)
+    assert {"detected", "control_flow_changed", "target"} <= records[0].keys()
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

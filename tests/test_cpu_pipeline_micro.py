@@ -1,6 +1,5 @@
 """Micro-tests for the pipeline timing model using synthetic streams."""
 
-import pytest
 
 from repro.cpu import ProcessorParams, TimingModel
 from repro.ir import BinOp, Const, Load, Reg, Store, Variable, VarKind

@@ -4,13 +4,7 @@ import random
 
 import pytest
 
-from repro.cpu import (
-    IPDSHardwareModel,
-    IPDSHardwareParams,
-    ProcessorParams,
-    normalized_performance,
-    timed_run,
-)
+from repro.cpu import IPDSHardwareModel, IPDSHardwareParams, normalized_performance, timed_run
 from repro.pipeline import compile_program
 from repro.workloads import get_workload
 

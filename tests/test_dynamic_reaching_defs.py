@@ -12,14 +12,8 @@ consumes.)
 from typing import Dict, Optional, Tuple
 
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
-from repro.analysis import (
-    DefSite,
-    analyze_aliases,
-    analyze_definitions,
-    analyze_purity,
-)
+from repro.analysis import analyze_aliases, analyze_definitions, analyze_purity
 from repro.interp import Interpreter
 from repro.ir import Load, Store, StoreIndirect, lower_program
 from repro.lang import parse_program

@@ -17,7 +17,6 @@ bug in chain solving, outcome sets, or gap checking shows up here.
 """
 
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.analysis import (
     analyze_aliases,
@@ -37,7 +36,6 @@ def collect_facts(module):
     analyze_aliases(module)
     purity = analyze_purity(module)
     facts = {}
-    loads_by_position = {}
     for fn in module.functions:
         def_map, _ = analyze_definitions(fn, module, purity)
         for pc, branch_facts in analyze_branches(fn, def_map).items():
@@ -115,8 +113,6 @@ def test_inference_ranges_hold_at_commit(source, inputs):
     facts = collect_facts(module)
     violations = []
 
-    interpreter = Interpreter(module, inputs=inputs, step_limit=20_000)
-
     def on_event(event):
         if not isinstance(event, BranchEvent):
             return
@@ -141,6 +137,8 @@ def test_inference_ranges_hold_at_commit(source, inputs):
                     (event.pc, inference.var.name, value, str(implied))
                 )
 
-    interpreter._listeners.append(on_event)
+    interpreter = Interpreter(
+        module, inputs=inputs, step_limit=20_000, event_listeners=[on_event]
+    )
     interpreter.run()
     assert not violations, (source, violations)

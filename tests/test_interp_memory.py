@@ -63,11 +63,11 @@ def test_frame_layout_params_then_locals():
     layout = layout_frame(fn)
     p = layout.offsets[var_named(fn, "p")]
     q = layout.offsets[var_named(fn, "q")]
-    l = layout.offsets[var_named(fn, "l")]
+    loc = layout.offsets[var_named(fn, "l")]
     arr = layout.offsets[var_named(fn, "arr")]
     m = layout.offsets[var_named(fn, "m")]
     assert (p, q) == (0, 1)
-    assert l == 2
+    assert loc == 2
     assert arr == 3
     assert m == 7  # after the 4-word array
     assert layout.size == 8

@@ -4,15 +4,7 @@ import pytest
 
 from repro.lang import parse_program
 from repro.ir import lower_program
-from repro.interp import (
-    GLOBAL_BASE,
-    Interpreter,
-    MemoryMap,
-    RunStatus,
-    STACK_BASE,
-    TamperSpec,
-    run_program,
-)
+from repro.interp import GLOBAL_BASE, Interpreter, MemoryMap, RunStatus, TamperSpec, run_program
 from repro.runtime import BranchEvent, CallEvent, ReturnEvent
 
 

@@ -1,6 +1,5 @@
 """Unit tests for IR instruction helpers and renderings."""
 
-import pytest
 
 from repro.ir import (
     AddrOf,

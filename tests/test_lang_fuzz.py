@@ -6,7 +6,6 @@ programs printed from random ASTs must lex to the same token stream
 after a comment-stripping round trip.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

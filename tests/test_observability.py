@@ -1,0 +1,221 @@
+"""Unit tests for the observability layer: metrics, manifests, telemetry."""
+
+import io
+import json
+
+from repro.observability import (
+    Counter,
+    JsonlWriter,
+    MetricsRegistry,
+    RunManifest,
+    Timer,
+    export_trace,
+    write_manifest,
+    write_metrics_jsonl,
+)
+from repro.observability.manifest import MANIFEST_VERSION
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def test_counter_increment():
+    counter = Counter("x")
+    assert counter.increment() == 1
+    assert counter.increment(4) == 5
+    assert counter.value == 5
+
+
+def test_timer_aggregates_samples():
+    timer = Timer("t")
+    timer.observe(0.2)
+    timer.observe(0.4)
+    assert timer.count == 2
+    assert abs(timer.total_seconds - 0.6) < 1e-9
+    assert timer.min_seconds == 0.2
+    assert timer.max_seconds == 0.4
+    assert abs(timer.mean_seconds - 0.3) < 1e-9
+
+
+def test_registry_counters_and_values():
+    registry = MetricsRegistry()
+    assert registry.value("missing") == 0
+    registry.increment("a")
+    registry.increment("a", 2)
+    assert registry.value("a") == 3
+
+
+def test_registry_span_records_timer_and_span():
+    registry = MetricsRegistry()
+    with registry.span("stage"):
+        pass
+    assert registry.timer("stage").count == 1
+    assert len(registry.spans) == 1
+    assert registry.spans[0].name == "stage"
+    assert registry.spans[0].seconds >= 0.0
+
+
+def test_span_recorded_even_when_body_raises():
+    registry = MetricsRegistry()
+    try:
+        with registry.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert registry.timer("boom").count == 1
+
+
+def test_snapshot_is_plain_and_sorted():
+    registry = MetricsRegistry()
+    registry.increment("zebra")
+    registry.increment("alpha", 2)
+    registry.observe_seconds("t", 0.5)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["alpha", "zebra"]
+    assert snapshot["counters"]["alpha"] == 2
+    assert snapshot["timers"]["t"]["count"] == 1
+    # picklable/JSON-ready: round-trips through json untouched
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_merge_snapshot_folds_counters_timers_spans():
+    child = MetricsRegistry()
+    child.increment("n", 5)
+    child.observe_seconds("t", 0.1)
+    child.observe_seconds("t", 0.3)
+    with child.span("s"):
+        pass
+
+    parent = MetricsRegistry()
+    parent.increment("n", 1)
+    parent.observe_seconds("t", 0.2)
+    parent.merge_snapshot(child.snapshot())
+
+    assert parent.value("n") == 6
+    timer = parent.timer("t")
+    assert timer.count == 3
+    assert abs(timer.total_seconds - 0.6) < 1e-6
+    assert timer.min_seconds == 0.1
+    assert timer.max_seconds == 0.3
+    assert [span.name for span in parent.spans] == ["s"]
+
+
+def test_merge_snapshot_tolerates_none_and_empty():
+    registry = MetricsRegistry()
+    registry.merge_snapshot(None)
+    registry.merge_snapshot({})
+    assert registry.snapshot() == {"counters": {}, "timers": {}, "spans": []}
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+
+
+def test_manifest_lifecycle_and_payload():
+    manifest = RunManifest.begin("demo", file="a.c", opt=1)
+    manifest.record(phase="early")
+    registry = MetricsRegistry()
+    registry.increment("events", 7)
+    manifest.finish(registry, status="ok")
+
+    payload = manifest.to_dict()
+    assert payload["manifest_version"] == MANIFEST_VERSION
+    assert payload["command"] == "demo"
+    assert payload["arguments"] == {"file": "a.c", "opt": 1}
+    assert payload["results"] == {"phase": "early", "status": "ok"}
+    assert payload["metrics"]["counters"]["events"] == 7
+    assert payload["started_at"].endswith("Z")
+    assert payload["finished_at"].endswith("Z")
+    assert payload["duration_seconds"] >= 0.0
+    # JSON-serializable end to end
+    json.dumps(payload)
+
+
+def test_unfinished_manifest_has_null_timing():
+    payload = RunManifest.begin("demo").to_dict()
+    assert payload["finished_at"] is None
+    assert payload["duration_seconds"] is None
+
+
+# ----------------------------------------------------------------------
+# Telemetry writers
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_writer_appends(tmp_path):
+    path = tmp_path / "log.jsonl"
+    writer = JsonlWriter(str(path))
+    writer.write({"a": 1})
+    writer.write_all([{"b": 2}, {"c": 3}])
+    assert writer.records_written == 3
+    lines = path.read_text().splitlines()
+    assert [json.loads(line) for line in lines] == [
+        {"a": 1}, {"b": 2}, {"c": 3}
+    ]
+
+
+def test_write_manifest_json_overwrites(tmp_path):
+    path = tmp_path / "manifest.json"
+    manifest = RunManifest.begin("demo").finish()
+    write_manifest(manifest, str(path))
+    write_manifest(manifest, str(path))
+    payload = json.loads(path.read_text())
+    assert payload["command"] == "demo"
+
+
+def test_write_manifest_jsonl_appends(tmp_path):
+    path = tmp_path / "manifests.jsonl"
+    manifest = RunManifest.begin("demo").finish()
+    write_manifest(manifest, str(path))
+    write_manifest(manifest, str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert all(json.loads(line)["command"] == "demo" for line in lines)
+
+
+def test_write_metrics_jsonl_kinds_and_label(tmp_path):
+    registry = MetricsRegistry()
+    registry.increment("c", 2)
+    with registry.span("s"):
+        pass
+    path = tmp_path / "metrics.jsonl"
+    count = write_metrics_jsonl(registry, str(path), label="run-1")
+    records = [
+        json.loads(line) for line in path.read_text().splitlines()
+    ]
+    assert count == len(records) == 3  # counter + timer + span
+    assert {record["kind"] for record in records} == {
+        "counter", "timer", "span"
+    }
+    assert all(record["label"] == "run-1" for record in records)
+
+
+def test_export_trace_round_trips_through_replay(tmp_path):
+    from repro.pipeline import compile_program, observed_run
+    from repro.runtime.replay import TraceRecorder, load_trace, replay
+
+    source = """
+    int g;
+    void main() {
+      g = read_int();
+      if (g == 0) { emit(1); } else { emit(2); }
+    }
+    """
+    program = compile_program(source, "t.c")
+    recorder = TraceRecorder()
+    observed_run(program, observers=[recorder], inputs=[4])
+
+    path = tmp_path / "trace.jsonl"
+    count = export_trace(recorder.events, str(path))
+    assert count == len(recorder.events)
+    with open(path, "r", encoding="utf-8") as handle:
+        events = list(load_trace(handle))
+    assert events == recorder.events
+    assert replay(program.tables, events) == []
+
+    stream = io.StringIO()
+    assert export_trace(recorder.events, stream) == count
+    assert stream.getvalue() == path.read_text()

@@ -1,0 +1,337 @@
+"""Observer bus: protocol, fan-out, and single-pass equivalence.
+
+The tentpole claim of the observer refactor is that one execution can
+drive every consumer — IPDS checker, timing models, n-gram syscall
+capture, trace recorder — and produce results *identical* to the old
+one-consumer-per-run protocol.  These tests pin that equivalence
+byte-for-byte.
+"""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.baselines.compare import SyscallTraceObserver, capture_trace
+from repro.correlation.tables import ProgramTables
+from repro.cpu.params import ProcessorParams
+from repro.cpu.pipeline import TimingModel
+from repro.cpu.simulator import TimingObserver, normalized_performance, timed_run
+from repro.interp.interpreter import Interpreter, RunStatus, run_program
+from repro.pipeline import compile_program, monitored_run, observed_run
+from repro.runtime.events import BranchEvent, CallEvent, ReturnEvent
+from repro.runtime.ipds import IPDS, IPDSError
+from repro.runtime.observer import (
+    CallbackObserver,
+    ExecutionObserver,
+    InstructionCallbackObserver,
+    ObserverBus,
+    as_observer,
+    build_bus,
+)
+from repro.runtime.replay import TraceRecorder, dump_trace, replay
+from repro.workloads.registry import get_workload
+
+FIGURE1 = """
+int user;
+void main() {
+  user = read_int();
+  if (user == 0) { emit(100); } else { emit(200); }
+  int someinput = read_int();
+  if (user == 0) { emit(111); } else { emit(222); }
+}
+"""
+
+WITH_HELPER = """
+int user;
+int helper(int x) {
+  if (x > 3) { return x + 1; }
+  return x;
+}
+void main() {
+  user = read_int();
+  if (user == 0) { emit(100); } else { emit(200); }
+  int v = helper(read_int());
+  emit(v);
+  if (user == 0) { emit(111); } else { emit(222); }
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Protocol / bus unit behavior
+# ----------------------------------------------------------------------
+
+
+def test_as_observer_passthrough_wrap_and_reject():
+    ipds_like = ExecutionObserver()
+    assert as_observer(ipds_like) is ipds_like
+    wrapped = as_observer(lambda event: None)
+    assert isinstance(wrapped, CallbackObserver)
+    with pytest.raises(TypeError):
+        as_observer(42)
+
+
+def test_bus_prefilters_instruction_subscribers():
+    control_flow_only = ExecutionObserver()
+    bus = ObserverBus([control_flow_only])
+    assert len(bus) == 1
+    assert not bus.wants_instructions
+
+    instrs = []
+    bus = ObserverBus(
+        [control_flow_only, InstructionCallbackObserver(
+            lambda instruction, touched: instrs.append(instruction)
+        )]
+    )
+    assert bus.wants_instructions
+    bus.emit_instruction("fake-insn", None)
+    assert instrs == ["fake-insn"]
+
+
+def test_bus_dispatches_each_event_kind_to_the_right_hook():
+    class Spy(ExecutionObserver):
+        def __init__(self):
+            self.seen = []
+
+        def on_call(self, event):
+            self.seen.append(("call", event.function_name))
+
+        def on_return(self, event):
+            self.seen.append(("ret", event.function_name))
+
+        def on_branch(self, event):
+            self.seen.append(("br", event.pc, event.taken))
+
+    spy = Spy()
+    bus = ObserverBus([spy])
+    bus.emit(CallEvent(function_name="f"))
+    bus.emit(BranchEvent(function_name="f", pc=8, taken=True))
+    bus.emit(ReturnEvent(function_name="f"))
+    assert spy.seen == [("call", "f"), ("br", 8, True), ("ret", "f")]
+
+
+def test_build_bus_preserves_legacy_listener_order():
+    order = []
+
+    class First(ExecutionObserver):
+        def on_call(self, event):
+            order.append("observer")
+
+    bus = build_bus(
+        observers=[First()],
+        event_listeners=[lambda event: order.append("listener")],
+    )
+    bus.emit(CallEvent(function_name="f"))
+    assert order == ["observer", "listener"]
+
+
+def test_finish_reaches_every_observer_after_run():
+    class Flusher(ExecutionObserver):
+        def __init__(self):
+            self.finished = False
+
+        def finish(self):
+            self.finished = True
+
+    program = compile_program(FIGURE1, "fig1.c")
+    flusher = Flusher()
+    observed_run(program, observers=[flusher], inputs=[5, 1])
+    assert flusher.finished
+
+
+# ----------------------------------------------------------------------
+# Single-pass equivalence: each consumer vs. its dedicated-run twin
+# ----------------------------------------------------------------------
+
+
+def test_single_pass_timing_matches_two_pass():
+    workload = get_workload("telnetd")
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(random.Random("equiv:timing"), 3)
+
+    baseline = timed_run(program, inputs, with_ipds=False)
+    protected = timed_run(program, inputs, with_ipds=True)
+    comp = normalized_performance(program, inputs, workload.name)
+
+    assert comp.baseline_cycles == baseline.cycles
+    assert comp.ipds_cycles == protected.cycles
+    assert comp.instructions == protected.timing.instructions
+    assert comp.avg_check_latency == protected.ipds_stats.avg_check_latency
+
+
+def test_single_pass_capture_trace_matches_legacy_listener():
+    workload = get_workload("telnetd")
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(random.Random("equiv:capture"))
+
+    legacy_symbols = []
+    legacy_interp = Interpreter(
+        program.module,
+        inputs=inputs,
+        syscall_listener=lambda callee, pc: legacy_symbols.append(
+            f"{callee}@{pc:x}"
+        ),
+    )
+    legacy_result = legacy_interp.run()
+    _, legacy_ipds = monitored_run(program, inputs=inputs)
+
+    symbols, branch_trace, detected = capture_trace(program, inputs)
+    assert symbols == legacy_symbols
+    assert branch_trace == legacy_result.branch_trace
+    assert detected == legacy_ipds.detected
+
+
+def test_observer_recorder_matches_legacy_event_listener():
+    program = compile_program(FIGURE1, "fig1.c")
+    legacy = TraceRecorder()
+    run_program(program.module, inputs=[5, 1], event_listeners=[legacy])
+
+    recorder = TraceRecorder()
+    observed_run(program, observers=[recorder], inputs=[5, 1])
+
+    assert recorder.events == legacy.events
+    old, new = io.StringIO(), io.StringIO()
+    dump_trace(legacy.events, old)
+    dump_trace(recorder.events, new)
+    assert new.getvalue() == old.getvalue()
+
+
+def test_one_execution_feeds_all_four_consumers():
+    """IPDS + timing + n-gram capture + recorder on ONE observed_run."""
+    workload = get_workload("telnetd")
+    program = compile_program(workload.source, workload.name)
+    inputs = workload.make_inputs(random.Random("equiv:all4"))
+
+    ipds = program.new_ipds()
+    model = TimingModel(ProcessorParams(), None)
+    syscalls = SyscallTraceObserver()
+    recorder = TraceRecorder()
+    result = observed_run(
+        program,
+        observers=[ipds, TimingObserver(model), syscalls, recorder],
+        inputs=inputs,
+    )
+    assert result.status is RunStatus.OK
+
+    ref_result, ref_ipds = monitored_run(program, inputs=inputs)
+    ref_timed = timed_run(program, inputs, with_ipds=False)
+    ref_symbols, ref_branches, _ = capture_trace(program, inputs)
+
+    assert [str(a) for a in ipds.alarms] == [str(a) for a in ref_ipds.alarms]
+    assert ipds.stats == ref_ipds.stats
+    assert model.stats.cycles == ref_timed.cycles
+    assert syscalls.symbols == ref_symbols
+    assert result.branch_trace == ref_branches
+    assert len(recorder.events) == ipds.stats.events
+
+
+def test_tampered_single_pass_alarms_match_and_replay_offline():
+    from repro.interp import GLOBAL_BASE
+    from repro.interp.interpreter import TamperSpec
+
+    program = compile_program(FIGURE1, "fig1.c")
+    tamper = TamperSpec("read", 2, GLOBAL_BASE, 0)
+
+    ipds = program.new_ipds()
+    recorder = TraceRecorder()
+    observed_run(
+        program, observers=[ipds, recorder], inputs=[5, 1], tamper=tamper
+    )
+    assert ipds.detected
+
+    _, ref_ipds = monitored_run(program, inputs=[5, 1], tamper=tamper)
+    assert [str(a) for a in ipds.alarms] == [str(a) for a in ref_ipds.alarms]
+
+    offline = replay(program.tables, recorder.events)
+    assert [str(a) for a in offline] == [str(a) for a in ipds.alarms]
+
+
+# ----------------------------------------------------------------------
+# Partial coverage (allow_unprotected)
+# ----------------------------------------------------------------------
+
+
+def _drop_function(tables: ProgramTables, name: str) -> ProgramTables:
+    return ProgramTables(
+        by_function={
+            fn: t for fn, t in tables.by_function.items() if fn != name
+        }
+    )
+
+
+def test_unprotected_call_raises_by_default():
+    program = compile_program(WITH_HELPER, "helper.c")
+    partial = _drop_function(program.tables, "helper")
+    strict = IPDS(partial)
+    with pytest.raises(IPDSError, match="unprotected"):
+        observed_run(program, observers=[strict], inputs=[5, 9])
+
+
+def test_allow_unprotected_counts_and_skips():
+    program = compile_program(WITH_HELPER, "helper.c")
+    partial = _drop_function(program.tables, "helper")
+    tolerant = IPDS(partial, allow_unprotected=True)
+    result = observed_run(program, observers=[tolerant], inputs=[5, 9])
+    assert result.status is RunStatus.OK
+    assert tolerant.stats.unprotected_calls == 1
+    assert tolerant.stats.unprotected_branches >= 1
+    assert not tolerant.detected
+
+    # Protected functions around the gap are still fully checked.
+    full = IPDS(program.tables)
+    observed_run(program, observers=[full], inputs=[5, 9])
+    assert tolerant.stats.checks == full.stats.checks
+
+
+def test_replay_allow_unprotected():
+    program = compile_program(WITH_HELPER, "helper.c")
+    recorder = TraceRecorder()
+    observed_run(program, observers=[recorder], inputs=[5, 9])
+    partial = _drop_function(program.tables, "helper")
+    with pytest.raises(IPDSError):
+        replay(partial, recorder.events)
+    assert replay(partial, recorder.events, allow_unprotected=True) == []
+
+
+# ----------------------------------------------------------------------
+# Campaign-level equivalence with metrics attached
+# ----------------------------------------------------------------------
+
+
+def test_campaign_cli_report_identical_at_jobs_1_and_2_with_metrics(
+    tmp_path, capsys
+):
+    from repro.cli import main
+
+    serial_manifest = tmp_path / "j1.json"
+    sharded_manifest = tmp_path / "j2.json"
+    assert main(
+        ["campaign", "telnetd", "--attacks", "3",
+         "--metrics-out", str(serial_manifest)]
+    ) == 0
+    serial_out = capsys.readouterr().out
+    assert main(
+        ["campaign", "telnetd", "--attacks", "3", "--jobs", "2",
+         "--metrics-out", str(sharded_manifest)]
+    ) == 0
+    sharded_out = capsys.readouterr().out
+
+    def report(text):
+        return [
+            line for line in text.splitlines()
+            if not line.startswith("metrics:")
+        ]
+
+    assert report(serial_out) == report(sharded_out)
+
+    def work_counters(path):
+        counters = json.loads(path.read_text())["metrics"]["counters"]
+        # jobs/shards describe the schedule, not the work.
+        return {
+            name: value for name, value in counters.items()
+            if name not in ("campaign.jobs", "campaign.shards")
+        }
+
+    assert work_counters(serial_manifest) == work_counters(sharded_manifest)

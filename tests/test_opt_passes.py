@@ -1,22 +1,11 @@
 """Tests for the optimization passes: correctness and effects."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.lang import parse_program
-from repro.ir import (
-    BinOp,
-    Cmp,
-    CondBranch,
-    Const,
-    Jump,
-    Load,
-    lower_program,
-    verify_module,
-)
+from repro.ir import BinOp, CondBranch, Load, lower_program, verify_module
 from repro.opt import optimize_module
-from repro.pipeline import compile_program, monitored_run, unmonitored_run
+from repro.pipeline import compile_program, monitored_run
 from repro.interp import run_program
 
 

@@ -1,6 +1,5 @@
 """Tests for the top-level pipeline API surface."""
 
-import pytest
 
 from repro import (
     IPDS,

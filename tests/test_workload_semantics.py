@@ -5,7 +5,6 @@ These pin the workloads' observable behaviour so later edits to the
 mini-C sources cannot silently change the experiments' subject matter.
 """
 
-import pytest
 
 from repro.pipeline import compile_program, unmonitored_run
 from repro.workloads import get_workload

@@ -125,6 +125,23 @@ class Interval:
             return self
         return Interval(-self.hi, -self.lo)
 
+    def widen_against(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: any bound that moved outward in
+        ``newer`` jumps straight to infinity.
+
+        Used by fixpoint range propagation (the static soundness
+        auditor's MFP) to guarantee termination on loops that keep
+        growing a value — e.g. an incremented counter — without losing
+        the bounds that stayed stable.
+        """
+        if self.is_empty:
+            return newer
+        if newer.is_empty:
+            return self
+        lo = self.lo if newer.lo >= self.lo else NEG_INF
+        hi = self.hi if newer.hi <= self.hi else POS_INF
+        return Interval(lo, hi)
+
     def __str__(self) -> str:
         if self.is_empty:
             return "[empty]"

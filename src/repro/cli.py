@@ -10,7 +10,12 @@ Subcommands:
 * ``campaign NAME`` — run a Figure-7 style campaign against one of the
   built-in server workloads (or ``all``), optionally sharded across
   processes with ``--jobs``;
-* ``timing NAME``   — baseline-vs-IPDS timing for one workload.
+* ``timing NAME``   — baseline-vs-IPDS timing for one workload;
+* ``audit TARGET``  — statically re-prove the soundness of the emitted
+  correlation tables (file, workload name, or ``all``); exit 1 means
+  diagnostics were found, exit 2 means the tool itself failed;
+* ``lint TARGET``   — dead/infeasible-branch and unreachable-code
+  warnings from fixpoint range reasoning (same exit convention).
 
 Observability: ``run``, ``attack``, ``campaign`` and ``timing`` accept
 ``--metrics-out PATH`` (a structured JSON run manifest, or append-mode
@@ -64,7 +69,9 @@ def _positive_int(text: str) -> int:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    program = compile_program(_read_source(args.file), args.file, args.opt)
+    program = compile_program(
+        _read_source(args.file), args.file, args.opt, check=args.check
+    )
     if args.ir:
         print(format_module(program.module, show_addresses=True))
         print()
@@ -225,6 +232,94 @@ def cmd_attack(args: argparse.Namespace) -> int:
         return 2
     print("detected            : no")
     return 0
+
+
+#: ``audit``/``lint`` exit codes: 0 = clean, 1 = diagnostics at or above
+#: the --fail-on severity, 2 = the tool itself failed (bad file, parse
+#: error, ...).  Distinct from ``run``/``attack``, whose exit 2 means
+#: "IPDS alarm" on an otherwise successful run.
+EXIT_CLEAN = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_TOOL_ERROR = 2
+
+
+def _staticcheck_targets(args: argparse.Namespace):
+    """Resolve the audit/lint target into [(label, source, name)]."""
+    target = args.target
+    if target == "all":
+        return [
+            (f"{name}@opt{args.opt}", get_workload(name).source, name)
+            for name in workload_names()
+        ]
+    if target in workload_names():
+        workload = get_workload(target)
+        return [(f"{target}@opt{args.opt}", workload.source, target)]
+    return [(f"{target}@opt{args.opt}", _read_source(target), target)]
+
+
+def _run_staticcheck(args: argparse.Namespace, passes, fail_on: str) -> int:
+    from .lang.errors import ReproError
+    from .staticcheck import (
+        Severity,
+        json_report,
+        render_text,
+        run_passes,
+        sarif_report,
+        write_output,
+    )
+
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        args.command, target=args.target, opt=args.opt, fail_on=fail_on
+    )
+    try:
+        groups = []
+        for label, source, name in _staticcheck_targets(args):
+            with metrics.span("compile"):
+                program = compile_program(source, name, args.opt)
+            diagnostics = run_passes(program, names=passes, metrics=metrics)
+            groups.append((label, diagnostics))
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TOOL_ERROR
+
+    for label, diagnostics in groups:
+        print(f"== {label}")
+        print(render_text(diagnostics))
+    if args.json:
+        write_output(json_report(groups), args.json)
+    if args.sarif:
+        write_output(sarif_report(groups), args.sarif)
+
+    combined = [d for _, diagnostics in groups for d in diagnostics]
+    _emit_manifest(
+        args,
+        manifest,
+        metrics,
+        targets=len(groups),
+        diagnostics=len(combined),
+        errors=sum(1 for d in combined if d.severity is Severity.ERROR),
+        warnings=sum(
+            1 for d in combined if d.severity is Severity.WARNING
+        ),
+    )
+    if fail_on != "never":
+        threshold = Severity(fail_on)
+        if any(d.severity.at_least(threshold) for d in combined):
+            return EXIT_DIAGNOSTICS
+    return EXIT_CLEAN
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from .staticcheck import AUDIT_PASSES
+
+    return _run_staticcheck(args, AUDIT_PASSES, args.fail_on)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .staticcheck import LINT_PASSES
+
+    return _run_staticcheck(args, LINT_PASSES, args.fail_on)
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -414,7 +509,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--ir", action="store_true", help="also dump the IR")
     p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.add_argument("--check", action="store_true",
+                   help="run the static soundness auditor on the emitted "
+                        "tables and fail on any error-severity diagnostic")
     p.set_defaults(func=cmd_compile)
+
+    for name, help_text, default_fail in (
+        ("audit", "statically re-prove table soundness", "error"),
+        ("lint", "dead/infeasible branch and unreachable-code report",
+         "warning"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("target",
+                       help="a mini-C file, a workload name, or 'all'")
+        p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+        p.add_argument("--json", default=None, metavar="PATH",
+                       help="write a JSON report ('-' for stdout)")
+        p.add_argument("--sarif", default=None, metavar="PATH",
+                       help="write a SARIF 2.1.0 report ('-' for stdout)")
+        p.add_argument("--fail-on", choices=["error", "warning", "never"],
+                       default=default_fail,
+                       help=f"exit 1 at/above this severity "
+                            f"(default: {default_fail})")
+        p.add_argument("--metrics-out", default=None,
+                       help="write a JSON run manifest with per-pass "
+                            "timing spans")
+        p.set_defaults(func=cmd_audit if name == "audit" else cmd_lint)
 
     p = sub.add_parser("run", help="run a program under IPDS monitoring")
     p.add_argument("file")

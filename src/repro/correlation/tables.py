@@ -57,6 +57,14 @@ class FunctionTables:
         """Slot of a branch PC, or None if the PC is not a branch here."""
         return self._slot_by_pc.get(pc)
 
+    def pc_of_slot(self, slot: int) -> Optional[int]:
+        """Inverse of :meth:`slot_of` — well-defined because the hash is
+        collision-free over ``branch_pcs`` (audited by COR201)."""
+        for pc, pc_slot in self._slot_by_pc.items():
+            if pc_slot == slot:
+                return pc
+        return None
+
     def is_checked(self, pc: int) -> bool:
         slot = self._slot_by_pc.get(pc)
         return slot is not None and slot in self.bcv_slots

@@ -1,123 +1,40 @@
-"""IR structural verifier.
+"""IR structural verifier — compatibility shim.
 
-Checks the invariants the analyses and interpreter rely on:
+The checks that used to live here (terminator placement, register SSA,
+defs-dominate-uses, frame membership, jump targets, address
+monotonicity) moved into the diagnostics framework at
+:mod:`repro.staticcheck.irverify`, which also extends them (call-graph
+consistency, CFG edge agreement, unreachable-block warnings) and
+reports *all* violations instead of the first.
 
-* every block ends in exactly one terminator, and only at the end;
-* branch/jump targets exist;
-* registers are single-assignment and defined before use along every
-  path (checked via dominance);
-* variables referenced by instructions belong to the function frame or
-  the module globals;
-* a finalized module has strictly increasing instruction addresses.
+This module keeps the historical raise-on-first-error entry points:
+:func:`verify_module` / :func:`verify_function` raise :class:`IRError`
+on the first error-severity diagnostic.  Warnings (e.g. unreachable
+blocks) never raise.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from .function import IRError, IRFunction, IRModule
 
-from .dominators import DominatorTree, instruction_dominates
-from .function import BasicBlock, IRFunction, IRModule, IRError
-from .instructions import (
-    CondBranch,
-    Jump,
-    Reg,
-    Return,
-    Terminator,
-    Variable,
-    defined_reg,
-    used_regs,
-)
+
+def _raise_first_error(diagnostics) -> None:
+    from ..staticcheck.diagnostics import Severity
+
+    for diag in diagnostics:
+        if diag.severity is Severity.ERROR:
+            raise IRError(f"{diag.span}: {diag.message}")
 
 
 def verify_module(module: IRModule) -> None:
     """Raise :class:`IRError` on the first broken invariant."""
-    global_set = set(module.globals)
-    for fn in module.functions:
-        _verify_function(fn, global_set)
-    if module.finalized:
-        addresses = [
-            i.address for fn in module.functions for i in fn.instructions()
-        ]
-        if any(a < 0 for a in addresses):
-            raise IRError("finalized module has unassigned addresses")
-        if sorted(addresses) != addresses or len(set(addresses)) != len(addresses):
-            raise IRError("instruction addresses are not strictly increasing")
+    from ..staticcheck.irverify import verify_module_diagnostics
 
-
-def _verify_function(fn: IRFunction, global_vars: Set[Variable]) -> None:
-    if not fn.blocks:
-        raise IRError(f"{fn.name}: function has no blocks")
-    labels = {block.label for block in fn.blocks}
-    frame = set(fn.frame_variables)
-    definitions: Dict[Reg, Tuple[BasicBlock, int]] = {}
-
-    for block in fn.blocks:
-        if not block.instructions:
-            raise IRError(f"{fn.name}/{block.label}: empty block")
-        for index, instruction in enumerate(block.instructions):
-            is_last = index == len(block.instructions) - 1
-            if isinstance(instruction, Terminator) != is_last:
-                raise IRError(
-                    f"{fn.name}/{block.label}: terminator misplaced at {index}"
-                )
-            reg = defined_reg(instruction)
-            if reg is not None:
-                if reg in definitions:
-                    raise IRError(
-                        f"{fn.name}/{block.label}: register {reg} redefined"
-                    )
-                definitions[reg] = (block, index)
-            var = getattr(instruction, "var", None)
-            if isinstance(var, Variable):
-                if var not in frame and var not in global_vars:
-                    raise IRError(
-                        f"{fn.name}/{block.label}: foreign variable {var}"
-                    )
-        terminator = block.terminator
-        if isinstance(terminator, Jump):
-            targets = [terminator.target]
-        elif isinstance(terminator, CondBranch):
-            targets = [terminator.taken, terminator.fallthrough]
-        elif isinstance(terminator, Return):
-            targets = []
-            if terminator.value is not None and not fn.returns_value:
-                raise IRError(f"{fn.name}: void function returns a value")
-        else:  # pragma: no cover - defensive
-            raise IRError(f"{fn.name}: unknown terminator {terminator!r}")
-        for target in targets:
-            if target not in labels:
-                raise IRError(
-                    f"{fn.name}/{block.label}: jump to unknown block {target!r}"
-                )
-
-    _verify_defs_dominate_uses(fn, definitions)
-
-
-def _verify_defs_dominate_uses(
-    fn: IRFunction, definitions: Dict[Reg, Tuple[BasicBlock, int]]
-) -> None:
-    tree = DominatorTree(fn)
-    for block in fn.blocks:
-        for index, instruction in enumerate(block.instructions):
-            for reg in used_regs(instruction):
-                if reg not in definitions:
-                    raise IRError(
-                        f"{fn.name}/{block.label}: use of undefined register {reg}"
-                    )
-                def_block, def_index = definitions[reg]
-                if def_block is block and def_index >= index:
-                    raise IRError(
-                        f"{fn.name}/{block.label}: {reg} used before definition"
-                    )
-                if not instruction_dominates(
-                    fn, tree, def_block, def_index, block, index
-                ):
-                    raise IRError(
-                        f"{fn.name}/{block.label}: definition of {reg} "
-                        f"does not dominate its use"
-                    )
+    _raise_first_error(verify_module_diagnostics(module))
 
 
 def verify_function(fn: IRFunction) -> None:
     """Verify a single function with no module context."""
-    _verify_function(fn, set())
+    from ..staticcheck.irverify import verify_function_diagnostics
+
+    _raise_first_error(verify_function_diagnostics(fn))

@@ -63,7 +63,10 @@ class ProtectedProgram:
 
 
 def compile_program(
-    source: str, name: str = "<source>", opt_level: int = 0
+    source: str,
+    name: str = "<source>",
+    opt_level: int = 0,
+    check: bool = False,
 ) -> ProtectedProgram:
     """Parse, lower, verify and protect a mini-C program.
 
@@ -71,6 +74,12 @@ def compile_program(
     propagation, store-to-load forwarding, DCE) before the correlation
     analysis — the configuration the paper notes "can remove some
     correlations, reducing the detection rate".
+
+    ``check=True`` runs the static soundness auditor
+    (:mod:`repro.staticcheck`) over the freshly emitted tables and
+    raises :class:`~repro.staticcheck.StaticCheckError` on any
+    error-severity diagnostic — a self-distrusting compile that refuses
+    to ship tables it cannot independently re-prove.
     """
     ast = parse_program(source, name)
     module = lower_program(ast)
@@ -81,9 +90,17 @@ def compile_program(
         optimize_module(module)
         verify_module(module)
     tables, stats = build_program_tables(module)
-    return ProtectedProgram(
+    program = ProtectedProgram(
         module=module, tables=tables, build_stats=stats, source_name=name
     )
+    if check:
+        from .staticcheck import AUDIT_PASSES, errors_in, run_passes
+        from .staticcheck.diagnostics import StaticCheckError
+
+        errors = errors_in(run_passes(program, names=AUDIT_PASSES))
+        if errors:
+            raise StaticCheckError(errors)
+    return program
 
 
 def compile_program_cached(

@@ -1,0 +1,73 @@
+"""Static soundness auditing and diagnostics for the IPDS toolchain.
+
+The subsystem hosts three pass families behind one diagnostics engine:
+
+* ``correlation-audit`` / ``image-audit`` — an independent reproof
+  that every emitted BAT action holds on all feasible paths (the
+  paper's zero-false-positive guarantee), plus binary image integrity;
+* ``dead-branch`` — infeasible/dead branch and unreachable code
+  warnings from fixpoint range reasoning;
+* ``ir-verify`` — structural IR validation (absorbed from
+  ``ir/validate.py``).
+
+Entry points: :func:`run_passes` (programmatic), ``repro audit`` and
+``repro lint`` (CLI), and ``compile_program(..., check=True)``.
+"""
+
+from .audit import audit_image, audit_program
+from .deadcode import find_dead_branches
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    Span,
+    StaticCheckError,
+    errors_in,
+    max_severity,
+)
+from .emit import (
+    diagnostics_to_json,
+    diagnostics_to_sarif,
+    json_report,
+    render_text,
+    sarif_report,
+    write_output,
+)
+from .irverify import verify_function_diagnostics, verify_module_diagnostics
+from .registry import (
+    AUDIT_PASSES,
+    LINT_PASSES,
+    PASSES,
+    CheckPass,
+    pass_by_name,
+    run_passes,
+)
+
+__all__ = [
+    "AUDIT_PASSES",
+    "CODES",
+    "CheckPass",
+    "Diagnostic",
+    "DiagnosticSink",
+    "LINT_PASSES",
+    "PASSES",
+    "Severity",
+    "Span",
+    "StaticCheckError",
+    "audit_image",
+    "audit_program",
+    "diagnostics_to_json",
+    "diagnostics_to_sarif",
+    "errors_in",
+    "find_dead_branches",
+    "json_report",
+    "max_severity",
+    "pass_by_name",
+    "render_text",
+    "run_passes",
+    "sarif_report",
+    "verify_function_diagnostics",
+    "verify_module_diagnostics",
+    "write_output",
+]

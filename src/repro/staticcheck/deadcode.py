@@ -1,0 +1,88 @@
+"""Infeasible-/dead-branch and unreachable-code detection (pass:
+dead-branch).
+
+A whole-function forward range MFP from the entry block (everything
+unknown) finds branches whose condition folds to a constant
+(``DEAD401``/``DEAD402``), branch directions no reachable abstract
+state permits (``DEAD403``), and blocks the range analysis proves
+never execute (``DEAD404``).  All findings are warnings: dead code is
+wasted protection coverage, not a soundness break — an infeasible
+direction simply never fires its BAT actions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.alias import analyze_aliases
+from ..analysis.defs import DefinitionMap
+from ..analysis.purity import PurityResult, analyze_purity
+from ..ir.function import IRFunction, IRModule
+from .diagnostics import Diagnostic, DiagnosticSink
+from .facts import edge_environment, summarize_function, transfer_block
+from .mfp import solve_range_mfp
+
+PASS_NAME = "dead-branch"
+
+
+def find_dead_branches(
+    module: IRModule, purity: Optional[PurityResult] = None
+) -> List[Diagnostic]:
+    sink = DiagnosticSink(PASS_NAME)
+    if purity is None:
+        analyze_aliases(module)
+        purity = analyze_purity(module)
+    for fn in module.functions:
+        _check_function(sink, fn, module, purity)
+    return sink.diagnostics
+
+
+def _check_function(
+    sink: DiagnosticSink,
+    fn: IRFunction,
+    module: IRModule,
+    purity: PurityResult,
+) -> None:
+    if not fn.blocks:
+        return
+    def_map = DefinitionMap(fn, module, purity)
+    summaries = summarize_function(fn, def_map)
+    states = solve_range_mfp(summaries, {fn.entry.label: {}})
+
+    for block in fn.blocks:
+        summary = summaries[block.label]
+        if block.label not in states:
+            sink.emit(
+                "DEAD404",
+                "range analysis proves this block never executes",
+                function=fn.name,
+                block=block.label,
+            )
+            continue
+        if summary.branch_pc is None:
+            continue
+        if summary.const_outcome is not None:
+            code = "DEAD401" if summary.const_outcome else "DEAD402"
+            sink.emit(
+                code,
+                f"condition always evaluates "
+                f"{'taken' if summary.const_outcome else 'not-taken'}; "
+                f"the {'fallthrough' if summary.const_outcome else 'taken'} "
+                f"edge is dead",
+                function=fn.name,
+                block=block.label,
+                pc=summary.branch_pc,
+            )
+            continue
+        env_out, snapshots = transfer_block(summary, states[block.label])
+        for direction in (True, False):
+            if edge_environment(summary, env_out, snapshots, direction) is None:
+                sink.emit(
+                    "DEAD403",
+                    f"the {'taken' if direction else 'fallthrough'} "
+                    f"direction is infeasible for every value reaching "
+                    f"this branch",
+                    function=fn.name,
+                    block=block.label,
+                    pc=summary.branch_pc,
+                )

@@ -1,0 +1,200 @@
+"""Typed diagnostics: stable codes, severities, and spans.
+
+Every finding a static check produces is a :class:`Diagnostic` — a
+stable machine-readable code (catalogued in ``docs/STATIC_CHECKS.md``),
+a severity, a span naming the function/block/branch it concerns, and a
+human-readable message.  Emitters in :mod:`repro.staticcheck.emit`
+render lists of diagnostics as text, JSON, or SARIF; the CLI and CI
+gate on the highest severity present.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..lang.errors import ReproError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  ERROR means the zero-false-positive
+    guarantee (or a structural invariant) is broken; WARNING is advisory
+    (dead weight, unreachable code); NOTE is informational."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "note": 0}[self.value]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where a diagnostic points: a function, optionally narrowed to a
+    block and/or a branch PC."""
+
+    function: Optional[str] = None
+    block: Optional[str] = None
+    pc: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.function or "<module>"]
+        if self.block is not None:
+            parts.append(self.block)
+        where = "/".join(parts)
+        if self.pc is not None:
+            where += f"@{self.pc:#x}"
+        return where
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+
+
+#: The full catalog of stable diagnostic codes.  ``docs/STATIC_CHECKS.md``
+#: is generated from (and must stay in sync with) this table; SARIF
+#: emitters use it for the rule index.
+CODES: Dict[str, CodeInfo] = {
+    info.code: info
+    for info in [
+        # -- IR structural verification (pass: ir-verify) ---------------
+        CodeInfo("IR101", Severity.ERROR, "function has no blocks"),
+        CodeInfo("IR102", Severity.ERROR, "empty basic block"),
+        CodeInfo("IR103", Severity.ERROR, "misplaced or missing terminator"),
+        CodeInfo("IR104", Severity.ERROR, "register redefined"),
+        CodeInfo("IR105", Severity.ERROR, "reference to foreign variable"),
+        CodeInfo("IR106", Severity.ERROR, "void function returns a value"),
+        CodeInfo("IR107", Severity.ERROR, "branch to unknown block"),
+        CodeInfo("IR108", Severity.ERROR, "use of undefined register"),
+        CodeInfo("IR109", Severity.ERROR, "definition does not dominate use"),
+        CodeInfo("IR110", Severity.ERROR, "instruction addresses not strictly increasing"),
+        CodeInfo("IR111", Severity.ERROR, "call to unknown function"),
+        CodeInfo("IR112", Severity.ERROR, "call signature mismatch"),
+        CodeInfo("IR113", Severity.ERROR, "CFG edge lists disagree with terminators"),
+        CodeInfo("IR114", Severity.WARNING, "block unreachable from entry"),
+        # -- correlation soundness audit (pass: correlation-audit) -------
+        CodeInfo("COR201", Severity.ERROR, "branch PC hash collision"),
+        CodeInfo("COR202", Severity.ERROR, "BCV marks a non-branch slot"),
+        CodeInfo("COR203", Severity.ERROR, "BAT event key is not a branch slot"),
+        CodeInfo("COR204", Severity.ERROR, "BAT action targets a non-branch slot"),
+        CodeInfo("COR205", Severity.ERROR, "BAT action not provable on all feasible paths"),
+        CodeInfo("COR206", Severity.ERROR, "checked branch has no derivable check predicate"),
+        CodeInfo("COR207", Severity.ERROR, "hash parameters out of range for branch count"),
+        CodeInfo("COR208", Severity.WARNING, "BAT action targets an unchecked slot"),
+        CodeInfo("COR209", Severity.WARNING, "checked slot never set by any BAT action"),
+        CodeInfo("COR210", Severity.ERROR, "table branch PCs disagree with the IR"),
+        # -- binary image audit (pass: image-audit) ----------------------
+        CodeInfo("IMG301", Severity.ERROR, "table image round-trip mismatch"),
+        CodeInfo("IMG302", Severity.ERROR, "packed blob size disagrees with encoding accounting"),
+        CodeInfo("IMG303", Severity.ERROR, "action encoding does not cover all actions"),
+        # -- infeasible / dead branch detection (pass: dead-branch) ------
+        CodeInfo("DEAD401", Severity.WARNING, "branch condition is constant: always taken"),
+        CodeInfo("DEAD402", Severity.WARNING, "branch condition is constant: never taken"),
+        CodeInfo("DEAD403", Severity.WARNING, "branch direction statically infeasible"),
+        CodeInfo("DEAD404", Severity.WARNING, "block unreachable under range analysis"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one static check pass."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span = field(default_factory=Span)
+    pass_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def sort_key(self):
+        return (
+            self.span.function or "",
+            self.span.pc if self.span.pc is not None else -1,
+            self.span.block or "",
+            self.code,
+            self.message,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "function": self.span.function,
+            "block": self.span.block,
+            "pc": self.span.pc,
+            "pass": self.pass_name,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.severity.value} {self.span}: {self.message}"
+
+
+class DiagnosticSink:
+    """Collector handed to each pass; stamps the pass name on entries."""
+
+    def __init__(self, pass_name: str = ""):
+        self.pass_name = pass_name
+        self.diagnostics: List[Diagnostic] = []
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        function: Optional[str] = None,
+        block: Optional[str] = None,
+        pc: Optional[int] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            severity=severity or CODES[code].severity,
+            message=message,
+            span=Span(function=function, block=block, pc=pc),
+            pass_name=self.pass_name,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+
+def max_severity(diagnostics: List[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or None for an empty list."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+def errors_in(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+class StaticCheckError(ReproError):
+    """Raised by ``compile_program(..., check=True)`` when the auditor
+    finds error-severity diagnostics in freshly emitted tables."""
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+        lines = [str(d) for d in diagnostics]
+        super().__init__(
+            "static audit failed with "
+            f"{len(diagnostics)} error(s):\n" + "\n".join(lines)
+        )

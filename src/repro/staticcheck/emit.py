@@ -1,0 +1,156 @@
+"""Diagnostic renderers: text, JSON, and SARIF 2.1.0.
+
+All three are deterministic for a given diagnostic list (sorted
+output, no timestamps, fixed tool metadata), so snapshot tests and CI
+artifact diffs are stable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+from .diagnostics import CODES, Diagnostic, Severity
+
+TOOL_NAME = "repro-staticcheck"
+TOOL_VERSION = "1.0.0"
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """One line per finding plus a severity tally."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    lines = [str(d) for d in ordered]
+    counts = {s: 0 for s in Severity}
+    for diag in diagnostics:
+        counts[diag.severity] += 1
+    lines.append(
+        f"{counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.NOTE]} note(s)"
+    )
+    return "\n".join(lines)
+
+
+def diagnostics_to_json(diagnostics: List[Diagnostic]) -> str:
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    payload = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "diagnostics": [d.to_dict() for d in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_run(diagnostics: List[Diagnostic], artifact: str) -> Dict[str, Any]:
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    used_codes = sorted({d.code for d in ordered})
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES[code].title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[CODES[code].severity]
+            },
+        }
+        for code in used_codes
+    ]
+    results: List[Dict[str, Any]] = []
+    for diag in ordered:
+        logical = diag.span.function or "<module>"
+        if diag.span.block is not None:
+            logical += f"/{diag.span.block}"
+        result: Dict[str, Any] = {
+            "ruleId": diag.code,
+            "ruleIndex": rule_index[diag.code],
+            "level": _SARIF_LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": artifact}
+                    },
+                    "logicalLocations": [
+                        {"fullyQualifiedName": logical}
+                    ],
+                }
+            ],
+        }
+        if diag.span.pc is not None:
+            result["properties"] = {"branchPc": diag.span.pc}
+        results.append(result)
+    return {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+
+
+def diagnostics_to_sarif(
+    diagnostics: List[Diagnostic], artifact: str = "<source>"
+) -> str:
+    """A single-run SARIF 2.1.0 log.
+
+    ``artifact`` names the audited source (the program's
+    ``source_name`` or a workload identifier); block/branch locations
+    are carried as logical locations since the mini-C pipeline does not
+    track source lines through lowering.
+    """
+    return sarif_report([(artifact, diagnostics)])
+
+
+def sarif_report(groups: List[tuple]) -> str:
+    """A SARIF 2.1.0 log with one run per ``(artifact, diagnostics)``
+    group — how the CLI reports multi-workload audits."""
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            _sarif_run(diagnostics, artifact)
+            for artifact, diagnostics in groups
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def json_report(groups: List[tuple]) -> str:
+    """Grouped JSON report (one entry per audited target)."""
+    payload = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "targets": [
+            {
+                "name": artifact,
+                "diagnostics": [
+                    d.to_dict()
+                    for d in sorted(diagnostics, key=Diagnostic.sort_key)
+                ],
+            }
+            for artifact, diagnostics in groups
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_output(text: str, path: str) -> None:
+    """Write a rendered report to a file, or stdout for ``-``."""
+    if path == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")

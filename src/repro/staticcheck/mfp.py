@@ -1,0 +1,76 @@
+"""Range MFP solver over block summaries.
+
+A small worklist engine shared by the correlation auditor (seeded at
+one firing edge, with propagation cut at overwriting edges) and the
+dead-branch detector (seeded at the function entry, no cuts).  States
+are abstract environments (variable -> :class:`ValueSet`); conditional
+edges are refined by everything the branch direction implies and
+dropped entirely when the direction contradicts the abstract state.
+Widening after a bounded number of joins guarantees termination on
+loops that keep growing a value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .domain import Env, env_join, env_widen
+from .facts import BlockSummary, edge_environment, transfer_block
+
+#: Joins into one block before widening kicks in.
+WIDEN_AFTER = 8
+
+#: Hook deciding whether propagation stops at a conditional edge
+#: (summary, direction) — the auditor cuts where the prediction is
+#: overwritten.
+CutHook = Callable[[BlockSummary, bool], bool]
+
+
+def solve_range_mfp(
+    summaries: Dict[str, BlockSummary],
+    seeds: Dict[str, Env],
+    should_cut: Optional[CutHook] = None,
+) -> Dict[str, Env]:
+    """Propagate seed environments to a fixpoint; returns the state at
+    each reached block's entry (unreached blocks are absent)."""
+    states: Dict[str, Env] = dict(seeds)
+    join_counts: Dict[str, int] = {}
+    worklist: List[str] = list(seeds)
+    while worklist:
+        label = worklist.pop()
+        summary = summaries[label]
+        env_out, snapshots = transfer_block(summary, states[label])
+        if summary.is_return:
+            continue
+        edges: List[Tuple[str, Env]] = []
+        if summary.jump_target is not None:
+            edges.append((summary.jump_target, env_out))
+        else:
+            for direction in (True, False):
+                edge_env = edge_environment(summary, env_out, snapshots, direction)
+                if edge_env is None:
+                    continue  # direction impossible from this abstract state
+                if should_cut is not None and should_cut(summary, direction):
+                    continue
+                next_label = (
+                    summary.taken_target
+                    if direction
+                    else summary.fallthrough_target
+                )
+                edges.append((next_label, edge_env))
+        for next_label, env in edges:
+            if next_label not in states:
+                states[next_label] = env
+                worklist.append(next_label)
+                continue
+            joined = env_join(states[next_label], env)
+            if joined == states[next_label]:
+                continue
+            count = join_counts.get(next_label, 0) + 1
+            join_counts[next_label] = count
+            if count > WIDEN_AFTER:
+                joined = env_widen(states[next_label], joined)
+            if joined != states[next_label]:
+                states[next_label] = joined
+                worklist.append(next_label)
+    return states

@@ -1,0 +1,91 @@
+"""Pass registry and orchestration for the static checks.
+
+Each pass is a named :class:`CheckPass` mapping a compiled
+:class:`~repro.pipeline.ProtectedProgram` to a list of diagnostics.
+``run_passes`` shares the expensive lower-layer analyses (alias sets,
+purity) across passes, times each pass through a
+:class:`~repro.observability.metrics.MetricsRegistry` span
+(``staticcheck.<pass>``), and returns all findings sorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..analysis.alias import analyze_aliases
+from ..analysis.purity import PurityResult, analyze_purity
+from ..observability.metrics import MetricsRegistry
+from .audit import audit_image, audit_program
+from .deadcode import find_dead_branches
+from .diagnostics import Diagnostic
+from .irverify import verify_module_diagnostics
+
+
+@dataclass(frozen=True)
+class CheckPass:
+    """One registered static check."""
+
+    name: str
+    title: str
+    runner: Callable[[object, PurityResult], List[Diagnostic]]
+
+
+PASSES: Tuple[CheckPass, ...] = (
+    CheckPass(
+        "ir-verify",
+        "IR structural verification",
+        lambda program, purity: verify_module_diagnostics(program.module),
+    ),
+    CheckPass(
+        "correlation-audit",
+        "BAT/BCV soundness audit (independent reproof)",
+        lambda program, purity: audit_program(program, purity),
+    ),
+    CheckPass(
+        "image-audit",
+        "binary table image audit",
+        lambda program, purity: audit_image(program),
+    ),
+    CheckPass(
+        "dead-branch",
+        "infeasible/dead branch and unreachable code detection",
+        lambda program, purity: find_dead_branches(program.module, purity),
+    ),
+)
+
+#: ``repro audit`` — soundness-bearing passes (errors gate CI).
+AUDIT_PASSES: Tuple[str, ...] = ("ir-verify", "correlation-audit", "image-audit")
+
+#: ``repro lint`` — advisory passes.
+LINT_PASSES: Tuple[str, ...] = ("dead-branch",)
+
+
+def pass_by_name(name: str) -> CheckPass:
+    for check in PASSES:
+        if check.name == name:
+            return check
+    raise KeyError(f"unknown static check pass {name!r}")
+
+
+def run_passes(
+    program,
+    names: Optional[Sequence[str]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> List[Diagnostic]:
+    """Run the selected passes (default: all) over a compiled program."""
+    selected = [pass_by_name(n) for n in (names or [p.name for p in PASSES])]
+    analyze_aliases(program.module)
+    purity = analyze_purity(program.module)
+    diagnostics: List[Diagnostic] = []
+    for check in selected:
+        if metrics is not None:
+            with metrics.span(f"staticcheck.{check.name}"):
+                found = check.runner(program, purity)
+            metrics.increment(
+                f"staticcheck.{check.name}.diagnostics", len(found)
+            )
+        else:
+            found = check.runner(program, purity)
+        diagnostics.extend(found)
+    return sorted(diagnostics, key=Diagnostic.sort_key)

@@ -283,6 +283,110 @@ def test_campaign_trace_out_outcome_records(tmp_path, capsys):
     assert {"detected", "control_flow_changed", "target"} <= records[0].keys()
 
 
+# -- audit / lint ------------------------------------------------------
+
+CLAMPED = """
+int v;
+void main() {
+    v = read_int();
+    if (v < 0) { v = 0; }
+    if (v < 0) { emit(1); } else { emit(2); }
+}
+"""
+
+
+@pytest.fixture()
+def clamped_file(tmp_path):
+    path = tmp_path / "clamped.c"
+    path.write_text(CLAMPED)
+    return str(path)
+
+
+def test_audit_clean_file_exits_zero(source_file, capsys):
+    assert main(["audit", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "figure1.c@opt0" in out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_audit_missing_file_is_tool_error(capsys):
+    assert main(["audit", "/nonexistent/prog.c"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_audit_parse_error_is_tool_error(tmp_path, capsys):
+    bad = tmp_path / "bad.c"
+    bad.write_text("int int int {{{")
+    assert main(["audit", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_audit_findings_exit_distinct_from_tool_error(
+    source_file, capsys, monkeypatch
+):
+    # Freshly compiled tables audit clean, so inject a finding to pin
+    # the "diagnostics found" (1) vs "tool error" (2) distinction.
+    import repro.staticcheck as staticcheck
+
+    sink_diag = staticcheck.Diagnostic(
+        code="COR205",
+        severity=staticcheck.Severity.ERROR,
+        message="injected",
+    )
+    monkeypatch.setattr(
+        staticcheck, "run_passes", lambda *a, **k: [sink_diag]
+    )
+    assert main(["audit", source_file]) == 1
+    assert "COR205" in capsys.readouterr().out
+
+
+def test_lint_warnings_gate_exit_code(clamped_file, capsys):
+    assert main(["lint", clamped_file]) == 1
+    out = capsys.readouterr().out
+    assert "DEAD403" in out
+    assert main(["lint", clamped_file, "--fail-on", "never"]) == 0
+    assert main(["lint", clamped_file, "--fail-on", "error"]) == 0
+
+
+def test_audit_workload_target_and_reports(tmp_path, capsys):
+    import json
+
+    sarif = tmp_path / "audit.sarif"
+    report = tmp_path / "audit.json"
+    manifest = tmp_path / "m.json"
+    assert main(
+        [
+            "audit", "telnetd",
+            "--opt", "1",
+            "--sarif", str(sarif),
+            "--json", str(report),
+            "--metrics-out", str(manifest),
+        ]
+    ) == 0
+    capsys.readouterr()
+    log = json.loads(sarif.read_text())
+    assert log["version"] == "2.1.0"
+    [run] = log["runs"]
+    assert run["results"] == []
+    payload = json.loads(report.read_text())
+    assert payload["targets"][0]["name"] == "telnetd@opt1"
+    record = json.loads(manifest.read_text())
+    assert record["command"] == "audit"
+    assert record["results"]["errors"] == 0
+    assert "staticcheck.correlation-audit" in record["metrics"]["timers"]
+
+
+def test_sarif_to_stdout(source_file, capsys):
+    assert main(["audit", source_file, "--sarif", "-"]) == 0
+    out = capsys.readouterr().out
+    assert '"version": "2.1.0"' in out
+
+
+def test_compile_check_flag(source_file, capsys):
+    assert main(["compile", source_file, "--check"]) == 0
+    assert "tables for main" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -1,0 +1,296 @@
+"""Corruption tests for the correlation soundness auditor.
+
+The auditor's job is to catch tables that break the paper's
+zero-false-positive guarantee.  These tests compile small programs
+whose branch correlations are *guaranteed live* (the predicted branch
+always executes while the prediction is in the BSV), then corrupt the
+tables one mutation at a time and assert the auditor flags every one.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correlation.actions import BranchAction
+from repro.correlation.hashing import HashParams
+from repro.pipeline import compile_program
+from repro.staticcheck import audit_image, audit_program, errors_in
+
+# Two branches on the same unmodified global: both directions of the
+# first branch imply the second, so the builder emits SET actions that
+# are live on every path.
+TWIN_TEMPLATE = """
+int v;
+void main() {{
+    v = read_int();
+    if (v {op} {bound}) {{ emit(1); }} else {{ emit(2); }}
+    int x = read_int();
+    if (v {op} {bound}) {{ emit(3); }} else {{ emit(4); }}
+}}
+"""
+
+# The store to ``v`` on one path forces the builder to emit a SET_UN
+# kill; deleting it leaves a stale prediction the auditor must reject.
+KILL_SOURCE = """
+int v;
+void main() {
+    v = read_int();
+    if (v > 0) { emit(1); } else { emit(2); }
+    int w = read_int();
+    if (w > 5) { v = read_int(); emit(3); } else { emit(4); }
+    if (v > 0) { emit(5); } else { emit(6); }
+}
+"""
+
+OPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+def twin_source(op: str = ">", bound: int = 3) -> str:
+    return TWIN_TEMPLATE.format(op=op, bound=bound)
+
+
+def set_entries(tables):
+    """All (event key, index, entry) triples carrying a SET_T/SET_NT."""
+    found = []
+    for key, entries in tables.bat.items():
+        for i, (target, action) in enumerate(entries):
+            if action in (BranchAction.SET_T, BranchAction.SET_NT):
+                found.append((key, i, (target, action)))
+    return found
+
+
+def flipped(action: BranchAction) -> BranchAction:
+    return (
+        BranchAction.SET_NT
+        if action is BranchAction.SET_T
+        else BranchAction.SET_T
+    )
+
+
+@pytest.mark.parametrize("opt", [0, 1])
+def test_fresh_tables_audit_clean(opt):
+    program = compile_program(twin_source(), opt_level=opt)
+    assert audit_program(program) == []
+    assert audit_image(program) == []
+
+
+def test_twin_program_actually_correlates():
+    # The corruption tests below are vacuous unless the builder emitted
+    # SET actions for this shape; pin that it does.
+    program = compile_program(twin_source())
+    tables = program.tables.by_function["main"]
+    assert set_entries(tables), tables.describe()
+
+
+@pytest.mark.parametrize("opt", [0, 1])
+def test_every_set_flip_is_flagged(opt):
+    program = compile_program(twin_source(), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    bat = dict(tables.bat)
+    for key, index, (target, action) in set_entries(tables):
+        original = bat[key]
+        corrupt = list(original)
+        corrupt[index] = (target, flipped(action))
+        bat[key] = tuple(corrupt)
+        tables.bat = bat
+        try:
+            errors = errors_in(audit_program(program))
+            assert any(d.code == "COR205" for d in errors), (
+                f"flip of {action.value} at {key} not flagged"
+            )
+        finally:
+            bat[key] = original
+            tables.bat = bat
+    assert audit_program(program) == []  # restoration sanity
+
+
+def test_deleting_a_kill_is_flagged():
+    program = compile_program(KILL_SOURCE)
+    tables = program.tables.by_function["main"]
+    kills = [
+        (key, i)
+        for key, entries in tables.bat.items()
+        for i, (_, action) in enumerate(entries)
+        if action is BranchAction.SET_UN
+    ]
+    assert kills, "builder emitted no SET_UN kill for the clobbered path"
+    bat = {
+        key: tuple(
+            entry
+            for i, entry in enumerate(entries)
+            if (key, i) not in kills
+        )
+        for key, entries in tables.bat.items()
+    }
+    tables.bat = {k: v for k, v in bat.items() if v}
+    errors = errors_in(audit_program(program))
+    assert any(d.code == "COR205" for d in errors)
+
+
+@pytest.mark.parametrize("opt", [0, 1])
+def test_every_bcv_bit_flip_is_flagged(opt):
+    program = compile_program(twin_source(), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    original = tables.bcv_slots
+    for slot in range(tables.hash_params.space):
+        tables.bcv_slots = original ^ {slot}
+        try:
+            diagnostics = audit_program(program)
+            assert diagnostics, f"BCV flip of slot {slot} not flagged"
+            codes = {d.code for d in diagnostics}
+            # A flipped-on non-branch slot is an outright error; flips
+            # on branch slots surface as dead-weight warnings.
+            assert codes & {"COR202", "COR208", "COR209"}, codes
+        finally:
+            tables.bcv_slots = original
+    assert audit_program(program) == []
+
+
+def test_foreign_bat_source_slot_is_flagged():
+    program = compile_program(twin_source())
+    tables = program.tables.by_function["main"]
+    bogus = tables.hash_params.space + 1
+    some_target = next(iter(tables.bcv_slots))
+    tables.bat = dict(tables.bat) | {
+        (bogus, True): ((some_target, BranchAction.SET_UN),)
+    }
+    errors = errors_in(audit_program(program))
+    assert any(d.code == "COR203" for d in errors)
+
+
+def test_foreign_bat_target_slot_is_flagged():
+    program = compile_program(twin_source())
+    tables = program.tables.by_function["main"]
+    bogus = tables.hash_params.space + 1
+    key, _, _ = set_entries(tables)[0]
+    bat = dict(tables.bat)
+    bat[key] = bat[key] + ((bogus, BranchAction.SET_UN),)
+    tables.bat = bat
+    errors = errors_in(audit_program(program))
+    assert any(d.code == "COR204" for d in errors)
+
+
+def test_branch_pc_mismatch_is_flagged():
+    program = compile_program(twin_source())
+    tables = program.tables.by_function["main"]
+    program.tables.by_function["main"] = dataclasses.replace(
+        tables, branch_pcs=tables.branch_pcs[:-1]
+    )
+    errors = errors_in(audit_program(program))
+    assert any(d.code == "COR210" for d in errors)
+
+
+def test_degenerate_hash_params_are_flagged():
+    program = compile_program(twin_source())
+    tables = program.tables.by_function["main"]
+    assert len(tables.branch_pcs) >= 2
+    bad = HashParams(bits=0, shift1=1, shift2=1)  # space 1 < 2 branches
+    program.tables.by_function["main"] = dataclasses.replace(
+        tables, hash_params=bad
+    )
+    errors = errors_in(audit_program(program))
+    assert any(d.code == "COR207" for d in errors)
+
+
+def test_recomputed_hash_collision_is_flagged():
+    program = compile_program(twin_source())
+    tables = program.tables.by_function["main"]
+    pcs = tables.branch_pcs
+    bits = max(1, (len(pcs) - 1).bit_length())
+    colliding = None
+    for shift1 in range(1, 16):
+        for shift2 in range(shift1, 16):
+            params = HashParams(bits=bits, shift1=shift1, shift2=shift2)
+            slots = [params.slot(pc) for pc in pcs]
+            if len(set(slots)) < len(slots):
+                colliding = params
+                break
+        if colliding:
+            break
+    assert colliding is not None, "no colliding parameters in search space"
+    program.tables.by_function["main"] = dataclasses.replace(
+        tables, hash_params=colliding
+    )
+    errors = errors_in(audit_program(program))
+    assert any(d.code == "COR201" for d in errors)
+
+
+# -- property tests: corruption is always caught ------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    op=st.sampled_from(OPS),
+    bound=st.integers(min_value=-8, max_value=8),
+    opt=st.sampled_from([0, 1]),
+)
+def test_random_set_flips_always_flagged(op, bound, opt):
+    program = compile_program(twin_source(op, bound), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    assert audit_program(program) == []
+    bat = dict(tables.bat)
+    for key, index, (target, action) in set_entries(tables):
+        original = bat[key]
+        corrupt = list(original)
+        corrupt[index] = (target, flipped(action))
+        bat[key] = tuple(corrupt)
+        tables.bat = bat
+        try:
+            assert any(
+                d.code == "COR205" for d in audit_program(program)
+            ), f"flip at {key} survived ({op} {bound}, opt {opt})"
+        finally:
+            bat[key] = original
+            tables.bat = bat
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    op=st.sampled_from(OPS),
+    bound=st.integers(min_value=-8, max_value=8),
+    slot_pick=st.integers(min_value=0, max_value=63),
+)
+def test_random_bcv_flips_always_flagged(op, bound, slot_pick):
+    program = compile_program(twin_source(op, bound))
+    tables = program.tables.by_function["main"]
+    slot = slot_pick % tables.hash_params.space
+    tables.bcv_slots = tables.bcv_slots ^ {slot}
+    assert audit_program(program), f"BCV flip of slot {slot} survived"
+
+
+# -- image audit --------------------------------------------------------
+
+
+def test_image_audit_detects_missing_action_code(monkeypatch):
+    program = compile_program(twin_source())
+    import repro.staticcheck.audit as audit_mod
+
+    pruned = {
+        action: code
+        for action, code in audit_mod._ACTION_CODES.items()
+        if action is not BranchAction.SET_T
+    }
+    monkeypatch.setattr(audit_mod, "_ACTION_CODES", pruned)
+    errors = errors_in(audit_image(program))
+    assert any(d.code == "IMG303" for d in errors)
+
+
+def test_image_audit_detects_decode_drift(monkeypatch):
+    program = compile_program(twin_source())
+    import repro.staticcheck.audit as audit_mod
+
+    real_load = audit_mod.load_program
+
+    def drifting_load(image):
+        loaded, entries = real_load(image)
+        name, tables = next(iter(loaded.by_function.items()))
+        loaded.by_function[name] = dataclasses.replace(
+            tables, bcv_slots=tables.bcv_slots ^ {0}
+        )
+        return loaded, entries
+
+    monkeypatch.setattr(audit_mod, "load_program", drifting_load)
+    errors = errors_in(audit_image(program))
+    assert any(d.code == "IMG301" for d in errors)

@@ -1,0 +1,87 @@
+"""Tests for the infeasible-/dead-branch detector (pass: dead-branch)."""
+
+import pytest
+
+from repro.ir import CondBranch, Const, Load, lower_program
+from repro.lang import parse_program
+from repro.pipeline import compile_program
+from repro.staticcheck import find_dead_branches
+
+CLAMP = """
+int v;
+void main() {
+    v = read_int();
+    if (v < 0) { v = 0; }
+    if (v < 0) { emit(1); } else { emit(2); }
+}
+"""
+
+LIVE = """
+int v;
+void main() {
+    v = read_int();
+    if (v < 0) { emit(1); } else { emit(2); }
+}
+"""
+
+DIAMOND = """
+int x;
+void f() {
+  if (x < 5) { emit(1); } else { emit(2); }
+  emit(3);
+}
+"""
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+@pytest.mark.parametrize("opt", [0, 1])
+def test_clamped_rebranch_is_infeasible(opt):
+    program = compile_program(CLAMP, opt_level=opt)
+    found = find_dead_branches(program.module)
+    assert "DEAD403" in codes(found)
+    assert "DEAD404" in codes(found)  # the guarded arm never runs
+    assert all(d.severity.value == "warning" for d in found)
+
+
+@pytest.mark.parametrize("opt", [0, 1])
+def test_live_branch_reports_nothing(opt):
+    program = compile_program(LIVE, opt_level=opt)
+    assert find_dead_branches(program.module) == []
+
+
+def _module_with_const_branch(value):
+    """Lowered DIAMOND with the branch condition pinned to a constant.
+
+    The frontend folds literal comparisons during lowering, so a
+    surviving constant-condition branch can only be produced at the IR
+    level: swap the Load feeding the branch for a Const.
+    """
+    module = lower_program(parse_program(DIAMOND))
+    fn = module.function("f")
+    for block in fn.blocks:
+        if isinstance(block.terminator, CondBranch):
+            branch = block.terminator
+            for i, instr in enumerate(block.instructions):
+                if isinstance(instr, Load) and instr.dest == branch.lhs:
+                    replacement = Const(dest=branch.lhs, value=value)
+                    replacement.address = instr.address
+                    block.instructions[i] = replacement
+                    return module
+    raise AssertionError("no load-fed branch in DIAMOND")
+
+
+def test_constant_always_taken_branch():
+    module = _module_with_const_branch(1)  # 1 < 5: always taken
+    found = find_dead_branches(module)
+    assert "DEAD401" in codes(found)
+    assert "DEAD404" in codes(found)  # else-arm is dead
+
+
+def test_constant_never_taken_branch():
+    module = _module_with_const_branch(9)  # 9 < 5: never taken
+    found = find_dead_branches(module)
+    assert "DEAD402" in codes(found)
+    assert "DEAD404" in codes(found)  # then-arm is dead

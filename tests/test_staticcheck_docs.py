@@ -1,0 +1,28 @@
+"""docs/STATIC_CHECKS.md must stay in sync with the CODES catalog."""
+
+import pathlib
+import re
+
+from repro.staticcheck import CODES
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "STATIC_CHECKS.md"
+
+
+def documented_rows():
+    rows = {}
+    for line in DOC.read_text().splitlines():
+        match = re.match(
+            r"\| `([A-Z]+\d{3})` \| (error|warning|note) \| (.+) \|$", line
+        )
+        if match:
+            rows[match.group(1)] = (match.group(2), match.group(3))
+    return rows
+
+
+def test_every_code_is_documented_exactly():
+    rows = documented_rows()
+    assert set(rows) == set(CODES)
+    for code, info in CODES.items():
+        severity, title = rows[code]
+        assert severity == info.severity.value, code
+        assert title == info.title, code

@@ -1,0 +1,163 @@
+"""Golden snapshot for the SARIF emitter.
+
+The SARIF output is deliberately deterministic — sorted keys, sorted
+diagnostics, fixed tool metadata, no timestamps — so CI artifact diffs
+are meaningful.  This test pins the exact bytes for a fixed diagnostic
+list; if the format changes intentionally, update the golden below.
+"""
+
+import json
+
+from repro.staticcheck import (
+    DiagnosticSink,
+    diagnostics_to_sarif,
+    sarif_report,
+    write_output,
+)
+
+GOLDEN = """\
+{
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "runs": [
+    {
+      "results": [
+        {
+          "level": "warning",
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "fullyQualifiedName": "main/bb2"
+                }
+              ],
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "figure1.c"
+                }
+              }
+            }
+          ],
+          "message": {
+            "text": "the taken direction is infeasible for every value reaching this branch"
+          },
+          "properties": {
+            "branchPc": 4194332
+          },
+          "ruleId": "DEAD403",
+          "ruleIndex": 1
+        },
+        {
+          "level": "error",
+          "locations": [
+            {
+              "logicalLocations": [
+                {
+                  "fullyQualifiedName": "main/bb4"
+                }
+              ],
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "figure1.c"
+                }
+              }
+            }
+          ],
+          "message": {
+            "text": "action T fired on (bb1, T) predicts branch bb4 but is not provable on all feasible paths: value of @v.0 at the check is [1, 9], not within the claimed outcome set <0"
+          },
+          "properties": {
+            "branchPc": 4194336
+          },
+          "ruleId": "COR205",
+          "ruleIndex": 0
+        }
+      ],
+      "tool": {
+        "driver": {
+          "name": "repro-staticcheck",
+          "rules": [
+            {
+              "defaultConfiguration": {
+                "level": "error"
+              },
+              "id": "COR205",
+              "shortDescription": {
+                "text": "BAT action not provable on all feasible paths"
+              }
+            },
+            {
+              "defaultConfiguration": {
+                "level": "warning"
+              },
+              "id": "DEAD403",
+              "shortDescription": {
+                "text": "branch direction statically infeasible"
+              }
+            }
+          ],
+          "version": "1.0.0"
+        }
+      }
+    }
+  ],
+  "version": "2.1.0"
+}"""
+
+
+def fixed_diagnostics():
+    sink = DiagnosticSink("correlation-audit")
+    sink.emit(
+        "COR205",
+        "action T fired on (bb1, T) predicts branch bb4 but is not "
+        "provable on all feasible paths: value of @v.0 at the check is "
+        "[1, 9], not within the claimed outcome set <0",
+        function="main",
+        block="bb4",
+        pc=0x400020,
+    )
+    sink.emit(
+        "DEAD403",
+        "the taken direction is infeasible for every value reaching "
+        "this branch",
+        function="main",
+        block="bb2",
+        pc=0x40001C,
+    )
+    return sink.diagnostics
+
+
+def test_sarif_golden_snapshot():
+    assert (
+        diagnostics_to_sarif(fixed_diagnostics(), artifact="figure1.c")
+        == GOLDEN
+    )
+
+
+def test_sarif_is_deterministic():
+    first = diagnostics_to_sarif(fixed_diagnostics(), artifact="a.c")
+    second = diagnostics_to_sarif(list(reversed(fixed_diagnostics())), "a.c")
+    assert first == second
+
+
+def test_sarif_report_one_run_per_target():
+    diags = fixed_diagnostics()
+    log = json.loads(
+        sarif_report([("telnetd@opt0", diags), ("ftpd@opt0", [])])
+    )
+    assert log["version"] == "2.1.0"
+    assert len(log["runs"]) == 2
+    first, second = log["runs"]
+    uri = first["results"][0]["locations"][0]["physicalLocation"][
+        "artifactLocation"
+    ]["uri"]
+    assert uri == "telnetd@opt0"
+    assert second["results"] == []
+    assert second["tool"]["driver"]["rules"] == []
+
+
+def test_write_output_to_file_and_stdout(tmp_path, capsys):
+    path = tmp_path / "out.sarif"
+    write_output("payload", str(path))
+    assert path.read_text() == "payload\n"
+    write_output("payload", "-")
+    assert capsys.readouterr().out == "payload\n"

@@ -1,0 +1,31 @@
+"""Regression: the full audit is clean on every workload.
+
+This pins the PR's acceptance criterion — ``repro audit`` reports zero
+error-severity diagnostics on all ten workloads at both optimization
+levels — so any future change to the builder, the optimizer, or the
+auditor that breaks the zero-false-positive guarantee (or makes the
+auditor over-strict) fails here.
+"""
+
+import pytest
+
+from repro.pipeline import compile_program_cached
+from repro.staticcheck import AUDIT_PASSES, errors_in, run_passes
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.mark.parametrize("opt", [0, 1])
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_audits_clean(name, opt):
+    workload = get_workload(name)
+    program = compile_program_cached(
+        workload.source, name=workload.name, opt_level=opt
+    )
+    diagnostics = run_passes(program, names=AUDIT_PASSES)
+    assert errors_in(diagnostics) == [], "\n".join(
+        str(d) for d in diagnostics
+    )
+
+
+def test_there_are_ten_workloads():
+    assert len(workload_names()) == 10

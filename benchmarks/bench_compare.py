@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Compare freshly produced BENCH_*.json files against the committed
+baselines in ``benchmarks/baselines/``.
+
+Thin wrapper over :mod:`repro.observability.benchdiff` (also exposed as
+``repro bench-diff``) so CI can call it as a script::
+
+    PYTHONPATH=src python benchmarks/bench_compare.py \
+        --baseline benchmarks/baselines --current . \
+        --require observer_overhead
+
+Exit codes follow the audit convention: 0 clean, 1 regression, 2 tool
+error (missing required bench file or metric).
+"""
+
+import sys
+
+from repro.observability.benchdiff import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from ..interp.interpreter import Interpreter, RunStatus, TamperSpec
 from ..lang.errors import ReproError
 from ..observability.metrics import MetricsRegistry
 from ..pipeline import ProtectedProgram, monitored_run
+from ..runtime.flight_recorder import DEFAULT_DEPTH, FlightRecorder
 from ..workloads.registry import Workload, resolve_workloads
 
 #: Values an attacker plausibly writes: flag flips, sign flips, and the
@@ -78,6 +79,10 @@ class AttackOutcome:
     detected: bool
     clean_status: RunStatus
     attack_status: RunStatus
+    #: Forensic causal chains for the detected alarms — populated only
+    #: when the campaign runs with ``forensics=True``; empty otherwise,
+    #: so forensics-off campaigns stay byte-identical to before.
+    explanations: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -148,6 +153,8 @@ def run_attack(
     attack_model: str = "input",
     rng: Optional[random.Random] = None,
     metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
 ) -> AttackOutcome:
     """Run one independent attack (clean + probe + attack runs).
 
@@ -213,11 +220,23 @@ def run_attack(
     address, owner, var_name = rng.choice(candidates)
     value = rng.choice(TAMPER_VALUES)
 
-    # 3. The attack run.
+    # 3. The attack run (flight-recorded when forensics is on).
     tamper = TamperSpec(trigger_kind, trigger, address, value)
+    recorder = FlightRecorder(flight_recorder_depth) if forensics else None
     attacked, ipds = monitored_run(
-        program, inputs=inputs, tamper=tamper, step_limit=step_limit
+        program,
+        inputs=inputs,
+        tamper=tamper,
+        step_limit=step_limit,
+        flight_recorder=recorder,
     )
+    explanations: Tuple[str, ...] = ()
+    if forensics and ipds.detected:
+        from ..forensics import explain_ipds
+
+        explanations = tuple(
+            report.causal_chain() for report in explain_ipds(ipds)
+        )
 
     changed = (
         attacked.branch_trace != clean.branch_trace
@@ -247,6 +266,7 @@ def run_attack(
         detected=ipds.detected,
         clean_status=clean.status,
         attack_status=attacked.status,
+        explanations=explanations,
     )
 
 
@@ -260,6 +280,8 @@ def run_workload_campaign(
     opt_level: int = 0,
     jobs: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
 ) -> WorkloadResult:
     """Attack one workload ``attacks`` times independently.
 
@@ -285,6 +307,8 @@ def run_workload_campaign(
             opt_level=opt_level,
             jobs=jobs,
             metrics=metrics,
+            forensics=forensics,
+            flight_recorder_depth=flight_recorder_depth,
         )
     if program is None:
         from ..pipeline import compile_program_cached
@@ -302,6 +326,8 @@ def run_workload_campaign(
                 program, workload, index,
                 seed_prefix=seed_prefix, step_limit=step_limit,
                 attack_model=attack_model, metrics=metrics,
+                forensics=forensics,
+                flight_recorder_depth=flight_recorder_depth,
             )
         )
     return result
@@ -317,6 +343,8 @@ def run_campaign(
     opt_level: int = 0,
     jobs: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
 ) -> CampaignSummary:
     """The Figure-7 experiment, optionally sharded across processes.
 
@@ -340,6 +368,8 @@ def run_campaign(
         opt_level=opt_level,
         jobs=jobs,
         metrics=metrics,
+        forensics=forensics,
+        flight_recorder_depth=flight_recorder_depth,
     )
 
 

@@ -15,7 +15,19 @@ Subcommands:
   correlation tables (file, workload name, or ``all``); exit 1 means
   diagnostics were found, exit 2 means the tool itself failed;
 * ``lint TARGET``   — dead/infeasible-branch and unreachable-code
-  warnings from fixpoint range reasoning (same exit convention).
+  warnings from fixpoint range reasoning (same exit convention);
+* ``explain FILE TRACE`` — replay a recorded trace with a flight
+  recorder attached and explain every alarm against the compiler's
+  provenance sidecar (exit 0 no alarms / 1 explained alarms / 2 tool
+  error, the audit convention);
+* ``bench-diff``    — compare fresh ``BENCH_*.json`` files against the
+  committed baselines in ``benchmarks/baselines/`` (same convention).
+
+Forensics: ``run``, ``attack`` and ``campaign`` accept ``--forensics``
+(attach a bounded flight recorder and print a causal explanation for
+every alarm) and ``--flight-recorder-depth N``; the single-run commands
+also take ``--forensics-out PATH`` for the JSON ``AlarmReport``
+document.
 
 Observability: ``run``, ``attack``, ``campaign`` and ``timing`` accept
 ``--metrics-out PATH`` (a structured JSON run manifest, or append-mode
@@ -46,6 +58,7 @@ from .observability import (
     write_manifest,
 )
 from .pipeline import compile_program, compile_program_cached, observed_run, unmonitored_run
+from .runtime.flight_recorder import DEFAULT_DEPTH, FlightRecorder
 from .runtime.replay import TraceRecorder
 from .workloads.registry import get_workload, workload_names
 
@@ -118,6 +131,29 @@ def _emit_manifest(
     print(f"metrics: manifest -> {args.metrics_out}")
 
 
+def _new_flight_recorder(args: argparse.Namespace) -> Optional[FlightRecorder]:
+    if not getattr(args, "forensics", False):
+        return None
+    return FlightRecorder(args.flight_recorder_depth)
+
+
+def _report_forensics(args: argparse.Namespace, ipds) -> None:
+    """Explain a recorder-carrying IPDS's alarms on stdout (and to
+    ``--forensics-out`` as JSON when requested)."""
+    if ipds.flight_recorder is None:
+        return
+    from .forensics import explain_ipds, render_reports_text, reports_to_json
+    from .staticcheck import write_output
+
+    reports = explain_ipds(ipds)
+    print("forensics:")
+    print(render_reports_text(reports))
+    if args.forensics_out:
+        write_output(reports_to_json(reports), args.forensics_out)
+        if args.forensics_out != "-":
+            print(f"forensics report -> {args.forensics_out}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
     manifest = RunManifest.begin(
@@ -130,7 +166,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     with metrics.span("compile"):
         program = compile_program(_read_source(args.file), args.file, args.opt)
-    ipds = program.new_ipds(allow_unprotected=args.allow_unprotected)
+    ipds = program.new_ipds(
+        allow_unprotected=args.allow_unprotected,
+        flight_recorder=_new_flight_recorder(args),
+    )
     observers: List[object] = [ipds]
     recorder: Optional[TraceRecorder] = None
     if args.trace_out:
@@ -164,8 +203,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     if ipds.detected:
         for alarm in ipds.alarms:
             print(f"ALARM  : {alarm}")
+        _report_forensics(args, ipds)
         return 2
     print("alarms : none")
+    _report_forensics(args, ipds)
     return 0
 
 
@@ -192,7 +233,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         address=int(args.address, 0),
         value=args.value,
     )
-    ipds = program.new_ipds()
+    ipds = program.new_ipds(flight_recorder=_new_flight_recorder(args))
     observers: List[object] = [ipds]
     recorder: Optional[TraceRecorder] = None
     if args.trace_out:
@@ -229,8 +270,10 @@ def cmd_attack(args: argparse.Namespace) -> int:
     )
     if ipds.detected:
         print(f"DETECTED            : {ipds.alarms[0]}")
+        _report_forensics(args, ipds)
         return 2
     print("detected            : no")
+    _report_forensics(args, ipds)
     return 0
 
 
@@ -363,22 +406,90 @@ def _dump_outcomes(results, path: str) -> int:
     writer = JsonlWriter(path)
     for result in results:
         for outcome in result.attacks:
-            writer.write(
-                {
-                    "workload": result.workload,
-                    "index": outcome.index,
-                    "trigger_read": outcome.trigger_read,
-                    "address": outcome.address,
-                    "target": outcome.target_label,
-                    "value": outcome.value,
-                    "fired": outcome.fired,
-                    "control_flow_changed": outcome.control_flow_changed,
-                    "detected": outcome.detected,
-                    "clean_status": outcome.clean_status.value,
-                    "attack_status": outcome.attack_status.value,
-                }
-            )
+            record = {
+                "workload": result.workload,
+                "index": outcome.index,
+                "trigger_read": outcome.trigger_read,
+                "address": outcome.address,
+                "target": outcome.target_label,
+                "value": outcome.value,
+                "fired": outcome.fired,
+                "control_flow_changed": outcome.control_flow_changed,
+                "detected": outcome.detected,
+                "clean_status": outcome.clean_status.value,
+                "attack_status": outcome.attack_status.value,
+            }
+            # Key appears only on forensics campaigns, so forensics-off
+            # outcome logs stay byte-identical to before.
+            if outcome.explanations:
+                record["explanations"] = list(outcome.explanations)
+            writer.write(record)
     return writer.records_written
+
+
+def _print_campaign_forensics(results) -> None:
+    """Per-attack explanation summaries for detected attacks."""
+    explained = [
+        (result.workload, outcome)
+        for result in results
+        for outcome in result.attacks
+        if outcome.explanations
+    ]
+    if not explained:
+        return
+    print(f"forensics: {len(explained)} detected attack(s) explained")
+    for workload, outcome in explained:
+        for chain in outcome.explanations:
+            print(f"  {workload}#{outcome.index} "
+                  f"[{outcome.target_label}={outcome.value}]: {chain}")
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Replay a recorded trace and explain its alarms offline.
+
+    Exit codes follow the ``audit`` convention: 0 = no alarms, 1 =
+    alarms were raised (and explained), 2 = tool error.  Provenance is
+    deliberately read back from the packed binary image — explanations
+    come from the sidecar exactly as a deployed runtime would see them.
+    """
+    from .correlation.binary_image import load_program
+    from .forensics import explain_trace, render_reports_text, reports_to_json
+    from .lang.errors import ReproError
+    from .runtime.replay import load_trace
+    from .staticcheck import sarif_report, write_output
+
+    try:
+        if args.file in workload_names():
+            source, name = get_workload(args.file).source, args.file
+        else:
+            source, name = _read_source(args.file), args.file
+        program = compile_program(source, name, args.opt)
+        tables, _ = load_program(program.to_image())
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            events = list(load_trace(handle))
+        _, reports = explain_trace(
+            tables,
+            events,
+            depth=args.depth,
+            allow_unprotected=args.allow_unprotected,
+            history_limit=args.history,
+        )
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TOOL_ERROR
+    print(render_reports_text(reports))
+    if args.json:
+        write_output(reports_to_json(reports), args.json)
+    if args.sarif:
+        diagnostics = [report.to_diagnostic() for report in reports]
+        write_output(sarif_report([(name, diagnostics)]), args.sarif)
+    return EXIT_DIAGNOSTICS if reports else EXIT_CLEAN
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .observability.benchdiff import run_diff
+
+    return run_diff(args)
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -402,6 +513,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             opt_level=args.opt,
             jobs=args.jobs,
             metrics=metrics,
+            forensics=args.forensics,
+            flight_recorder_depth=args.flight_recorder_depth,
         )
         print(render_figure7(summary))
         results = summary.results
@@ -420,6 +533,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             opt_level=args.opt,
             jobs=args.jobs,
             metrics=metrics,
+            forensics=args.forensics,
+            flight_recorder_depth=args.flight_recorder_depth,
         )
         print(f"workload {workload.name} ({workload.vuln_kind}), "
               f"{result.total} attacks:")
@@ -435,6 +550,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "changed": result.changed,
             "detected": result.detected,
         }
+    if args.forensics:
+        _print_campaign_forensics(results)
     if args.trace_out:
         count = _dump_outcomes(results, args.trace_out)
         print(f"outcomes: {count} records -> {args.trace_out}")
@@ -485,6 +602,17 @@ def cmd_timing(args: argparse.Namespace) -> int:
         avg_check_latency=comp.avg_check_latency,
     )
     return 0
+
+
+def _add_forensics_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--forensics", action="store_true",
+                   help="attach a flight recorder and explain any alarms "
+                        "(setting event, violated compiler correlation, "
+                        "causal chain)")
+    p.add_argument("--flight-recorder-depth", type=_positive_int,
+                   default=DEFAULT_DEPTH, metavar="N",
+                   help=f"flight recorder ring size in committed events "
+                        f"(default {DEFAULT_DEPTH})")
 
 
 def _add_observability_args(
@@ -544,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-unprotected", action="store_true",
                    help="tolerate calls into functions without correlation "
                         "tables (partial coverage) instead of erroring")
+    _add_forensics_args(p)
+    p.add_argument("--forensics-out", default=None, metavar="PATH",
+                   help="write the alarm forensics report as JSON "
+                        "('-' for stdout)")
     _add_observability_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -558,6 +690,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--address", required=True,
                    help="word address to corrupt (accepts 0x..)")
     p.add_argument("--value", type=int, required=True)
+    _add_forensics_args(p)
+    p.add_argument("--forensics-out", default=None, metavar="PATH",
+                   help="write the alarm forensics report as JSON "
+                        "('-' for stdout)")
     _add_observability_args(p)
     p.set_defaults(func=cmd_attack)
 
@@ -589,10 +725,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-prefix", default="",
                    help="campaign seed namespace (attack i draws from "
                         "seed '<prefix><workload>:<i>')")
+    _add_forensics_args(p)
     _add_observability_args(
         p, trace_help="append per-attack outcome records as JSONL"
     )
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "explain",
+        help="replay a recorded trace and explain its alarms "
+             "(exit 0 no alarms / 1 explained alarms / 2 tool error)",
+    )
+    p.add_argument("file", help="a mini-C file or a workload name")
+    p.add_argument("trace", help="event trace from 'record' / --trace-out")
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    p.add_argument("--depth", type=_positive_int, default=DEFAULT_DEPTH,
+                   metavar="N", help="flight recorder ring size for the "
+                   f"replay (default {DEFAULT_DEPTH})")
+    p.add_argument("--history", type=_positive_int, default=8, metavar="N",
+                   help="flight-recorder entries quoted per report")
+    p.add_argument("--allow-unprotected", action="store_true",
+                   help="tolerate trace events from functions without "
+                        "correlation tables (partial coverage)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the AlarmReport document ('-' for stdout)")
+    p.add_argument("--sarif", default=None, metavar="PATH",
+                   help="write alarms as SARIF 2.1.0 FOR501/FOR502 "
+                        "diagnostics ('-' for stdout)")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare BENCH_*.json against committed baselines "
+             "(exit 0 ok / 1 regression / 2 tool error)",
+    )
+    from .observability.benchdiff import build_arg_parser as _bench_args
+
+    _bench_args(p)
+    p.set_defaults(func=cmd_bench_diff)
 
     p = sub.add_parser("timing", help="Figure-9 timing for a workload")
     p.add_argument("workload", choices=workload_names())

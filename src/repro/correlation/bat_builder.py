@@ -41,6 +41,13 @@ from ..ir.function import IRFunction, IRModule
 from ..ir.instructions import Variable
 from .actions import BranchAction
 from .hashing import find_perfect_hash
+from .provenance import (
+    REASON_CONFLICT,
+    REASON_KILL,
+    REASON_SUBSUMPTION,
+    ActionProvenance,
+    sort_records,
+)
 from .tables import BranchMeta, EventKey, FunctionTables, ProgramTables
 
 
@@ -77,6 +84,9 @@ def build_function_tables(
     # -- step 1: candidate SET actions from subsumption ------------------
     # candidate[(bs_pc, dir)][bl_pc] -> set of proposed actions
     candidates: Dict[Tuple[int, bool], Dict[int, Set[BranchAction]]] = {}
+    # evidence[(bs_pc, dir)][bl_pc][action] -> the inference that first
+    # proposed it (kept for provenance; iteration order is deterministic).
+    evidence: Dict[Tuple[int, bool], Dict[int, Dict[BranchAction, object]]] = {}
     checked_pcs: Set[int] = set()
     conflicts = 0
 
@@ -119,6 +129,9 @@ def build_function_tables(
                     candidates.setdefault((bs_pc, taken), {}).setdefault(
                         bl_pc, set()
                     ).add(action)
+                    evidence.setdefault((bs_pc, taken), {}).setdefault(
+                        bl_pc, {}
+                    ).setdefault(action, inference)
 
     # Resolve candidates; contradictions (both SET_T and SET_NT implied)
     # mean the direction is statically infeasible — fall back to UNKNOWN.
@@ -151,6 +164,7 @@ def build_function_tables(
     # For every conditional edge whose branch-free region contains a
     # potential store to a checked variable, force SET_UN (kills win).
     kill_entries = 0
+    killed: Set[Tuple[EventKey, int]] = set()
     regions = regions_by_edge(fn)
     for edge, region in regions.items():
         bs_pc = fn.block(edge.block_label).terminator.address
@@ -164,6 +178,7 @@ def build_function_tables(
                         set_entries -= 1
                     kill_entries += 1
                 resolved.setdefault(key, {})[bl_pc] = BranchAction.SET_UN
+                killed.add((key, bl_pc))
 
     # A branch whose every SET was overridden by kills can never be
     # predicted — checking it would only ever compare against UNKNOWN.
@@ -184,6 +199,10 @@ def build_function_tables(
             }
             if not resolved[key]:
                 del resolved[key]
+
+    provenance = _render_provenance(
+        resolved, facts_by_pc, block_of_pc, evidence, killed
+    )
 
     # -- step 3: hash + render --------------------------------------------
     search = find_perfect_hash(branch_pcs)
@@ -219,6 +238,7 @@ def build_function_tables(
         bcv_slots=bcv_slots,
         bat=bat,
         branch_meta=meta,
+        provenance=provenance,
     )
     stats = BuildStats(
         function_name=fn.name,
@@ -231,6 +251,61 @@ def build_function_tables(
         hash_trials=search.trials,
     )
     return tables, stats
+
+
+def _render_provenance(
+    resolved: Dict[Tuple[int, bool], Dict[int, BranchAction]],
+    facts_by_pc: Dict[int, BranchFacts],
+    block_of_pc,
+    evidence: Dict[Tuple[int, bool], Dict[int, Dict[BranchAction, object]]],
+    killed: Set[Tuple[EventKey, int]],
+) -> Tuple[ActionProvenance, ...]:
+    """One :class:`ActionProvenance` per surviving BAT entry.
+
+    Runs after the final pruning so the records describe exactly the
+    entries the runtime will fire — forensics joins against these.
+    """
+    records: List[ActionProvenance] = []
+    for (bs_pc, taken), per_target in resolved.items():
+        for bl_pc, action in per_target.items():
+            check = facts_by_pc[bl_pc].check
+            common = dict(
+                source_pc=bs_pc,
+                source_block=block_of_pc[bs_pc].label,
+                taken=taken,
+                target_pc=bl_pc,
+                target_block=block_of_pc[bl_pc].label,
+                action=action.value,
+                var=check.var.name,
+                check=f"{check.var.name} {check.op.value} {check.bound}",
+            )
+            if action is not BranchAction.SET_UN:
+                inference = evidence[(bs_pc, taken)][bl_pc][action]
+                records.append(
+                    ActionProvenance(
+                        reason=REASON_SUBSUMPTION,
+                        link_kind=inference.kind,
+                        link_index=inference.index,
+                        implied=str(inference.implied_set(taken)),
+                        **common,
+                    )
+                )
+            elif ((bs_pc, taken), bl_pc) in killed:
+                records.append(ActionProvenance(reason=REASON_KILL, **common))
+            else:
+                # Conflict: both SET_T and SET_NT were implied.  Keep the
+                # link of the lexically-first action for the record.
+                origins = evidence[(bs_pc, taken)][bl_pc]
+                first = origins[min(origins, key=lambda a: a.value)]
+                records.append(
+                    ActionProvenance(
+                        reason=REASON_CONFLICT,
+                        link_kind=first.kind,
+                        link_index=first.index,
+                        **common,
+                    )
+                )
+    return sort_records(tuple(records))
 
 
 def _source_feeds_check(

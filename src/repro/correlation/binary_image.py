@@ -20,6 +20,7 @@ bit sizes rounded up — a property the tests pin.
 
 from __future__ import annotations
 
+import json
 import struct
 from typing import Dict, List, Tuple
 
@@ -27,11 +28,13 @@ from ..lang.errors import ReproError
 from .actions import BranchAction
 from .encoding import ACTION_BITS, _pointer_bits
 from .hashing import HashParams
+from .provenance import ActionProvenance, sort_records
 from .tables import FunctionTables, ProgramTables
 
-#: Image magic and format version.
+#: Image magic and format version.  Version 2 added the provenance
+#: sidecar (header gained a 4-byte sidecar length; see pack_program).
 MAGIC = b"IPDS"
-VERSION = 1
+VERSION = 2
 
 #: Action encodings on the wire (2 bits).
 _ACTION_CODES = {
@@ -174,6 +177,47 @@ def _unpack_bat(
 
 
 # ----------------------------------------------------------------------
+# Provenance sidecar
+# ----------------------------------------------------------------------
+
+
+def _pack_sidecar(program: ProgramTables) -> bytes:
+    """Serialize per-function provenance as a deterministic JSON blob.
+
+    Canonical form (sorted function names, canonical record order,
+    sorted keys, no whitespace) makes ``pack -> load -> pack``
+    byte-identical — pinned by the image round-trip tests.
+    """
+    functions = {
+        name: [r.to_dict() for r in sort_records(tables.provenance)]
+        for name, tables in sorted(program.by_function.items())
+        if tables.provenance
+    }
+    if not functions:
+        return b""
+    payload = json.dumps(
+        {"functions": functions}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return payload
+
+
+def _unpack_sidecar(
+    payload: bytes,
+) -> Dict[str, Tuple[ActionProvenance, ...]]:
+    try:
+        document = json.loads(payload.decode("utf-8"))
+        functions = document["functions"]
+        return {
+            name: sort_records(
+                tuple(ActionProvenance.from_dict(r) for r in records)
+            )
+            for name, records in functions.items()
+        }
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ImageError(f"malformed provenance sidecar: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
 # The whole image
 # ----------------------------------------------------------------------
 
@@ -224,7 +268,15 @@ def pack_program(
         records.append(record)
     header = MAGIC + struct.pack(">BH", VERSION, len(records))
     record_block = b"".join(records)
-    return header + struct.pack(">I", len(record_block)) + record_block + bytes(blobs)
+    sidecar = _pack_sidecar(program)
+    return (
+        header
+        + struct.pack(">I", len(record_block))
+        + struct.pack(">I", len(sidecar))
+        + record_block
+        + bytes(blobs)
+        + sidecar
+    )
 
 
 def load_program(image: bytes) -> Tuple[ProgramTables, Dict[str, int]]:
@@ -235,8 +287,14 @@ def load_program(image: bytes) -> Tuple[ProgramTables, Dict[str, int]]:
     if version != VERSION:
         raise ImageError(f"unsupported version {version}")
     (record_len,) = struct.unpack(">I", image[7:11])
-    cursor = 11
-    blob_base = 11 + record_len
+    (sidecar_len,) = struct.unpack(">I", image[11:15])
+    cursor = 15
+    blob_base = 15 + record_len
+    provenance_by_function: Dict[str, Tuple[ActionProvenance, ...]] = {}
+    if sidecar_len:
+        if sidecar_len > len(image):
+            raise ImageError("sidecar length exceeds image size")
+        provenance_by_function = _unpack_sidecar(image[-sidecar_len:])
     program = ProgramTables()
     entries: Dict[str, int] = {}
     for _ in range(record_count):
@@ -279,6 +337,7 @@ def load_program(image: bytes) -> Tuple[ProgramTables, Dict[str, int]]:
             bcv_slots=bcv,
             bat=bat,
             branch_meta=(),
+            provenance=provenance_by_function.get(name, ()),
         )
         entries[name] = entry
     return program, entries

@@ -1,0 +1,145 @@
+"""Compile-time provenance for BAT actions — the forensics ground truth.
+
+Every action the Figure-5 construction places in the BAT exists for a
+reason the compiler can articulate: *this* branch direction implies
+*this* range for *this* variable, which subsumes one outcome set of
+*that* checked branch (a ``SET_T``/``SET_NT``), or the direction's
+branch-free region may overwrite the variable (a kill ``SET_UN``), or
+two inferences contradicted each other (a conflict ``SET_UN``).  The
+runtime only ever sees the anonymous 2-bit action — so when the IPDS
+raises an alarm, "slot 3 expected NT" is all it can say.
+
+:class:`ActionProvenance` keeps the compiler's reasoning alongside the
+tables: the correlating branch pair, the load/store and variable that
+link them, the value range proved, the check predicate, and the IR
+spans (function/block/branch PC — the mini-C pipeline's span
+vocabulary, see :mod:`repro.staticcheck.diagnostics`).  The records
+ride the binary image in a sidecar section
+(:mod:`repro.correlation.binary_image`) and are joined with the
+runtime flight recorder by :mod:`repro.forensics` to explain alarms in
+source terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: Why an action exists.
+REASON_SUBSUMPTION = "subsumption"  # implied range subsumes one outcome set
+REASON_KILL = "kill"  # branch-free region may store to the variable
+REASON_CONFLICT = "conflict"  # contradictory inferences -> forced UNKNOWN
+
+VALID_REASONS = (REASON_SUBSUMPTION, REASON_KILL, REASON_CONFLICT)
+
+
+@dataclass(frozen=True)
+class ActionProvenance:
+    """Why one BAT entry ``(source branch, direction) -> target`` exists.
+
+    ``link_kind``/``link_index`` name the access in the source block
+    that connects the branch to the variable's memory copy (the Fig. 3
+    store-then-branch or consecutive-load patterns); ``implied`` is the
+    value set the direction proves for ``var``; ``check`` is the target
+    branch's predicate over the same variable.  Kill and conflict
+    entries carry only what is meaningful for them (the overwritten
+    variable, no proved range).
+    """
+
+    source_pc: int
+    source_block: str
+    taken: bool
+    target_pc: int
+    target_block: str
+    action: str  # BranchAction.value: "SET_T" | "SET_NT" | "SET_UN"
+    reason: str  # one of VALID_REASONS
+    var: Optional[str] = None
+    link_kind: Optional[str] = None  # "load" | "store"
+    link_index: Optional[int] = None  # instruction index in source block
+    implied: Optional[str] = None  # e.g. "[1, +inf]" or "Z\\{0}"
+    check: Optional[str] = None  # e.g. "authenticated == 0"
+
+    def __post_init__(self) -> None:
+        if self.reason not in VALID_REASONS:
+            raise ValueError(f"unknown provenance reason {self.reason!r}")
+
+    @property
+    def key(self) -> Tuple[int, bool, int]:
+        return (self.source_pc, self.taken, self.target_pc)
+
+    @property
+    def direction(self) -> str:
+        return "T" if self.taken else "NT"
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (forensics reports)."""
+        where = (
+            f"({self.source_block}@{self.source_pc:#x}, {self.direction}) "
+            f"-> {self.action} {self.target_block}@{self.target_pc:#x}"
+        )
+        if self.reason == REASON_SUBSUMPTION:
+            return (
+                f"{where}: direction {self.direction} implies "
+                f"{self.var} in {self.implied} (via {self.link_kind}), "
+                f"subsuming one outcome of check '{self.check}'"
+            )
+        if self.reason == REASON_KILL:
+            return (
+                f"{where}: the direction's branch-free region may store "
+                f"to {self.var} — prediction killed to UNKNOWN"
+            )
+        return (
+            f"{where}: contradictory inferences about {self.var} — "
+            f"direction statically infeasible, forced UNKNOWN"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source_pc": self.source_pc,
+            "source_block": self.source_block,
+            "taken": self.taken,
+            "target_pc": self.target_pc,
+            "target_block": self.target_block,
+            "action": self.action,
+            "reason": self.reason,
+            "var": self.var,
+            "link_kind": self.link_kind,
+            "link_index": self.link_index,
+            "implied": self.implied,
+            "check": self.check,
+        }
+
+    @staticmethod
+    def from_dict(record: Dict[str, Any]) -> "ActionProvenance":
+        return ActionProvenance(
+            source_pc=int(record["source_pc"]),
+            source_block=str(record["source_block"]),
+            taken=bool(record["taken"]),
+            target_pc=int(record["target_pc"]),
+            target_block=str(record["target_block"]),
+            action=str(record["action"]),
+            reason=str(record["reason"]),
+            var=record.get("var"),
+            link_kind=record.get("link_kind"),
+            link_index=record.get("link_index"),
+            implied=record.get("implied"),
+            check=record.get("check"),
+        )
+
+
+def sort_records(
+    records: Tuple[ActionProvenance, ...]
+) -> Tuple[ActionProvenance, ...]:
+    """Canonical record order: (source_pc, direction, target_pc).
+
+    Both the builder and the sidecar loader normalize through this, so
+    ``pack -> load -> pack`` is byte-identical.
+    """
+    return tuple(sorted(records, key=lambda r: r.key))
+
+
+def index_records(
+    records: Tuple[ActionProvenance, ...]
+) -> Dict[Tuple[int, bool, int], ActionProvenance]:
+    """Lookup table keyed by (source_pc, taken, target_pc)."""
+    return {record.key: record for record in records}

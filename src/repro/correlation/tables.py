@@ -13,6 +13,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from .actions import BranchAction
 from .hashing import HashParams
+from .provenance import ActionProvenance, index_records
 
 #: One BAT action entry: (target slot, action).
 ActionEntry = Tuple[int, BranchAction]
@@ -41,11 +42,18 @@ class FunctionTables:
     bcv_slots: FrozenSet[int]  # slots verified at runtime
     bat: Mapping[EventKey, Tuple[ActionEntry, ...]]
     branch_meta: Tuple[BranchMeta, ...] = ()
+    #: Compile-time reasoning behind every BAT entry, in canonical
+    #: (source_pc, direction, target_pc) order; carried through the
+    #: binary-image sidecar and consumed by :mod:`repro.forensics`.
+    provenance: Tuple[ActionProvenance, ...] = ()
 
     def __post_init__(self) -> None:
         self._slot_by_pc: Dict[int, int] = {
             pc: self.hash_params.slot(pc) for pc in self.branch_pcs
         }
+        self._prov_index: Optional[
+            Dict[Tuple[int, bool, int], ActionProvenance]
+        ] = None
 
     # -- queries ---------------------------------------------------------
 
@@ -74,6 +82,24 @@ class FunctionTables:
         if slot is None:
             return ()
         return self.bat.get((slot, taken), ())
+
+    def provenance_for(
+        self, source_pc: int, taken: bool, target_pc: int
+    ) -> Optional[ActionProvenance]:
+        """The compiler's reason for BAT entry (source, dir) -> target."""
+        if self._prov_index is None:
+            self._prov_index = index_records(self.provenance)
+        return self._prov_index.get((source_pc, taken, target_pc))
+
+    def provenance_targeting(
+        self, target_pc: int
+    ) -> Tuple[ActionProvenance, ...]:
+        """All records whose action writes the slot of ``target_pc``."""
+        return tuple(
+            record
+            for record in self.provenance
+            if record.target_pc == target_pc
+        )
 
     @property
     def checked_count(self) -> int:

@@ -1,0 +1,183 @@
+"""Typed alarm reports: what was violated, who set it, why it existed.
+
+An :class:`AlarmReport` is the join of three sources:
+
+* the :class:`~repro.runtime.ipds.Alarm` itself (the contradicting
+  event — which checked branch went the impossible way);
+* the flight-recorder record of the *setting event* — the earlier
+  committed branch whose BAT action installed the expectation, found
+  by scanning the ring backwards within the same activation;
+* the compiler's :class:`~repro.correlation.provenance.ActionProvenance`
+  for that exact (source, direction, target) BAT entry — the
+  correlation that was proved at compile time and violated at runtime.
+
+Reports render as text, JSON, and as staticcheck ``Diagnostic``s
+(``FOR501`` fully explained / ``FOR502`` degraded), so they flow
+through the existing text/JSON/SARIF emitters unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..correlation.provenance import ActionProvenance
+from ..runtime.flight_recorder import BranchRecord, BSVTransition
+from ..runtime.ipds import Alarm
+from ..staticcheck.diagnostics import CODES, Diagnostic, Span
+
+#: Diagnostic codes reports lower into.
+CODE_EXPLAINED = "FOR501"
+CODE_DEGRADED = "FOR502"
+
+
+@dataclass(frozen=True)
+class AlarmReport:
+    """One explained (or degraded) alarm."""
+
+    alarm: Alarm
+    function: str
+    #: The setting event, if still in the flight recorder.
+    setter: Optional[BranchRecord] = None
+    #: The specific BSV transition of the setter that wrote the slot.
+    transition: Optional[BSVTransition] = None
+    #: The compiler's reason the violated BAT entry exists.
+    provenance: Optional[ActionProvenance] = None
+    #: Candidate provenance records when the setter is unknown (all
+    #: compile-time correlations that could have armed this slot).
+    candidates: Tuple[ActionProvenance, ...] = ()
+    #: Flight-recorder history leading up to the alarm (rendered lines).
+    history: Tuple[str, ...] = ()
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def explained(self) -> bool:
+        """Fully explained: setting event found and matched to a
+        compile-time provenance record."""
+        return self.setter is not None and self.provenance is not None
+
+    @property
+    def expected(self) -> str:
+        return self.alarm.expected.value
+
+    @property
+    def actual(self) -> str:
+        return "T" if self.alarm.actual_taken else "NT"
+
+    # -- renderings ------------------------------------------------------
+
+    def causal_chain(self) -> str:
+        """One-sentence human-readable causal chain."""
+        where = f"{self.function}@{self.alarm.pc:#x}"
+        violation = (
+            f"{where} went {self.actual} at event #{self.alarm.event_index} "
+            f"while the BSV expected {self.expected}"
+        )
+        if not self.explained:
+            if self.candidates:
+                options = "; ".join(p.describe() for p in self.candidates)
+                return (
+                    f"{violation}; the setting event was not in the flight "
+                    f"recorder, but compile-time candidates are: {options}"
+                )
+            return f"{violation}; no explanation available"
+        setter = self.setter
+        prov = self.provenance
+        cause = (
+            f"set by event #{setter.seq} "
+            f"({setter.function}@{setter.pc:#x} went {setter.direction}, "
+            f"firing {self.transition.action.value})"
+        )
+        if prov.reason == "subsumption":
+            why = (
+                f"because direction {prov.direction} of "
+                f"{prov.source_block}@{prov.source_pc:#x} implies "
+                f"{prov.var} in {prov.implied} (via {prov.link_kind}), "
+                f"which forces check '{prov.check}' to {self.expected}"
+            )
+        else:
+            why = f"because {prov.describe()}"
+        return f"{violation}, {cause}, {why}"
+
+    def render_text(self) -> str:
+        lines = [f"ALARM {self.alarm}"]
+        lines.append(f"  violated correlation: {self.describe_correlation()}")
+        if self.setter is not None:
+            lines.append(f"  setting event:       {self.setter.describe()}")
+        if self.transition is not None:
+            lines.append(f"  transition:          {self.transition.describe()}")
+        lines.append(f"  causal chain:        {self.causal_chain()}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if self.history:
+            lines.append("  flight recorder (oldest first):")
+            for entry in self.history:
+                lines.append(f"    {entry}")
+        return "\n".join(lines)
+
+    def describe_correlation(self) -> str:
+        if self.provenance is not None:
+            return self.provenance.describe()
+        if self.candidates:
+            return (
+                f"unresolved — {len(self.candidates)} compile-time "
+                f"candidate(s) for slot {self.alarm.slot}"
+            )
+        return "unknown (no provenance record matches)"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "alarm": {
+                "function": self.alarm.function_name,
+                "pc": self.alarm.pc,
+                "expected": self.expected,
+                "actual": self.actual,
+                "event_index": self.alarm.event_index,
+                "slot": self.alarm.slot,
+                "frame_id": self.alarm.frame_id,
+            },
+            "explained": self.explained,
+            "provenance": (
+                None if self.provenance is None else self.provenance.to_dict()
+            ),
+            "candidates": [p.to_dict() for p in self.candidates],
+            "setter": None if self.setter is None else self.setter.to_dict(),
+            "transition": (
+                None if self.transition is None else self.transition.to_dict()
+            ),
+            "causal_chain": self.causal_chain(),
+            "history": list(self.history),
+            "notes": list(self.notes),
+        }
+
+    def to_diagnostic(self) -> Diagnostic:
+        code = CODE_EXPLAINED if self.explained else CODE_DEGRADED
+        return Diagnostic(
+            code=code,
+            severity=CODES[code].severity,
+            message=self.causal_chain(),
+            span=Span(function=self.function, pc=self.alarm.pc),
+            pass_name="forensics",
+        )
+
+
+def reports_to_json(reports: List[AlarmReport]) -> str:
+    """Deterministic JSON document for a list of reports."""
+    payload = {
+        "version": 1,
+        "tool": "repro-forensics",
+        "alarms": len(reports),
+        "explained": sum(1 for r in reports if r.explained),
+        "reports": [r.to_dict() for r in reports],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_reports_text(reports: List[AlarmReport]) -> str:
+    if not reports:
+        return "no alarms"
+    blocks = [r.render_text() for r in reports]
+    explained = sum(1 for r in reports if r.explained)
+    blocks.append(f"{len(reports)} alarm(s), {explained} fully explained")
+    return "\n".join(blocks)

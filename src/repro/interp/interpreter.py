@@ -150,8 +150,13 @@ class Interpreter:
         self._tamper = tamper
         self._tamper_fired = False
         self._bus = build_bus(observers, event_listeners, instruction_listener)
-        self._wants_events = len(self._bus) > 0
-        self._wants_instructions = self._bus.wants_instructions
+        # Dispatch targets are resolved once per hook: None means "no
+        # subscriber", so the hot paths skip both the call and the
+        # event allocation.
+        self._emit_call = self._bus.call_sink()
+        self._emit_return = self._bus.return_sink()
+        self._emit_branch = self._bus.branch_sink()
+        self._emit_instruction = self._bus.instruction_sink()
         # Coarse-grained observation channel for baseline anomaly
         # detectors: called with (callee name, call-site PC) of every
         # call — builtin "system calls" and user functions alike.  The
@@ -196,10 +201,6 @@ class Interpreter:
 
     # -- machinery ---------------------------------------------------------
 
-    def _emit_event(self, event: Event) -> None:
-        if self._wants_events:
-            self._bus.emit(event)
-
     def _push_activation(
         self, fn: IRFunction, args: Sequence[int], return_reg: Optional[Reg]
     ) -> _Activation:
@@ -217,13 +218,15 @@ class Interpreter:
                 self.memory.address_of(param, base), value
             )
         self._stack.append(activation)
-        self._emit_event(CallEvent(fn.name))
+        if self._emit_call is not None:
+            self._emit_call(CallEvent(fn.name))
         return activation
 
     def _pop_activation(self, value: Optional[int]) -> Optional[int]:
         finished = self._stack.pop()
         self._next_frame_base = finished.frame_base
-        self._emit_event(ReturnEvent(finished.function.name))
+        if self._emit_return is not None:
+            self._emit_return(ReturnEvent(finished.function.name))
         if self._stack and finished.return_reg is not None:
             self._stack[-1].regs[finished.return_reg] = (
                 value if value is not None else 0
@@ -283,24 +286,32 @@ class Interpreter:
     def _execute(self, entry_fn: IRFunction) -> Tuple[RunStatus, Optional[int]]:
         self._push_activation(entry_fn, [], None)
         final_value: Optional[int] = None
-        while self._stack:
-            if self._steps >= self._step_limit:
+        # Per-instruction work: hoist everything resolvable out of the
+        # loop so each iteration pays local loads only.
+        stack = self._stack
+        step = self._step
+        step_limit = self._step_limit
+        depth_limit = self._call_depth_limit
+        emit_instruction = self._emit_instruction
+        maybe_tamper = self._maybe_tamper_after_step
+        while stack:
+            if self._steps >= step_limit:
                 return RunStatus.STEP_LIMIT, None
-            activation = self._stack[-1]
+            activation = stack[-1]
             block = activation.function.block(activation.block_label)
             instruction = block.instructions[activation.index]
             self._steps += 1
             try:
-                outcome = self._step(activation, instruction)
+                outcome = step(activation, instruction)
             except ZeroDivisionError:
                 return RunStatus.DIV_BY_ZERO, None
-            if self._wants_instructions:
-                self._bus.emit_instruction(instruction, outcome)
-            self._maybe_tamper_after_step()
-            if not self._stack:
+            if emit_instruction is not None:
+                emit_instruction(instruction, outcome)
+            maybe_tamper()
+            if not stack:
                 # Entry function returned; final value captured below.
                 final_value = self._final_value
-            if len(self._stack) > self._call_depth_limit:
+            if len(stack) > depth_limit:
                 return RunStatus.CALL_DEPTH, None
         return RunStatus.OK, final_value
 
@@ -371,11 +382,12 @@ class Interpreter:
             taken = instruction.op.evaluate(lhs, rhs)
             if self._trace_branches:
                 self._branch_trace.append((instruction.address, taken))
-            self._emit_event(
-                BranchEvent(
-                    activation.function.name, instruction.address, taken
+            if self._emit_branch is not None:
+                self._emit_branch(
+                    BranchEvent(
+                        activation.function.name, instruction.address, taken
+                    )
                 )
-            )
             activation.block_label = (
                 instruction.taken if taken else instruction.fallthrough
             )

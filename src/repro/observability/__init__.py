@@ -8,6 +8,13 @@ audit trails — without perturbing the deterministic experiment results
 themselves (metrics ride alongside, never inside, campaign outcomes).
 """
 
+from .benchdiff import (
+    DEFAULT_RULES,
+    MetricDelta,
+    MetricRule,
+    compare_dirs,
+    render_table,
+)
 from .manifest import RunManifest
 from .metrics import Counter, MetricsRegistry, Span, Timer
 from .telemetry import (
@@ -19,12 +26,17 @@ from .telemetry import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_RULES",
     "JsonlWriter",
+    "MetricDelta",
+    "MetricRule",
     "MetricsRegistry",
     "RunManifest",
     "Span",
     "Timer",
+    "compare_dirs",
     "export_trace",
+    "render_table",
     "write_manifest",
     "write_metrics_jsonl",
 ]

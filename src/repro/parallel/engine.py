@@ -39,6 +39,7 @@ from ..attacks.campaign import (
 )
 from ..observability.metrics import MetricsRegistry
 from ..pipeline import monitored_run
+from ..runtime.flight_recorder import DEFAULT_DEPTH
 from ..workloads.registry import Workload, get_workload, resolve_workloads
 from .cache import cached_compile
 
@@ -58,6 +59,8 @@ class ShardTask:
     attack_model: str
     opt_level: int
     collect_metrics: bool = False
+    forensics: bool = False
+    flight_recorder_depth: int = DEFAULT_DEPTH
 
 
 @dataclass
@@ -131,6 +134,8 @@ def _run_shard(task: ShardTask) -> ShardResult:
             step_limit=task.step_limit,
             attack_model=task.attack_model,
             metrics=registry,
+            forensics=task.forensics,
+            flight_recorder_depth=task.flight_recorder_depth,
         )
         for index in task.indices
     ]
@@ -191,6 +196,8 @@ def _serial_workload(
     attack_model: str,
     opt_level: int,
     metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
 ) -> WorkloadResult:
     program = cached_compile(workload.source, workload.name, opt_level)
     result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
@@ -204,6 +211,8 @@ def _serial_workload(
                 step_limit=step_limit,
                 attack_model=attack_model,
                 metrics=metrics,
+                forensics=forensics,
+                flight_recorder_depth=flight_recorder_depth,
             )
         )
     return result
@@ -219,6 +228,8 @@ def run_workload_sharded(
     opt_level: int = 0,
     jobs: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
 ) -> WorkloadResult:
     """One workload's campaign, sharded across ``jobs`` processes."""
     summary = run_campaign(
@@ -230,6 +241,8 @@ def run_workload_sharded(
         opt_level=opt_level,
         jobs=jobs,
         metrics=metrics,
+        forensics=forensics,
+        flight_recorder_depth=flight_recorder_depth,
     )
     return summary.results[0]
 
@@ -244,6 +257,8 @@ def run_campaign(
     opt_level: int = 0,
     jobs: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
 ) -> CampaignSummary:
     """The full campaign, sharded across a process pool.
 
@@ -271,6 +286,7 @@ def run_campaign(
                         _serial_workload(
                             workload, attacks, seed_prefix, step_limit,
                             attack_model, opt_level, metrics,
+                            forensics, flight_recorder_depth,
                         )
                     )
             else:
@@ -278,6 +294,8 @@ def run_campaign(
                     _serial_workload(
                         workload, attacks, seed_prefix, step_limit,
                         attack_model, opt_level,
+                        forensics=forensics,
+                        flight_recorder_depth=flight_recorder_depth,
                     )
                 )
         return CampaignSummary(results)
@@ -304,6 +322,8 @@ def run_campaign(
                             attack_model=attack_model,
                             opt_level=opt_level,
                             collect_metrics=collect_metrics,
+                            forensics=forensics,
+                            flight_recorder_depth=flight_recorder_depth,
                         ),
                     )
                     for block in shard_indices(attacks, jobs)

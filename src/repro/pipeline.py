@@ -40,13 +40,17 @@ class ProtectedProgram:
     source_name: str = "<source>"
 
     def new_ipds(
-        self, halt_on_alarm: bool = False, allow_unprotected: bool = False
+        self,
+        halt_on_alarm: bool = False,
+        allow_unprotected: bool = False,
+        flight_recorder=None,
     ) -> IPDS:
         """A fresh IPDS instance for one monitored execution."""
         return IPDS(
             self.tables,
             halt_on_alarm=halt_on_alarm,
             allow_unprotected=allow_unprotected,
+            flight_recorder=flight_recorder,
         )
 
     def to_image(self) -> bytes:
@@ -158,10 +162,13 @@ def monitored_run(
     step_limit: int = 2_000_000,
     halt_on_alarm: bool = False,
     allow_unprotected: bool = False,
+    flight_recorder=None,
 ) -> Tuple[RunResult, IPDS]:
     """Run a protected program with the IPDS attached."""
     ipds = program.new_ipds(
-        halt_on_alarm=halt_on_alarm, allow_unprotected=allow_unprotected
+        halt_on_alarm=halt_on_alarm,
+        allow_unprotected=allow_unprotected,
+        flight_recorder=flight_recorder,
     )
     result = observed_run(
         program,

@@ -2,6 +2,13 @@
 
 from .bsv import BSVFrame
 from .events import BranchEvent, CallEvent, Event, ReturnEvent
+from .flight_recorder import (
+    DEFAULT_DEPTH,
+    BranchRecord,
+    BSVTransition,
+    FlightRecorder,
+    FrameRecord,
+)
 from .ipds import IPDS, Alarm, IPDSError, IPDSStats
 from .observer import (
     CallbackObserver,
@@ -24,11 +31,16 @@ from .replay import (
 __all__ = [
     "Alarm",
     "BSVFrame",
+    "BSVTransition",
     "BranchEvent",
+    "BranchRecord",
     "CallEvent",
     "CallbackObserver",
+    "DEFAULT_DEPTH",
     "Event",
     "ExecutionObserver",
+    "FlightRecorder",
+    "FrameRecord",
     "IPDS",
     "IPDSError",
     "IPDSStats",

@@ -16,8 +16,11 @@ from ..correlation.tables import FunctionTables
 class BSVFrame:
     """The 2-bit-per-slot status vector of one function activation."""
 
-    def __init__(self, tables: FunctionTables):
+    def __init__(self, tables: FunctionTables, frame_id: int = 0):
         self.tables = tables
+        #: Activation identity assigned by the IPDS (monotonic per run);
+        #: lets the flight recorder attribute records to one activation.
+        self.frame_id = frame_id
         self._status: Dict[int, BranchStatus] = {}
 
     def status(self, slot: int) -> BranchStatus:

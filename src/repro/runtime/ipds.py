@@ -34,6 +34,12 @@ from ..correlation.tables import ProgramTables
 from ..lang.errors import ReproError
 from .bsv import BSVFrame
 from .events import BranchEvent, CallEvent, Event, ReturnEvent
+from .flight_recorder import (
+    BranchRecord,
+    BSVTransition,
+    FlightRecorder,
+    FrameRecord,
+)
 from .observer import ExecutionObserver
 
 
@@ -50,6 +56,10 @@ class Alarm:
     expected: BranchStatus
     actual_taken: bool
     event_index: int
+    #: BSV slot whose expectation was violated and the activation that
+    #: held it — forensics join keys (defaulted for legacy callers).
+    slot: int = -1
+    frame_id: int = -1
 
     def __str__(self) -> str:
         actual = "T" if self.actual_taken else "NT"
@@ -95,12 +105,17 @@ class IPDS(ExecutionObserver):
         tables: ProgramTables,
         halt_on_alarm: bool = False,
         allow_unprotected: bool = False,
+        flight_recorder: Optional[FlightRecorder] = None,
     ):
         self._tables = tables
         self._stack: List[Optional[BSVFrame]] = []
         self._halt_on_alarm = halt_on_alarm
         self._allow_unprotected = allow_unprotected
         self._halted = False
+        # Frame ids are assigned whether or not a recorder is attached,
+        # so alarms (which carry frame_id) are identical either way.
+        self._next_frame_id = 0
+        self.flight_recorder = flight_recorder
         self.alarms: List[Alarm] = []
         self.stats = IPDSStats()
 
@@ -146,6 +161,10 @@ class IPDS(ExecutionObserver):
         return bool(self.alarms)
 
     @property
+    def tables(self) -> ProgramTables:
+        return self._tables
+
+    @property
     def stack_depth(self) -> int:
         return len(self._stack)
 
@@ -155,6 +174,7 @@ class IPDS(ExecutionObserver):
     # -- internals ---------------------------------------------------------
 
     def _push(self, function_name: str) -> None:
+        frame_id: Optional[int] = None
         try:
             tables = self._tables.tables_for(function_name)
         except KeyError:
@@ -167,15 +187,35 @@ class IPDS(ExecutionObserver):
             self.stats.unprotected_calls += 1
             self._stack.append(None)
         else:
-            self._stack.append(BSVFrame(tables))
+            self._next_frame_id += 1
+            frame_id = self._next_frame_id
+            self._stack.append(BSVFrame(tables, frame_id=frame_id))
         self.stats.max_stack_depth = max(
             self.stats.max_stack_depth, len(self._stack)
         )
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                FrameRecord(
+                    seq=self.stats.events,
+                    kind="call",
+                    function=function_name,
+                    frame_id=frame_id,
+                )
+            )
 
     def _pop(self, function_name: str) -> None:
         if not self._stack:
             raise IPDSError("return event with empty table stack")
         frame = self._stack.pop()
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                FrameRecord(
+                    seq=self.stats.events,
+                    kind="return",
+                    function=function_name,
+                    frame_id=None if frame is None else frame.frame_id,
+                )
+            )
         if frame is None:
             return  # unprotected sentinel: nothing to verify
         if frame.tables.function_name != function_name:
@@ -200,10 +240,13 @@ class IPDS(ExecutionObserver):
             )
         self.stats.branch_events += 1
         slot = tables.slot_of(event.pc)
+        recorder = self.flight_recorder
         alarm: Optional[Alarm] = None
 
         # Verify first (only branches marked in the BCV).
-        if slot is not None and slot in tables.bcv_slots:
+        checked = slot is not None and slot in tables.bcv_slots
+        expected: Optional[BranchStatus] = None
+        if checked:
             self.stats.checks += 1
             expected = frame.status(slot)
             if not expected.matches(event.taken):
@@ -213,17 +256,71 @@ class IPDS(ExecutionObserver):
                     expected=expected,
                     actual_taken=event.taken,
                     event_index=self.stats.events,
+                    slot=slot,
+                    frame_id=frame.frame_id,
                 )
                 self.alarms.append(alarm)
                 if self._halt_on_alarm:
                     self._halted = True
+                    if recorder is not None:
+                        recorder.record(
+                            self._branch_record(event, frame, checked, expected, True, ())
+                        )
                     return alarm
 
         # Then update, whether or not the branch is checked (§5.4).
         actions = tables.actions_for(event.pc, event.taken)
         if actions:
             self.stats.updates += 1
-            for target_slot, action in actions:
-                frame.apply(target_slot, action)
-                self.stats.actions_fired += 1
+            if recorder is None:
+                for target_slot, action in actions:
+                    frame.apply(target_slot, action)
+                    self.stats.actions_fired += 1
+            else:
+                transitions = []
+                for target_slot, action in actions:
+                    before = frame.status(target_slot)
+                    frame.apply(target_slot, action)
+                    self.stats.actions_fired += 1
+                    transitions.append(
+                        BSVTransition(
+                            slot=target_slot,
+                            target_pc=tables.pc_of_slot(target_slot),
+                            action=action,
+                            before=before,
+                            after=frame.status(target_slot),
+                        )
+                    )
+                recorder.record(
+                    self._branch_record(
+                        event, frame, checked, expected,
+                        alarm is not None, tuple(transitions),
+                    )
+                )
+                return alarm
+        if recorder is not None:
+            recorder.record(
+                self._branch_record(event, frame, checked, expected, alarm is not None, ())
+            )
         return alarm
+
+    def _branch_record(
+        self,
+        event: BranchEvent,
+        frame: BSVFrame,
+        checked: bool,
+        expected: Optional[BranchStatus],
+        alarmed: bool,
+        transitions: tuple,
+    ) -> BranchRecord:
+        return BranchRecord(
+            seq=self.stats.events,
+            frame_id=frame.frame_id,
+            function=event.function_name,
+            pc=event.pc,
+            taken=event.taken,
+            checked=checked,
+            expected=expected,
+            alarmed=alarmed,
+            transitions=transitions,
+        )

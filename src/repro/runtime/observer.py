@@ -17,10 +17,14 @@ Hooks (all optional — the base class implementations are no-ops):
   (``touched`` is the data address it accessed, or ``None``);
 * ``finish()``          — the execution ended; flush/aggregate.
 
-The bus pre-filters ``on_instruction`` subscribers: observers that keep
-the base-class no-op never pay a per-instruction call, which is what
-makes attaching control-flow-only consumers (IPDS, trace recorders)
-essentially free on the instruction hot path.
+The bus pre-filters subscribers per hook: observers that keep a
+base-class no-op never pay that hook's dispatch, and when *no* observer
+overrides a hook the producer-facing sink (``call_sink`` /
+``return_sink`` / ``branch_sink`` / ``instruction_sink``) is None, so
+the interpreter skips even allocating the event.  This is what makes
+attaching control-flow-only consumers (IPDS, trace recorders)
+essentially free on the instruction hot path, and instruction-only
+consumers free on the control-flow stream.
 """
 
 from __future__ import annotations
@@ -103,20 +107,32 @@ def as_observer(consumer: Any) -> ExecutionObserver:
 class ObserverBus:
     """Single-dispatch fan-out for one execution's event stream."""
 
-    __slots__ = ("observers", "_instruction_observers")
+    __slots__ = (
+        "observers",
+        "_instruction_observers",
+        "_call_observers",
+        "_return_observers",
+        "_branch_observers",
+    )
 
     def __init__(self, observers: Iterable[Any] = ()) -> None:
         self.observers: List[ExecutionObserver] = [
             as_observer(observer) for observer in observers
         ]
-        # Only observers that actually override on_instruction pay the
-        # per-instruction dispatch; everyone else rides the (much
-        # sparser) control-flow stream for free.
-        self._instruction_observers: List[ExecutionObserver] = [
+        # Per-hook pre-filtering: only observers that actually override
+        # a hook pay its dispatch — and when nobody overrides it, the
+        # producer's sink is None and the event is never even built.
+        self._instruction_observers = self._overriders("on_instruction")
+        self._call_observers = self._overriders("on_call")
+        self._return_observers = self._overriders("on_return")
+        self._branch_observers = self._overriders("on_branch")
+
+    def _overriders(self, hook: str) -> List[ExecutionObserver]:
+        base = getattr(ExecutionObserver, hook)
+        return [
             observer
             for observer in self.observers
-            if type(observer).on_instruction
-            is not ExecutionObserver.on_instruction
+            if getattr(type(observer), hook) is not base
         ]
 
     def __len__(self) -> int:
@@ -135,6 +151,43 @@ class ObserverBus:
         """Dispatch one committed instruction to subscribers only."""
         for observer in self._instruction_observers:
             observer.on_instruction(instruction, touched)
+
+    @staticmethod
+    def _sink(
+        subscribers: List[ExecutionObserver], hook: str
+    ) -> Optional[Callable[..., None]]:
+        """Pre-bound dispatch target for one hook's subscriber list.
+
+        None when nobody overrides the hook — the producer then skips
+        the call *and* the event allocation.  The lone subscriber's
+        bound method when there is exactly one (the common case),
+        cutting out the fan-out loop; a small fan-out closure otherwise.
+        """
+        if not subscribers:
+            return None
+        if len(subscribers) == 1:
+            return getattr(subscribers[0], hook)
+        hooks = [getattr(subscriber, hook) for subscriber in subscribers]
+
+        def fan_out(*args: Any) -> None:
+            for bound in hooks:
+                bound(*args)
+
+        return fan_out
+
+    def call_sink(self) -> Optional[Callable[[CallEvent], None]]:
+        return self._sink(self._call_observers, "on_call")
+
+    def return_sink(self) -> Optional[Callable[[ReturnEvent], None]]:
+        return self._sink(self._return_observers, "on_return")
+
+    def branch_sink(self) -> Optional[Callable[[BranchEvent], None]]:
+        return self._sink(self._branch_observers, "on_branch")
+
+    def instruction_sink(
+        self,
+    ) -> Optional[Callable[[Any, Optional[int]], None]]:
+        return self._sink(self._instruction_observers, "on_instruction")
 
     def finish(self) -> None:
         """Signal end-of-execution to every observer."""

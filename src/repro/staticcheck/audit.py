@@ -50,6 +50,7 @@ from ..correlation.binary_image import (
 )
 from ..correlation.encoding import table_sizes
 from ..correlation.hashing import MAX_BITS, MAX_SHIFT
+from ..correlation.provenance import sort_records
 from ..correlation.tables import FunctionTables
 from ..ir.function import IRFunction, IRModule
 from .diagnostics import Diagnostic, DiagnosticSink
@@ -343,6 +344,17 @@ def audit_image(program) -> List[Diagnostic]:
                 "IMG301",
                 f"round-trip through the image changed: "
                 f"{', '.join(mismatches)}",
+                function=name,
+            )
+        if sort_records(recovered.provenance) != sort_records(
+            tables.provenance
+        ):
+            sink.emit(
+                "IMG304",
+                f"provenance sidecar decoded to "
+                f"{len(recovered.provenance)} record(s), tables carry "
+                f"{len(tables.provenance)}; records must round-trip "
+                f"exactly",
                 function=name,
             )
         sizes = table_sizes(tables)

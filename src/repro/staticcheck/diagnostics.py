@@ -98,6 +98,10 @@ CODES: Dict[str, CodeInfo] = {
         CodeInfo("IMG301", Severity.ERROR, "table image round-trip mismatch"),
         CodeInfo("IMG302", Severity.ERROR, "packed blob size disagrees with encoding accounting"),
         CodeInfo("IMG303", Severity.ERROR, "action encoding does not cover all actions"),
+        CodeInfo("IMG304", Severity.ERROR, "provenance sidecar round-trip mismatch"),
+        # -- runtime alarm forensics (repro explain / --forensics) -------
+        CodeInfo("FOR501", Severity.ERROR, "runtime alarm traced to violated compiler correlation"),
+        CodeInfo("FOR502", Severity.WARNING, "runtime alarm could not be fully explained"),
         # -- infeasible / dead branch detection (pass: dead-branch) ------
         CodeInfo("DEAD401", Severity.WARNING, "branch condition is constant: always taken"),
         CodeInfo("DEAD402", Severity.WARNING, "branch condition is constant: never taken"),

@@ -395,3 +395,128 @@ def test_unknown_command_rejected():
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["campaign", "nginx"])
+
+
+# -- forensics: explain / --forensics / bench-diff ----------------------
+
+
+def _tampered_trace(source_file, tmp_path, capsys):
+    from repro.interp import GLOBAL_BASE
+
+    trace = str(tmp_path / "attack.jsonl")
+    rc = main(
+        [
+            "attack", source_file,
+            "--inputs", "5 1",
+            "--trigger", "2",
+            "--address", hex(GLOBAL_BASE),
+            "--value", "0",
+            "--trace-out", trace,
+        ]
+    )
+    assert rc == 2
+    capsys.readouterr()
+    return trace
+
+
+def test_explain_clean_trace_exits_zero(source_file, tmp_path, capsys):
+    trace = str(tmp_path / "clean.jsonl")
+    assert main(["record", source_file, "--inputs", "5 1", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["explain", source_file, trace]) == 0
+    assert "no alarms" in capsys.readouterr().out
+
+
+def test_explain_tampered_trace_exits_one(source_file, tmp_path, capsys):
+    trace = _tampered_trace(source_file, tmp_path, capsys)
+    rc = main(["explain", source_file, trace])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "violated correlation" in out
+    assert "causal chain" in out
+    assert "fully explained" in out
+
+
+def test_explain_missing_trace_is_tool_error(source_file, capsys):
+    assert main(["explain", source_file, "/nonexistent.jsonl"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_explain_json_and_sarif(source_file, tmp_path, capsys):
+    import json
+
+    trace = _tampered_trace(source_file, tmp_path, capsys)
+    report = tmp_path / "report.json"
+    sarif = tmp_path / "report.sarif"
+    rc = main([
+        "explain", source_file, trace,
+        "--json", str(report), "--sarif", str(sarif),
+    ])
+    assert rc == 1
+    document = json.loads(report.read_text())
+    assert document["tool"] == "repro-forensics"
+    assert document["alarms"] >= 1
+    assert document["alarms"] == document["explained"]
+    assert document["reports"][0]["provenance"]["reason"] == "subsumption"
+    runs = json.loads(sarif.read_text())["runs"]
+    assert any(
+        result["ruleId"] == "FOR501"
+        for run in runs for result in run["results"]
+    )
+
+
+def test_attack_forensics_flag_and_report(source_file, tmp_path, capsys):
+    import json
+
+    from repro.interp import GLOBAL_BASE
+
+    report = tmp_path / "forensics.json"
+    rc = main(
+        [
+            "attack", source_file,
+            "--inputs", "5 1",
+            "--trigger", "2",
+            "--address", hex(GLOBAL_BASE),
+            "--value", "0",
+            "--forensics",
+            "--forensics-out", str(report),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "forensics:" in out
+    assert "violated correlation" in out
+    document = json.loads(report.read_text())
+    assert document["explained"] == document["alarms"] >= 1
+
+
+def test_run_forensics_clean_reports_no_alarms(source_file, capsys):
+    assert main(["run", source_file, "--inputs", "5 1", "--forensics"]) == 0
+    out = capsys.readouterr().out
+    assert "forensics:" in out
+    assert "no alarms" in out
+
+
+def test_campaign_forensics_summary(capsys):
+    rc = main([
+        "campaign", "telnetd", "--attacks", "3",
+        "--forensics", "--flight-recorder-depth", "512",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "forensics:" in out
+
+
+def test_bench_diff_subcommand(capsys):
+    assert main(["bench-diff", "--require", "observer_overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+
+
+def test_bench_diff_missing_required_is_tool_error(tmp_path, capsys):
+    rc = main([
+        "bench-diff",
+        "--baseline", str(tmp_path),
+        "--require", "observer_overhead",
+    ])
+    assert rc == 2

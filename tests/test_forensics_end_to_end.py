@@ -1,0 +1,133 @@
+"""Acceptance test for the forensics layer: over the attack registry's
+detected attacks on all ten workloads at opt 0 and 1, every alarm is
+explained against the provenance sidecar round-tripped through the
+binary image, and forensics never perturbs campaign results."""
+
+import dataclasses
+
+import pytest
+
+from repro.attacks import attack_rng, run_attack, run_workload_campaign
+from repro.correlation.binary_image import load_program
+from repro.forensics import explain_alarms
+from repro.interp.interpreter import TamperSpec
+from repro.pipeline import compile_program_cached, monitored_run
+from repro.runtime.flight_recorder import FlightRecorder
+from repro.workloads import get_workload, workload_names
+
+#: Attack indices scanned per workload/opt; the sparsest workload
+#: (portmap) first detects at index 29 under the registry's seeds.
+MAX_SCAN = 36
+#: Detected attacks verified per workload/opt (scan stops early).
+WANTED = 2
+#: Generous ring so setters stay resident and reports fully explain.
+DEPTH = 512
+
+
+def _detected_attacks(program, workload):
+    found = 0
+    for index in range(MAX_SCAN):
+        outcome = run_attack(program, workload, index)
+        if outcome.detected and outcome.fired:
+            yield index, outcome
+            found += 1
+            if found >= WANTED:
+                return
+
+
+def _replay_with_recorder(program, workload, index, outcome):
+    """Re-run attack ``index`` exactly (same rng-derived inputs, same
+    tamper) with a flight recorder attached."""
+    inputs = workload.make_inputs(attack_rng("", workload.name, index))
+    recorder = FlightRecorder(DEPTH)
+    tamper = TamperSpec(
+        "read", outcome.trigger_read, outcome.address, outcome.value
+    )
+    _, ipds = monitored_run(
+        program,
+        inputs=inputs,
+        tamper=tamper,
+        step_limit=500_000,
+        flight_recorder=recorder,
+    )
+    return recorder, ipds
+
+
+@pytest.mark.parametrize("opt_level", [0, 1], ids=["opt0", "opt1"])
+@pytest.mark.parametrize("name", workload_names())
+def test_registry_alarms_explained_through_sidecar(name, opt_level):
+    workload = get_workload(name)
+    program = compile_program_cached(workload.source, name, opt_level)
+    # The acceptance bar: explanations must come from tables that went
+    # through the packed binary image, sidecar and all.
+    roundtripped, _ = load_program(program.to_image())
+
+    explained_any = False
+    for index, outcome in _detected_attacks(program, workload):
+        recorder, ipds = _replay_with_recorder(
+            program, workload, index, outcome
+        )
+        assert ipds.detected, (name, index)
+        reports = explain_alarms(roundtripped, recorder, ipds.alarms)
+        assert len(reports) == len(ipds.alarms)
+        for report in reports:
+            if not report.explained:
+                # Degradation is only legitimate when the setter truly
+                # is not in the (deep) ring; it must say so.
+                assert report.notes, (name, index, report)
+                continue
+            explained_any = True
+            # The violated correlation must be the compiler's own
+            # record for the setter->alarm BAT entry, as recovered
+            # from the sidecar.
+            compiled = program.tables.tables_for(
+                report.function
+            ).provenance_for(
+                report.setter.pc, report.setter.taken, report.alarm.pc
+            )
+            assert compiled is not None
+            assert report.provenance == compiled
+            # And the record's action matches the installed status the
+            # alarming branch contradicted.
+            wanted = {"T": "SET_T", "NT": "SET_NT"}[report.expected]
+            assert report.provenance.action == wanted
+            assert report.transition.after == report.alarm.expected
+    assert explained_any, (
+        f"{name}@opt{opt_level}: no attack produced a fully explained "
+        f"alarm in {MAX_SCAN} tries"
+    )
+
+
+@pytest.mark.parametrize("name", ["telnetd", "sshd"])
+def test_forensics_does_not_perturb_campaigns(name):
+    """Forensics on vs off: identical outcomes except the explanations
+    field, which is empty when off — so forensics-off reports are
+    byte-identical to a build without the feature."""
+    workload = get_workload(name)
+    program = compile_program_cached(workload.source, name, 0)
+    base = run_workload_campaign(
+        workload, attacks=10, program=program, forensics=False
+    )
+    traced = run_workload_campaign(
+        workload, attacks=10, program=program, forensics=True
+    )
+    for off, on in zip(base.attacks, traced.attacks):
+        assert off.explanations == ()
+        if on.detected:
+            assert on.explanations
+        assert dataclasses.replace(on, explanations=()) == off
+
+
+def test_campaign_forensics_chains_name_the_correlation():
+    workload = get_workload("telnetd")
+    program = compile_program_cached(workload.source, "telnetd", 0)
+    result = run_workload_campaign(
+        workload,
+        attacks=12,
+        program=program,
+        forensics=True,
+        flight_recorder_depth=DEPTH,
+    )
+    chains = [c for o in result.attacks for c in o.explanations]
+    assert chains
+    assert any("because" in chain for chain in chains)

@@ -1,0 +1,110 @@
+"""The explanation engine: alarm -> setter -> provenance join, and the
+honest degradation modes when pieces are missing."""
+
+import pytest
+
+from repro.forensics import (
+    CODE_DEGRADED,
+    CODE_EXPLAINED,
+    AlarmReport,
+    explain_alarms,
+    explain_ipds,
+    render_reports_text,
+    reports_to_json,
+)
+from repro.interp import STACK_BASE, MemoryMap
+from repro.interp.interpreter import TamperSpec
+from repro.pipeline import compile_program, monitored_run
+from repro.runtime.flight_recorder import FlightRecorder
+from repro.workloads import get_workload
+
+INPUTS = [5, 0, 1, 2, 3, 1, 1, 1, 0]
+
+
+@pytest.fixture(scope="module")
+def telnetd():
+    workload = get_workload("telnetd")
+    return compile_program(workload.source, "telnetd", 1)
+
+
+@pytest.fixture(scope="module")
+def tamper(telnetd):
+    layout = MemoryMap(telnetd.module).frame_layouts["main"]
+    offset = next(
+        o for v, o in layout.offsets.items() if v.name == "authenticated"
+    )
+    return TamperSpec("read", 6, STACK_BASE + offset, 1)
+
+
+def _attack(program, tamper, depth=64):
+    recorder = FlightRecorder(depth)
+    _, ipds = monitored_run(
+        program, inputs=INPUTS, tamper=tamper, flight_recorder=recorder
+    )
+    assert ipds.detected
+    return ipds
+
+
+def test_full_explanation(telnetd, tamper):
+    ipds = _attack(telnetd, tamper)
+    reports = explain_ipds(ipds)
+    assert len(reports) == len(ipds.alarms)
+    report = reports[0]
+    assert report.explained
+    assert report.setter is not None and report.transition is not None
+    # The named provenance record is the compiler's record for exactly
+    # the (setter pc, setter direction, alarm pc) BAT entry.
+    expected = telnetd.tables.tables_for(report.function).provenance_for(
+        report.setter.pc, report.setter.taken, report.alarm.pc
+    )
+    assert report.provenance == expected
+    # The setter's transition installed the status the alarm contradicted.
+    assert report.transition.after == report.alarm.expected
+    chain = report.causal_chain()
+    assert "set by event" in chain and "because" in chain
+
+
+def test_renderings(telnetd, tamper):
+    reports = explain_ipds(_attack(telnetd, tamper))
+    text = render_reports_text(reports)
+    assert "violated correlation" in text
+    assert "fully explained" in text
+    document = reports_to_json(reports)
+    assert '"explained": 1' in document
+    diag = reports[0].to_diagnostic()
+    assert diag.code == CODE_EXPLAINED
+    assert diag.pass_name == "forensics"
+
+
+def test_depth_one_degrades_with_eviction_note(telnetd, tamper):
+    """With a 1-deep ring the setter is long gone: the report must list
+    compile-time candidates and advise raising the depth, not guess."""
+    ipds = _attack(telnetd, tamper, depth=1)
+    report = explain_ipds(ipds)[0]
+    assert not report.explained
+    assert report.setter is None
+    assert report.candidates, "must fall back to compile-time candidates"
+    wanted = {"T": "SET_T", "NT": "SET_NT"}[report.expected]
+    assert all(p.action == wanted for p in report.candidates)
+    assert any("--flight-recorder-depth" in note for note in report.notes)
+    assert report.to_diagnostic().code == CODE_DEGRADED
+    assert "candidates" in report.causal_chain()
+
+
+def test_no_recorder_degrades_with_note(telnetd, tamper):
+    _, ipds = monitored_run(telnetd, inputs=INPUTS, tamper=tamper)
+    assert ipds.detected
+    reports = explain_alarms(telnetd.tables, None, ipds.alarms)
+    assert all(not r.explained for r in reports)
+    assert any("--forensics" in note for r in reports for note in r.notes)
+
+
+def test_no_alarms_renders_empty():
+    assert render_reports_text([]) == "no alarms"
+
+
+def test_report_types_are_frozen(telnetd, tamper):
+    report = explain_ipds(_attack(telnetd, tamper))[0]
+    assert isinstance(report, AlarmReport)
+    with pytest.raises(Exception):
+        report.function = "other"

@@ -1,0 +1,120 @@
+"""The forensics engine and the static auditor must agree.
+
+Property: for every tampered-run alarm the engine fully explains, the
+provenance record it names corresponds to the exact BAT action in the
+emitted tables, and the correlation-audit pass — an independent
+path-sensitive re-proof, not the builder's algorithm — derives that
+same action as sound.  Hypothesis drives the attack selection across
+all ten workloads and both opt levels.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.alias import analyze_aliases
+from repro.analysis.defs import DefinitionMap
+from repro.analysis.purity import analyze_purity
+from repro.attacks import attack_rng, run_attack
+from repro.correlation.actions import BranchAction
+from repro.forensics import explain_alarms
+from repro.interp.interpreter import TamperSpec
+from repro.pipeline import compile_program_cached, monitored_run
+from repro.runtime.flight_recorder import FlightRecorder
+from repro.staticcheck.audit import _prove_entry
+from repro.staticcheck.facts import summarize_function
+from repro.workloads import get_workload, workload_names
+
+#: (workload, attack index) pairs with a detected attack, found lazily
+#: by scanning the registry's deterministic seeds (portmap's first
+#: detection is index 29, hence the bound).
+_DETECTED_CACHE = {}
+MAX_SCAN = 36
+
+
+def _detected_pairs(name):
+    if name not in _DETECTED_CACHE:
+        workload = get_workload(name)
+        program = compile_program_cached(workload.source, name, 0)
+        pairs = []
+        for index in range(MAX_SCAN):
+            outcome = run_attack(program, workload, index)
+            if outcome.detected and outcome.fired:
+                pairs.append((index, outcome))
+                if len(pairs) >= 2:
+                    break
+        _DETECTED_CACHE[name] = pairs
+    return _DETECTED_CACHE[name]
+
+
+def _audit_context(program, fn_name):
+    module = program.module
+    analyze_aliases(module)
+    purity = analyze_purity(module)
+    fn = module.function(fn_name)
+    def_map = DefinitionMap(fn, module, purity)
+    summaries = summarize_function(fn, def_map)
+    tables = program.tables.tables_for(fn_name)
+    label_of_slot = {}
+    for summary in summaries.values():
+        if summary.branch_pc is not None:
+            slot = tables.slot_of(summary.branch_pc)
+            if slot is not None:
+                label_of_slot[slot] = summary.label
+    return summaries, label_of_slot
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(workload_names()),
+    pick=st.integers(0, 1),
+    opt_level=st.integers(0, 1),
+)
+def test_explained_action_is_independently_derived(name, pick, opt_level):
+    pairs = _detected_pairs(name)
+    if not pairs:  # no detected attack for this draw — nothing to check
+        return
+    index, outcome = pairs[min(pick, len(pairs) - 1)]
+    workload = get_workload(name)
+    program = compile_program_cached(workload.source, name, opt_level)
+
+    inputs = workload.make_inputs(attack_rng("", name, index))
+    recorder = FlightRecorder(512)
+    _, ipds = monitored_run(
+        program,
+        inputs=inputs,
+        tamper=TamperSpec(
+            "read", outcome.trigger_read, outcome.address, outcome.value
+        ),
+        step_limit=500_000,
+        flight_recorder=recorder,
+    )
+    if not ipds.detected:  # this index may be opt0-specific
+        return
+    reports = explain_alarms(program.tables, recorder, ipds.alarms)
+    for report in reports:
+        if not report.explained:
+            continue
+        tables = program.tables.tables_for(report.function)
+        source_slot = tables.slot_of(report.setter.pc)
+        target_slot = tables.slot_of(report.alarm.pc)
+        # 1. The engine names the exact BAT action that fired.
+        bat_actions = [
+            action
+            for slot, action in tables.bat[(source_slot, report.setter.taken)]
+            if slot == target_slot
+        ]
+        assert bat_actions == [BranchAction(report.provenance.action)]
+        assert report.transition.action == bat_actions[0]
+        # 2. The audit's independent range fixpoint proves that exact
+        #    entry sound — no COR205 witness.
+        summaries, label_of_slot = _audit_context(program, report.function)
+        witness = _prove_entry(
+            summaries,
+            tables,
+            source=summaries[label_of_slot[source_slot]],
+            taken=report.setter.taken,
+            target=summaries[label_of_slot[target_slot]],
+            target_slot=target_slot,
+            claimed_taken=bat_actions[0] is BranchAction.SET_T,
+        )
+        assert witness is None, (name, index, opt_level, witness)

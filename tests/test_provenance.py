@@ -1,0 +1,169 @@
+"""Compile-time provenance: every BAT action carries its reason, and
+the records survive the binary-image sidecar byte-identically."""
+
+import json
+import struct
+
+import pytest
+
+from repro.correlation.binary_image import (
+    ImageError,
+    load_program,
+    pack_program,
+)
+from repro.correlation.provenance import (
+    REASON_CONFLICT,
+    REASON_KILL,
+    REASON_SUBSUMPTION,
+    VALID_REASONS,
+    ActionProvenance,
+    index_records,
+    sort_records,
+)
+from repro.pipeline import compile_program_cached
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.fixture(scope="module", params=[0, 1], ids=["opt0", "opt1"])
+def programs(request):
+    out = {}
+    for name in workload_names():
+        workload = get_workload(name)
+        out[name] = compile_program_cached(
+            workload.source, workload.name, request.param
+        )
+    return out
+
+
+def test_every_bat_entry_has_exactly_one_record(programs):
+    """One provenance record per surviving BAT action — no more, no
+    less — across every workload and both opt levels."""
+    for name, program in programs.items():
+        for tables in program.tables:
+            entry_keys = set()
+            for (source_slot, taken), entries in tables.bat.items():
+                source_pc = tables.pc_of_slot(source_slot)
+                for target_slot, _action in entries:
+                    target_pc = tables.pc_of_slot(target_slot)
+                    entry_keys.add((source_pc, taken, target_pc))
+            record_keys = {r.key for r in tables.provenance}
+            assert record_keys == entry_keys, (name, tables.function_name)
+            assert len(tables.provenance) == tables.action_count
+
+
+def test_record_fields_are_well_formed(programs):
+    for name, program in programs.items():
+        for tables in program.tables:
+            for record in tables.provenance:
+                assert record.reason in VALID_REASONS
+                assert record.action in ("SET_T", "SET_NT", "SET_UN")
+                if record.reason == REASON_SUBSUMPTION:
+                    assert record.action in ("SET_T", "SET_NT")
+                    assert record.var
+                    assert record.link_kind in ("load", "store")
+                    assert record.implied
+                    assert record.check
+                else:
+                    assert record.action == "SET_UN"
+                    assert record.var
+                # The action named must be the one actually in the BAT.
+                source_slot = tables.slot_of(record.source_pc)
+                target_slot = tables.slot_of(record.target_pc)
+                entries = tables.bat[(source_slot, record.taken)]
+                assert (target_slot is not None) and any(
+                    slot == target_slot and action.value == record.action
+                    for slot, action in entries
+                ), (name, record)
+
+
+def test_describe_covers_all_reasons():
+    base = dict(
+        source_pc=0x40,
+        source_block="bb1",
+        taken=True,
+        target_pc=0x80,
+        target_block="bb2",
+    )
+    sub = ActionProvenance(
+        **base,
+        action="SET_T",
+        reason=REASON_SUBSUMPTION,
+        var="x",
+        link_kind="store",
+        link_index=0,
+        implied="[1, 1]",
+        check="x == 1",
+    )
+    assert "implies x in [1, 1]" in sub.describe()
+    kill = ActionProvenance(
+        **base, action="SET_UN", reason=REASON_KILL, var="x"
+    )
+    assert "killed to UNKNOWN" in kill.describe()
+    conflict = ActionProvenance(
+        **base, action="SET_UN", reason=REASON_CONFLICT, var="x"
+    )
+    assert "contradictory" in conflict.describe()
+
+
+def test_unknown_reason_rejected():
+    with pytest.raises(ValueError):
+        ActionProvenance(
+            source_pc=0,
+            source_block="a",
+            taken=True,
+            target_pc=4,
+            target_block="b",
+            action="SET_T",
+            reason="vibes",
+        )
+
+
+def test_dict_round_trip(programs):
+    for program in programs.values():
+        for tables in program.tables:
+            for record in tables.provenance:
+                assert ActionProvenance.from_dict(record.to_dict()) == record
+
+
+def test_sort_and_index_agree(programs):
+    for program in programs.values():
+        for tables in program.tables:
+            ordered = sort_records(tables.provenance)
+            assert sorted(r.key for r in ordered) == [r.key for r in ordered]
+            index = index_records(tables.provenance)
+            assert len(index) == len(tables.provenance)
+
+
+def test_sidecar_round_trip_is_byte_identical(programs):
+    """pack -> load -> pack must reproduce the image exactly —
+    provenance records and all."""
+    for name, program in programs.items():
+        image = program.to_image()
+        loaded, entries = load_program(image)
+        assert pack_program(loaded, entries) == image, name
+        for fn_name, tables in program.tables.by_function.items():
+            recovered = loaded.by_function[fn_name]
+            assert sort_records(recovered.provenance) == sort_records(
+                tables.provenance
+            )
+
+
+def test_corrupt_sidecar_raises_image_error(programs):
+    program = next(iter(programs.values()))
+    image = program.to_image()
+    (sidecar_len,) = struct.unpack(">I", image[11:15])
+    assert sidecar_len > 0
+    # Truncate the sidecar mid-JSON: decode must fail loudly.
+    corrupt = image[: len(image) - sidecar_len] + b"{" * sidecar_len
+    with pytest.raises(ImageError):
+        load_program(corrupt)
+
+
+def test_sidecar_is_at_image_tail_and_is_json(programs):
+    program = next(iter(programs.values()))
+    image = program.to_image()
+    (sidecar_len,) = struct.unpack(">I", image[11:15])
+    document = json.loads(image[-sidecar_len:].decode("utf-8"))
+    assert set(document) == {"functions"}
+    for records in document["functions"].values():
+        assert records  # only functions with provenance are stored

@@ -66,6 +66,8 @@ def test_fig7_campaign(benchmark, compiled_workloads, name):
         "interp_steps": steps,
         "events_per_sec": round(events / elapsed) if elapsed else 0,
         "steps_per_sec": round(steps / elapsed) if elapsed else 0,
+        "pct_changed": round(result.pct_changed, 3),
+        "pct_detected": round(result.pct_detected, 3),
     }
     # Soundness: detection only on control-flow-changing tamperings.
     assert result.detected <= result.changed <= result.total == ATTACKS
@@ -108,6 +110,13 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
                     "bench": "fig7_detection",
                     "attacks_per_workload": ATTACKS,
                     "jobs": JOBS,
+                    "detection": {
+                        "avg_pct_changed": round(summary.avg_pct_changed, 3),
+                        "avg_pct_detected": round(summary.avg_pct_detected, 3),
+                        "avg_pct_detected_of_changed": round(
+                            summary.avg_pct_detected_of_changed, 3
+                        ),
+                    },
                     "workloads": _METRICS,
                     "total": {
                         "seconds": round(total_seconds, 6),

@@ -7,15 +7,21 @@ Measures what attaching observers costs one interpreter execution:
   return / branch dispatch, no per-instruction hook);
 * ``noop_instr``  — a no-op observer that also subscribes to the
   per-instruction stream (the expensive hot path);
+* ``ipds_only`` / ``timing_only`` / ``syscall_only`` /
+  ``recorder_only`` — each real consumer attached alone, so the cost
+  of the full stack can be attributed per consumer;
 * ``full_stack``  — the real four-consumer configuration: IPDS +
   baseline timing model + n-gram syscall capture + trace recorder on
   one pass.
 
 Run with ``pytest benchmarks/bench_observer_overhead.py --benchmark-only``.
 Writes ``BENCH_observer_overhead.json`` at the repo root with per-config
-steps/sec and the overhead of each config relative to ``bare`` — the
+steps/sec, the overhead of each config relative to ``bare`` — the
 number the bus's pre-filtering (control-flow-only observers never pay
-per-instruction dispatch) is meant to keep small.
+per-instruction dispatch) is meant to keep small — and a ``breakdown``
+section attributing the full stack's cost to individual consumers
+(shares can exceed 100% of ``full_stack``: a lone consumer pays the
+whole dispatch fan-out cost that the stack amortizes).
 """
 
 import json
@@ -34,7 +40,12 @@ from repro.runtime.replay import TraceRecorder
 WORKLOAD = "telnetd"
 SCALE = 12
 ROUNDS = 7
-CONFIGS = ["bare", "noop_events", "noop_instr", "full_stack"]
+CONSUMER_CONFIGS = [
+    "ipds_only", "timing_only", "syscall_only", "recorder_only",
+]
+CONFIGS = (
+    ["bare", "noop_events", "noop_instr"] + CONSUMER_CONFIGS + ["full_stack"]
+)
 
 BENCH_OUT = (
     Path(__file__).resolve().parent.parent / "BENCH_observer_overhead.json"
@@ -57,6 +68,14 @@ def _observers(config):
         return [ExecutionObserver()]
     if config == "noop_instr":
         return [_NoopInstructionObserver()]
+    if config == "ipds_only":
+        return [None]  # placeholder: fresh IPDS built per run
+    if config == "timing_only":
+        return [TimingObserver(TimingModel(ProcessorParams(), None))]
+    if config == "syscall_only":
+        return [SyscallTraceObserver()]
+    if config == "recorder_only":
+        return [TraceRecorder()]
     if config == "full_stack":
         return [
             None,  # placeholder: fresh IPDS built per run
@@ -75,7 +94,7 @@ def test_observer_overhead(benchmark, compiled_workloads, workload_inputs,
 
     def execute():
         observers = _observers(config)
-        if config == "full_stack":
+        if config in ("full_stack", "ipds_only"):
             observers[0] = program.new_ipds()
         return observed_run(program, observers=observers, inputs=inputs)
 
@@ -106,6 +125,19 @@ def _write_report():
             round(100.0 * (timing["seconds_per_run"] / bare - 1.0), 2)
             if bare else 0.0
         )
+    # Attribute the full stack's cost to individual consumers: each
+    # consumer's lone marginal cost over bare, as absolute seconds and
+    # as a share of the full-stack marginal cost.
+    full_cost = _TIMINGS["full_stack"]["seconds_per_run"] - bare
+    breakdown = {}
+    for config in CONSUMER_CONFIGS:
+        lone_cost = _TIMINGS[config]["seconds_per_run"] - bare
+        breakdown[config] = {
+            "marginal_seconds_per_run": round(lone_cost, 6),
+            "share_of_full_stack_pct": (
+                round(100.0 * lone_cost / full_cost, 2) if full_cost else 0.0
+            ),
+        }
     BENCH_OUT.write_text(
         json.dumps(
             {
@@ -114,6 +146,7 @@ def _write_report():
                 "scale": SCALE,
                 "rounds": ROUNDS,
                 "configs": _TIMINGS,
+                "breakdown": breakdown,
             },
             indent=2,
             sort_keys=True,

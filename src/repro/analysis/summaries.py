@@ -1,0 +1,395 @@
+"""Bottom-up interprocedural transfer summaries for globals (opt 2).
+
+Purity analysis (:mod:`repro.analysis.purity`) answers *whether* a call
+may store to a variable; at ``--opt 2`` the builder also wants to know
+*what* the callee can write, so that a prediction proved before a call
+can be kept alive across it.  This module computes, per function and
+per global variable, a **transfer summary**: the convex hull of the
+values the function (or anything it transitively calls) may store.
+
+Each direct store contributes one *atom*:
+
+* ``CONST c``  — a store of a resolvable constant (``g = 5``);
+* ``AFFINE d`` — a store of ``load(g) + d`` for the *same* global
+  (``g = g + 1``), the self-increment idiom;
+* ``TOP``      — anything else (unresolvable value, cross-variable
+  copy, aliased indirect store).
+
+Atoms are resolved **per basic block** with a forward walk, exactly
+mirroring the precision of the independent re-derivation in
+:mod:`repro.staticcheck.ipsummaries` — the auditor must be able to
+re-prove every suppression from scratch, so neither side may out-reason
+the other.  An affine atom's delta is relative to the value *at load
+time*; that is all the preservation argument needs (see
+:meth:`VarTransfer.preserves`).
+
+Summaries propagate bottom-up over the call graph as a union fixpoint
+(the atom sets are finite, so it terminates); a standard interval
+widening kicks in after :data:`WIDEN_AFTER` rounds as the sound
+recursion backstop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..ir.builder import BUILTINS
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import (
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Reg,
+    Store,
+    StoreIndirect,
+    UnOp,
+    VarKind,
+    Variable,
+)
+from .branch_info import OutcomeSet
+from .callgraph import build_call_graph
+from .ranges import NEG_INF, POS_INF, Interval
+
+#: Fixpoint rounds before interval widening (recursion backstop).
+WIDEN_AFTER = 8
+
+
+@dataclass(frozen=True)
+class VarTransfer:
+    """Hull of what one function may write to one global.
+
+    ``const_hull`` is the hull of directly-stored constants,
+    ``delta_hull`` the hull of self-relative deltas (``g = g + d``),
+    and ``top`` means some write is unbounded.  A transfer with neither
+    hull and ``top=False`` writes nothing (identity).
+    """
+
+    const_hull: Optional[Interval] = None
+    delta_hull: Optional[Interval] = None
+    top: bool = False
+
+    @staticmethod
+    def top_transfer() -> "VarTransfer":
+        return VarTransfer(top=True)
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.top and self.const_hull is None and self.delta_hull is None
+
+    def join(self, other: "VarTransfer") -> "VarTransfer":
+        if self.top or other.top:
+            return VarTransfer.top_transfer()
+        return VarTransfer(
+            const_hull=_hull_join(self.const_hull, other.const_hull),
+            delta_hull=_hull_join(self.delta_hull, other.delta_hull),
+        )
+
+    def widen_against(self, newer: "VarTransfer") -> "VarTransfer":
+        if self.top or newer.top:
+            return VarTransfer.top_transfer()
+        return VarTransfer(
+            const_hull=_hull_widen(self.const_hull, newer.const_hull),
+            delta_hull=_hull_widen(self.delta_hull, newer.delta_hull),
+        )
+
+    def preserves(self, outcome: OutcomeSet) -> bool:
+        """Can any sequence of this transfer's writes move the variable
+        out of ``outcome``?
+
+        The argument is inductive over write sites: assume the variable
+        has stayed in ``outcome`` so far, and show each write lands back
+        inside it.
+
+        * A constant write lands in ``const_hull``; it stays inside iff
+          ``outcome ⊇ const_hull``.
+        * An affine write stores *some earlier value* plus ``d`` for
+          ``d ∈ delta_hull`` (the delta is load-time relative, and by
+          induction every earlier value was in ``outcome``).  A
+          lower-bounded set survives iff no delta is negative, an
+          upper-bounded set iff no delta is positive, and a punctured
+          line ``Z \\ {q}`` only under the exact identity delta 0 —
+          a nonzero delta can step from ``q - d`` onto the hole.
+        """
+        if self.top:
+            return False
+        if self.const_hull is not None and not self.const_hull.is_empty:
+            if not outcome.superset_of(self.const_hull):
+                return False
+        delta = self.delta_hull
+        if delta is not None and not delta.is_empty:
+            if outcome.interval is None:
+                return delta.lo == 0 and delta.hi == 0
+            interval = outcome.interval
+            if interval.is_empty:
+                return False
+            if interval.lo != NEG_INF and delta.lo < 0:
+                return False
+            if interval.hi != POS_INF and delta.hi > 0:
+                return False
+        return True
+
+    def describe(self, var_name: str) -> str:
+        """The documented summary grammar — re-rendered independently
+        by the interproc audit, so keep both sides in sync:
+        ``var' in [lo, hi]`` (const) / ``var' = var + [lo, hi]``
+        (affine), both joined with ``" or "``."""
+        if self.top:
+            return f"{var_name}' unbounded"
+        parts = []
+        if self.const_hull is not None and not self.const_hull.is_empty:
+            parts.append(f"{var_name}' in {self.const_hull}")
+        if self.delta_hull is not None and not self.delta_hull.is_empty:
+            parts.append(f"{var_name}' = {var_name} + {self.delta_hull}")
+        if not parts:
+            return f"{var_name}' unchanged"
+        return " or ".join(parts)
+
+
+def _hull_join(a: Optional[Interval], b: Optional[Interval]) -> Optional[Interval]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a.union_hull(b)
+
+
+def _hull_widen(old: Optional[Interval], new: Optional[Interval]) -> Optional[Interval]:
+    if old is None or new is None:
+        return _hull_join(old, new)
+    return old.widen_against(new)
+
+
+@dataclass
+class FunctionSummary:
+    """Mod/ref + transfer facts for one function (transitive)."""
+
+    name: str
+    transfers: Dict[Variable, VarTransfer] = field(default_factory=dict)
+    reads: Set[Variable] = field(default_factory=set)
+    clobbers_all: bool = False
+
+    def writes(self) -> FrozenSet[Variable]:
+        return frozenset(self.transfers)
+
+    def merge_var(self, var: Variable, transfer: VarTransfer) -> None:
+        current = self.transfers.get(var)
+        self.transfers[var] = transfer if current is None else current.join(transfer)
+
+    def equivalent(self, other: "FunctionSummary") -> bool:
+        return (
+            self.clobbers_all == other.clobbers_all
+            and self.reads == other.reads
+            and self.transfers == other.transfers
+        )
+
+
+@dataclass
+class ProgramSummaries:
+    """All function summaries; the ``--opt 2`` whole-program fact base."""
+
+    by_function: Dict[str, FunctionSummary]
+
+    def transfer_for(self, callee: str, var: Variable) -> VarTransfer:
+        """The callee's transfer for ``var``, conservatively ``TOP``
+        when the callee is unknown or clobbers everything.  Builtins
+        never touch program memory (identity)."""
+        if callee in BUILTINS:
+            return VarTransfer()
+        summary = self.by_function.get(callee)
+        if summary is None or summary.clobbers_all:
+            return VarTransfer.top_transfer()
+        return summary.transfers.get(var, VarTransfer())
+
+
+def _is_summarized_global(var: Variable) -> bool:
+    return var.kind is VarKind.GLOBAL and not var.is_pointer and not var.is_array
+
+
+def _local_summary(fn: IRFunction) -> FunctionSummary:
+    """Atoms from this function's own stores (no call propagation)."""
+    summary = FunctionSummary(name=fn.name)
+    for block in fn.blocks:
+        # Forward per-block walk; register exprs never cross blocks, to
+        # match the auditor's per-block derivation exactly.
+        exprs: Dict[Reg, Tuple] = {}
+        for instruction in block.instructions:
+            if isinstance(instruction, Const):
+                exprs[instruction.dest] = ("const", instruction.value)
+            elif isinstance(instruction, Load):
+                var = instruction.var
+                if _is_summarized_global(var):
+                    summary.reads.add(var)
+                    exprs[instruction.dest] = ("gload", var, 1, 0)
+            elif isinstance(instruction, BinOp):
+                folded = _fold_binop(exprs, instruction)
+                if folded is not None:
+                    exprs[instruction.dest] = folded
+            elif isinstance(instruction, UnOp):
+                folded = _fold_unop(exprs, instruction)
+                if folded is not None:
+                    exprs[instruction.dest] = folded
+            elif isinstance(instruction, Cmp):
+                lhs = _resolve(exprs, instruction.lhs)
+                rhs = _resolve(exprs, instruction.rhs)
+                if (
+                    lhs is not None
+                    and rhs is not None
+                    and lhs[0] == "const"
+                    and rhs[0] == "const"
+                ):
+                    exprs[instruction.dest] = (
+                        "const",
+                        int(instruction.op.evaluate(lhs[1], rhs[1])),
+                    )
+            elif isinstance(instruction, Store):
+                var = instruction.var
+                if not _is_summarized_global(var):
+                    continue
+                summary.merge_var(var, _store_atom(exprs, var, instruction.src))
+            elif isinstance(instruction, StoreIndirect):
+                if instruction.may_alias:
+                    for var in instruction.may_alias:
+                        if _is_summarized_global(var):
+                            summary.merge_var(var, VarTransfer.top_transfer())
+                else:
+                    summary.clobbers_all = True
+    return summary
+
+
+def _resolve(exprs: Dict[Reg, Tuple], operand) -> Optional[Tuple]:
+    if isinstance(operand, int):
+        return ("const", operand)
+    if isinstance(operand, Reg):
+        return exprs.get(operand)
+    return None
+
+
+def _fold_binop(exprs: Dict[Reg, Tuple], instruction: BinOp) -> Optional[Tuple]:
+    lhs = _resolve(exprs, instruction.lhs)
+    rhs = _resolve(exprs, instruction.rhs)
+    if lhs is None or rhs is None:
+        return None
+    if instruction.op in ("+", "-"):
+        if instruction.op == "-":
+            rhs = _negate_expr(rhs)
+            if rhs is None:
+                return None
+        if lhs[0] == "const" and rhs[0] == "const":
+            return ("const", lhs[1] + rhs[1])
+        if lhs[0] == "gload" and rhs[0] == "const":
+            return ("gload", lhs[1], lhs[2], lhs[3] + rhs[1])
+        if lhs[0] == "const" and rhs[0] == "gload":
+            return ("gload", rhs[1], rhs[2], rhs[3] + lhs[1])
+        return None  # gload + gload: two terms, not affine in one
+    if lhs[0] == "const" and rhs[0] == "const":
+        a, b = lhs[1], rhs[1]
+        # Same folding semantics as the auditor's forward walk
+        # (truncating division), so both derivations agree exactly.
+        if instruction.op == "*":
+            return ("const", a * b)
+        if instruction.op == "/":
+            return ("const", int(a / b)) if b else None
+        if instruction.op == "%":
+            return ("const", a - int(a / b) * b) if b else None
+    return None
+
+
+def _negate_expr(expr: Tuple) -> Optional[Tuple]:
+    if expr[0] == "const":
+        return ("const", -expr[1])
+    if expr[0] == "gload":
+        return ("gload", expr[1], -expr[2], -expr[3])
+    return None
+
+
+def _fold_unop(exprs: Dict[Reg, Tuple], instruction: UnOp) -> Optional[Tuple]:
+    src = _resolve(exprs, instruction.src)
+    if src is None:
+        return None
+    if instruction.op == "-":
+        return _negate_expr(src)
+    if instruction.op == "!" and src[0] == "const":
+        return ("const", int(src[1] == 0))
+    return None
+
+
+def _store_atom(exprs: Dict[Reg, Tuple], var: Variable, src) -> VarTransfer:
+    expr = _resolve(exprs, src)
+    if expr is None:
+        return VarTransfer.top_transfer()
+    if expr[0] == "const":
+        return VarTransfer(const_hull=Interval.point(expr[1]))
+    if expr[0] == "gload" and expr[1] == var and expr[2] == 1:
+        return VarTransfer(delta_hull=Interval.point(expr[3]))
+    return VarTransfer.top_transfer()  # negated or cross-variable copy
+
+
+def analyze_summaries(module: IRModule) -> ProgramSummaries:
+    """Bottom-up union fixpoint of local atoms over the call graph.
+
+    Processing callees before callers (deterministic topological order)
+    converges in one round for call DAGs; recursion iterates, with
+    interval widening after :data:`WIDEN_AFTER` rounds guaranteeing
+    termination regardless of the atom structure.
+    """
+    graph = build_call_graph(module)
+    local = {fn.name: _local_summary(fn) for fn in module.functions}
+    summaries: Dict[str, FunctionSummary] = {
+        name: FunctionSummary(
+            name=name,
+            transfers=dict(s.transfers),
+            reads=set(s.reads),
+            clobbers_all=s.clobbers_all,
+        )
+        for name, s in local.items()
+    }
+    order = graph.topological_order()
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        for name in order:
+            base = local[name]
+            merged = FunctionSummary(
+                name=name,
+                transfers=dict(base.transfers),
+                reads=set(base.reads),
+                clobbers_all=base.clobbers_all,
+            )
+            for callee in graph.callees_of(name):
+                callee_summary = summaries.get(callee)
+                if callee_summary is None:  # builtin: no memory effects
+                    continue
+                merged.clobbers_all = merged.clobbers_all or callee_summary.clobbers_all
+                merged.reads |= callee_summary.reads
+                for var, transfer in callee_summary.transfers.items():
+                    merged.merge_var(var, transfer)
+            current = summaries[name]
+            if not current.equivalent(merged):
+                if rounds > WIDEN_AFTER:
+                    for var, transfer in merged.transfers.items():
+                        old = current.transfers.get(var)
+                        if old is not None:
+                            merged.transfers[var] = old.widen_against(transfer)
+                summaries[name] = merged
+                changed = True
+    return ProgramSummaries(by_function=summaries)
+
+
+def render_region_summary(
+    summaries: ProgramSummaries,
+    callees: Tuple[str, ...],
+    var_name: str,
+    var: Variable,
+) -> str:
+    """Canonical provenance text for one suppressed kill: every callee
+    in the region with its transfer, sorted, ``"; "``-joined."""
+    parts = []
+    for callee in sorted(set(callees)):
+        transfer = summaries.transfer_for(callee, var)
+        parts.append(f"{callee}: {transfer.describe(var_name)}")
+    return "; ".join(parts)

@@ -16,6 +16,10 @@ Subcommands:
   diagnostics were found, exit 2 means the tool itself failed;
 * ``lint TARGET``   — dead/infeasible-branch and unreachable-code
   warnings from fixpoint range reasoning (same exit convention);
+* ``coverage TARGET`` — static protection-coverage report: per-function
+  protected-branch fractions, a reason per unprotected branch, and the
+  program's detectable tamper surface (informational; ``--fail-on
+  never`` by default);
 * ``explain FILE TRACE`` — replay a recorded trace with a flight
   recorder attached and explain every alarm against the compiler's
   provenance sidecar (exit 0 no alarms / 1 explained alarms / 2 tool
@@ -365,6 +369,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return _run_staticcheck(args, LINT_PASSES, args.fail_on)
 
 
+def cmd_coverage(args: argparse.Namespace) -> int:
+    from .staticcheck import COVERAGE_PASSES
+
+    return _run_staticcheck(args, COVERAGE_PASSES, args.fail_on)
+
+
 def cmd_record(args: argparse.Namespace) -> int:
     from .interp.interpreter import run_program
     from .runtime.replay import TraceRecorder, dump_trace
@@ -604,6 +614,28 @@ def cmd_timing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_opt_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1, 2],
+                   help="optimization level: 0/1 intra-procedural, "
+                        "2 adds summary-based interprocedural analysis")
+
+
+def _add_report_args(
+    p: argparse.ArgumentParser,
+    json_help: str = "write a JSON report ('-' for stdout)",
+    sarif_help: str = "write a SARIF 2.1.0 report ('-' for stdout)",
+    metrics: bool = True,
+) -> None:
+    """The shared report-output flag block (--json/--sarif[/--metrics-out])
+    of the static-analysis subcommands."""
+    p.add_argument("--json", default=None, metavar="PATH", help=json_help)
+    p.add_argument("--sarif", default=None, metavar="PATH", help=sarif_help)
+    if metrics:
+        p.add_argument("--metrics-out", default=None,
+                       help="write a JSON run manifest with per-pass "
+                            "timing spans")
+
+
 def _add_forensics_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--forensics", action="store_true",
                    help="attach a flight recorder and explain any alarms "
@@ -636,39 +668,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compile", help="compile and dump tables")
     p.add_argument("file")
     p.add_argument("--ir", action="store_true", help="also dump the IR")
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.add_argument("--check", action="store_true",
                    help="run the static soundness auditor on the emitted "
                         "tables and fail on any error-severity diagnostic")
     p.set_defaults(func=cmd_compile)
 
-    for name, help_text, default_fail in (
-        ("audit", "statically re-prove table soundness", "error"),
+    for name, help_text, default_fail, func in (
+        ("audit", "statically re-prove table soundness", "error",
+         cmd_audit),
         ("lint", "dead/infeasible branch and unreachable-code report",
-         "warning"),
+         "warning", cmd_lint),
+        ("coverage", "static protection-coverage report (COV6xx)",
+         "never", cmd_coverage),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("target",
                        help="a mini-C file, a workload name, or 'all'")
-        p.add_argument("--opt", type=int, default=0, choices=[0, 1])
-        p.add_argument("--json", default=None, metavar="PATH",
-                       help="write a JSON report ('-' for stdout)")
-        p.add_argument("--sarif", default=None, metavar="PATH",
-                       help="write a SARIF 2.1.0 report ('-' for stdout)")
+        _add_opt_arg(p)
         p.add_argument("--fail-on", choices=["error", "warning", "never"],
                        default=default_fail,
                        help=f"exit 1 at/above this severity "
                             f"(default: {default_fail})")
-        p.add_argument("--metrics-out", default=None,
-                       help="write a JSON run manifest with per-pass "
-                            "timing spans")
-        p.set_defaults(func=cmd_audit if name == "audit" else cmd_lint)
+        _add_report_args(p)
+        p.set_defaults(func=func)
 
     p = sub.add_parser("run", help="run a program under IPDS monitoring")
     p.add_argument("file")
     p.add_argument("--inputs", default="", help="e.g. '1 2 3'")
     p.add_argument("--entry", default="main")
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.add_argument("--allow-unprotected", action="store_true",
                    help="tolerate calls into functions without correlation "
                         "tables (partial coverage) instead of erroring")
@@ -683,7 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--inputs", default="")
     p.add_argument("--entry", default="main")
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.add_argument("--trigger-kind", choices=["read", "step"], default="read")
     p.add_argument("--trigger", type=int, required=True,
                    help="input index / step count that fires the tamper")
@@ -701,13 +730,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--inputs", default="")
     p.add_argument("--out", required=True)
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.set_defaults(func=cmd_record)
 
     p = sub.add_parser("replay", help="check a recorded trace offline")
     p.add_argument("file")
     p.add_argument("trace")
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.add_argument("--allow-unprotected", action="store_true",
                    help="tolerate trace events from functions without "
                         "correlation tables (partial coverage)")
@@ -720,7 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="shard attacks across N processes (same results "
                         "at any value; see docs on seed semantics)")
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.add_argument("--model", choices=["input", "process"], default="input")
     p.add_argument("--seed-prefix", default="",
                    help="campaign seed namespace (attack i draws from "
@@ -738,7 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("file", help="a mini-C file or a workload name")
     p.add_argument("trace", help="event trace from 'record' / --trace-out")
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1])
+    _add_opt_arg(p)
     p.add_argument("--depth", type=_positive_int, default=DEFAULT_DEPTH,
                    metavar="N", help="flight recorder ring size for the "
                    f"replay (default {DEFAULT_DEPTH})")
@@ -747,11 +776,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-unprotected", action="store_true",
                    help="tolerate trace events from functions without "
                         "correlation tables (partial coverage)")
-    p.add_argument("--json", default=None, metavar="PATH",
-                   help="write the AlarmReport document ('-' for stdout)")
-    p.add_argument("--sarif", default=None, metavar="PATH",
-                   help="write alarms as SARIF 2.1.0 FOR501/FOR502 "
-                        "diagnostics ('-' for stdout)")
+    _add_report_args(
+        p,
+        json_help="write the AlarmReport document ('-' for stdout)",
+        sarif_help="write alarms as SARIF 2.1.0 FOR501/FOR502 "
+                   "diagnostics ('-' for stdout)",
+        metrics=False,
+    )
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(

@@ -25,24 +25,41 @@ Soundness rule: **kills win**.  If a direction's region reaches a store
 of the variable, the entry is ``SET_UN`` regardless of any subsumption
 — the conservative choice that preserves the zero-false-positive
 guarantee at some cost in detection.
+
+At ``--opt 2`` the rule gains one interprocedural exception: a kill
+whose *only* cause is call pseudo-stores may be **suppressed** when the
+edge's own SET on the same target is provably preserved by every
+callee's transfer summary (:mod:`repro.analysis.summaries`).  The
+suppression is sound because the edge's own action overwrites the BSV
+slot at commit, before the region executes — the edge's claim is the
+only live prediction on that slot while the calls run — and the
+summaries prove no callee write can move the variable out of the
+claimed outcome set.  Surviving entries carry ``interproc`` provenance
+with the summary text, independently re-proved by the ``IP5xx`` audit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.branch_info import BranchFacts, analyze_branches
 from ..analysis.defs import DefinitionMap, ReachingDefinitions, analyze_definitions
 from ..analysis.purity import PurityResult, analyze_purity
 from ..analysis.alias import analyze_aliases
+from ..analysis.summaries import (
+    ProgramSummaries,
+    analyze_summaries,
+    render_region_summary,
+)
 from ..ir.cfg import CondEdge, edge_target, reachable_blocks, regions_by_edge
 from ..ir.function import IRFunction, IRModule
-from ..ir.instructions import Variable
+from ..ir.instructions import Call, VarKind, Variable
 from .actions import BranchAction
 from .hashing import find_perfect_hash
 from .provenance import (
     REASON_CONFLICT,
+    REASON_INTERPROC,
     REASON_KILL,
     REASON_SUBSUMPTION,
     ActionProvenance,
@@ -63,12 +80,14 @@ class BuildStats:
     kill_entries: int
     conflicts: int
     hash_trials: int
+    interproc_kills_suppressed: int = 0
 
 
 def build_function_tables(
     fn: IRFunction,
     module: IRModule,
     purity: PurityResult,
+    summaries: Optional[ProgramSummaries] = None,
 ) -> Tuple[FunctionTables, BuildStats]:
     """Run the Figure-5 construction for one function."""
     def_map, reaching = analyze_definitions(fn, module, purity)
@@ -163,22 +182,40 @@ def build_function_tables(
     # -- step 2: kill placement ------------------------------------------
     # For every conditional edge whose branch-free region contains a
     # potential store to a checked variable, force SET_UN (kills win).
+    # At opt 2 a call-only kill may be suppressed when the edge's own
+    # claim is preserved by every callee's transfer summary.
     kill_entries = 0
+    suppressed = 0
     killed: Set[Tuple[EventKey, int]] = set()
+    saved: Dict[Tuple[EventKey, int], str] = {}
     regions = regions_by_edge(fn)
     for edge, region in regions.items():
         bs_pc = fn.block(edge.block_label).terminator.address
         key: EventKey = (bs_pc, edge.taken)
         for bl_pc in checked_pcs:
             var = facts_by_pc[bl_pc].check.var
-            if _region_has_def(def_map, region, var):
-                previous = resolved.get(key, {}).get(bl_pc)
-                if previous is not BranchAction.SET_UN:
-                    if previous is not None:
-                        set_entries -= 1
-                    kill_entries += 1
-                resolved.setdefault(key, {})[bl_pc] = BranchAction.SET_UN
-                killed.add((key, bl_pc))
+            sites = [
+                site
+                for site in def_map.of_var(var)
+                if site.block_label in region
+            ]
+            if not sites:
+                continue
+            previous = resolved.get(key, {}).get(bl_pc)
+            if summaries is not None:
+                summary_text = _suppressible_kill(
+                    fn, summaries, facts_by_pc[bl_pc], var, sites, previous
+                )
+                if summary_text is not None:
+                    saved[(key, bl_pc)] = summary_text
+                    suppressed += 1
+                    continue
+            if previous is not BranchAction.SET_UN:
+                if previous is not None:
+                    set_entries -= 1
+                kill_entries += 1
+            resolved.setdefault(key, {})[bl_pc] = BranchAction.SET_UN
+            killed.add((key, bl_pc))
 
     # A branch whose every SET was overridden by kills can never be
     # predicted — checking it would only ever compare against UNKNOWN.
@@ -201,7 +238,7 @@ def build_function_tables(
                 del resolved[key]
 
     provenance = _render_provenance(
-        resolved, facts_by_pc, block_of_pc, evidence, killed
+        resolved, facts_by_pc, block_of_pc, evidence, killed, saved
     )
 
     # -- step 3: hash + render --------------------------------------------
@@ -249,8 +286,48 @@ def build_function_tables(
         kill_entries=kill_entries,
         conflicts=conflicts,
         hash_trials=search.trials,
+        interproc_kills_suppressed=suppressed,
     )
     return tables, stats
+
+
+def _suppressible_kill(
+    fn: IRFunction,
+    summaries: ProgramSummaries,
+    bl_facts: BranchFacts,
+    var: Variable,
+    sites,
+    previous: Optional[BranchAction],
+) -> Optional[str]:
+    """Summary text when this kill may be dropped, else ``None``.
+
+    Requirements (each one load-bearing for soundness):
+
+    * the edge's own pre-kill entry on the target is a ``SET_T`` /
+      ``SET_NT`` — it overwrites the BSV slot at commit, so it is the
+      only prediction live while the region runs;
+    * the variable is a global scalar (call pseudo-stores to frame
+      variables mean address-taken locals — out of summary scope);
+    * every definition site in the region is a call pseudo-store (any
+      direct or indirect store keeps the kill);
+    * every callee's transfer summary preserves the claimed outcome set.
+    """
+    if previous not in (BranchAction.SET_T, BranchAction.SET_NT):
+        return None
+    if var.kind is not VarKind.GLOBAL or var.is_pointer or var.is_array:
+        return None
+    if any(site.kind != "call" for site in sites):
+        return None
+    callees = []
+    for site in sites:
+        instruction = fn.block(site.block_label).instructions[site.index]
+        assert isinstance(instruction, Call)
+        callees.append(instruction.callee)
+    claimed = bl_facts.check.outcome_set(previous is BranchAction.SET_T)
+    for callee in set(callees):
+        if not summaries.transfer_for(callee, var).preserves(claimed):
+            return None
+    return render_region_summary(summaries, tuple(callees), var.name, var)
 
 
 def _render_provenance(
@@ -259,6 +336,7 @@ def _render_provenance(
     block_of_pc,
     evidence: Dict[Tuple[int, bool], Dict[int, Dict[BranchAction, object]]],
     killed: Set[Tuple[EventKey, int]],
+    saved: Dict[Tuple[EventKey, int], str],
 ) -> Tuple[ActionProvenance, ...]:
     """One :class:`ActionProvenance` per surviving BAT entry.
 
@@ -281,12 +359,18 @@ def _render_provenance(
             )
             if action is not BranchAction.SET_UN:
                 inference = evidence[(bs_pc, taken)][bl_pc][action]
+                summary = saved.get(((bs_pc, taken), bl_pc))
                 records.append(
                     ActionProvenance(
-                        reason=REASON_SUBSUMPTION,
+                        reason=(
+                            REASON_SUBSUMPTION
+                            if summary is None
+                            else REASON_INTERPROC
+                        ),
                         link_kind=inference.kind,
                         link_index=inference.index,
                         implied=str(inference.implied_set(taken)),
+                        summary=summary,
                         **common,
                     )
                 )
@@ -338,26 +422,26 @@ def _source_feeds_check(
     return False
 
 
-def _region_has_def(def_map, region, var: Variable) -> bool:
-    return any(
-        site.block_label in region for site in def_map.of_var(var)
-    )
-
-
 def build_program_tables(
     module: IRModule,
+    interproc: bool = False,
 ) -> Tuple[ProgramTables, List[BuildStats]]:
     """Run the whole compiler side: alias → purity → per-function BATs.
+
+    ``interproc=True`` (the ``--opt 2`` configuration) additionally
+    computes bottom-up transfer summaries and lets the per-function
+    construction suppress call-only kills they prove harmless.
 
     This is the main compiler entry point; the result is what gets
     "attached to the program binary" (§5.4).
     """
     analyze_aliases(module)
     purity = analyze_purity(module)
+    summaries = analyze_summaries(module) if interproc else None
     program = ProgramTables()
     stats: List[BuildStats] = []
     for fn in module.functions:
-        tables, fn_stats = build_function_tables(fn, module, purity)
+        tables, fn_stats = build_function_tables(fn, module, purity, summaries)
         program.by_function[fn.name] = tables
         stats.append(fn_stats)
     return program, stats

@@ -29,8 +29,14 @@ from typing import Any, Dict, Optional, Tuple
 REASON_SUBSUMPTION = "subsumption"  # implied range subsumes one outcome set
 REASON_KILL = "kill"  # branch-free region may store to the variable
 REASON_CONFLICT = "conflict"  # contradictory inferences -> forced UNKNOWN
+REASON_INTERPROC = "interproc"  # kill suppressed by callee transfer summaries
 
-VALID_REASONS = (REASON_SUBSUMPTION, REASON_KILL, REASON_CONFLICT)
+VALID_REASONS = (
+    REASON_SUBSUMPTION,
+    REASON_KILL,
+    REASON_CONFLICT,
+    REASON_INTERPROC,
+)
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,7 @@ class ActionProvenance:
     link_index: Optional[int] = None  # instruction index in source block
     implied: Optional[str] = None  # e.g. "[1, +inf]" or "Z\\{0}"
     check: Optional[str] = None  # e.g. "authenticated == 0"
+    summary: Optional[str] = None  # interproc: callee transfers that kept it
 
     def __post_init__(self) -> None:
         if self.reason not in VALID_REASONS:
@@ -88,6 +95,13 @@ class ActionProvenance:
                 f"{where}: the direction's branch-free region may store "
                 f"to {self.var} — prediction killed to UNKNOWN"
             )
+        if self.reason == REASON_INTERPROC:
+            return (
+                f"{where}: direction {self.direction} implies "
+                f"{self.var} in {self.implied} (via {self.link_kind}), "
+                f"subsuming one outcome of check '{self.check}'; the "
+                f"region's calls preserve it ({self.summary})"
+            )
         return (
             f"{where}: contradictory inferences about {self.var} — "
             f"direction statically infeasible, forced UNKNOWN"
@@ -107,6 +121,7 @@ class ActionProvenance:
             "link_index": self.link_index,
             "implied": self.implied,
             "check": self.check,
+            "summary": self.summary,
         }
 
     @staticmethod
@@ -124,6 +139,7 @@ class ActionProvenance:
             link_index=record.get("link_index"),
             implied=record.get("implied"),
             check=record.get("check"),
+            summary=record.get("summary"),
         )
 
 

@@ -45,7 +45,11 @@ class MetricRule:
 
 
 #: Default gate: the observer-overhead noop configs (the hot-path cost
-#: this repo actively optimizes) plus the full stack as advisory.
+#: this repo actively optimizes), the full stack as advisory, the
+#: whole-set compile times (opt 0, and opt 2 which adds the
+#: interprocedural summary fixpoint), and the Figure-7 detection rate
+#: (direction "higher": the seeded campaigns are deterministic, so a
+#: drop means the tables really got weaker, not noise).
 DEFAULT_RULES: Tuple[MetricRule, ...] = (
     MetricRule(
         "observer_overhead",
@@ -62,6 +66,25 @@ DEFAULT_RULES: Tuple[MetricRule, ...] = (
         ("configs", "full_stack", "overhead_vs_bare_pct"),
         max_change_pct=30.0,
         min_delta=40.0,
+    ),
+    MetricRule(
+        "compile_time",
+        ("total", "opt0_seconds"),
+        max_change_pct=50.0,
+        min_delta=1.0,
+    ),
+    MetricRule(
+        "compile_time",
+        ("total", "opt2_seconds"),
+        max_change_pct=50.0,
+        min_delta=1.0,
+    ),
+    MetricRule(
+        "fig7_detection",
+        ("detection", "avg_pct_detected_of_changed"),
+        max_change_pct=10.0,
+        min_delta=2.0,
+        direction="higher",
     ),
 )
 

@@ -15,7 +15,9 @@ Entry points: :func:`run_passes` (programmatic), ``repro audit`` and
 """
 
 from .audit import audit_image, audit_program
+from .coverage import coverage_report
 from .deadcode import find_dead_branches
+from .interproc import audit_interproc
 from .diagnostics import (
     CODES,
     Diagnostic,
@@ -37,6 +39,7 @@ from .emit import (
 from .irverify import verify_function_diagnostics, verify_module_diagnostics
 from .registry import (
     AUDIT_PASSES,
+    COVERAGE_PASSES,
     LINT_PASSES,
     PASSES,
     CheckPass,
@@ -47,6 +50,7 @@ from .registry import (
 __all__ = [
     "AUDIT_PASSES",
     "CODES",
+    "COVERAGE_PASSES",
     "CheckPass",
     "Diagnostic",
     "DiagnosticSink",
@@ -56,7 +60,9 @@ __all__ = [
     "Span",
     "StaticCheckError",
     "audit_image",
+    "audit_interproc",
     "audit_program",
+    "coverage_report",
     "diagnostics_to_json",
     "diagnostics_to_sarif",
     "errors_in",

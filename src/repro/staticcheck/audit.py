@@ -61,6 +61,7 @@ from .facts import (
     summarize_function,
     transfer_block,
 )
+from .ipsummaries import IPSummaries, derive_ipsummaries
 from .mfp import solve_range_mfp
 
 AUDIT_PASS = "correlation-audit"
@@ -75,6 +76,12 @@ def audit_program(program, purity: Optional[PurityResult] = None) -> List[Diagno
     if purity is None:
         analyze_aliases(module)
         purity = analyze_purity(module)
+    # Interprocedural transfer summaries, re-derived from the auditor's
+    # own facts.  Used unconditionally: at opt 0/1 they only *add*
+    # precision over call-clobbers-to-top, so every previously provable
+    # entry stays provable; at opt 2 they are what makes the builder's
+    # suppressed-kill entries provable at all.
+    transfers = derive_ipsummaries(module, purity)
     for fn in module.functions:
         tables = program.tables.by_function.get(fn.name)
         if tables is None:
@@ -84,7 +91,7 @@ def audit_program(program, purity: Optional[PurityResult] = None) -> List[Diagno
                 function=fn.name,
             )
             continue
-        audit_function_tables(sink, fn, module, tables, purity)
+        audit_function_tables(sink, fn, module, tables, purity, transfers)
     return sink.diagnostics
 
 
@@ -94,6 +101,7 @@ def audit_function_tables(
     module: IRModule,
     tables: FunctionTables,
     purity: PurityResult,
+    transfers: Optional[IPSummaries] = None,
 ) -> None:
     params = tables.hash_params
     ir_pcs = tuple(sorted(branch.address for branch in fn.cond_branches()))
@@ -229,6 +237,7 @@ def audit_function_tables(
                 target=target,
                 target_slot=target_slot,
                 claimed_taken=claimed_taken,
+                transfers=transfers,
             )
             if witness is not None:
                 sink.emit(
@@ -252,13 +261,19 @@ def _prove_entry(
     target: BlockSummary,
     target_slot: int,
     claimed_taken: bool,
+    transfers: Optional[IPSummaries] = None,
 ) -> Optional[str]:
     """Prove one SET entry; returns None on success, else a witness
-    description of why the proof failed."""
+    description of why the proof failed.
+
+    ``transfers`` makes the proof interprocedurally aware: call steps
+    apply the callee's re-derived transfer image instead of clobbering
+    to top.  Without it the proof is the opt-0/1 one.
+    """
     # State at the firing edge: nothing is assumed about block entry
     # (the edge can be reached with any machine state), but the branch
     # direction and any in-block stores constrain what follows.
-    env_out, snapshots = transfer_block(source, {})
+    env_out, snapshots = transfer_block(source, {}, transfers)
     seed = edge_environment(source, env_out, snapshots, taken)
     if seed is None:
         return None  # edge statically infeasible: vacuously sound
@@ -275,11 +290,14 @@ def _prove_entry(
         )
 
     states = solve_range_mfp(
-        summaries, {first: seed}, should_cut=prediction_overwritten
+        summaries,
+        {first: seed},
+        should_cut=prediction_overwritten,
+        transfers=transfers,
     )
     if target.label not in states:
         return None  # target unreachable while the prediction is live
-    _, snapshots = transfer_block(target, states[target.label])
+    _, snapshots = transfer_block(target, states[target.label], transfers)
     if target.check is None:
         # Constant-condition branch: provable iff the constant agrees.
         if target.const_outcome == claimed_taken:

@@ -102,6 +102,14 @@ CODES: Dict[str, CodeInfo] = {
         # -- runtime alarm forensics (repro explain / --forensics) -------
         CodeInfo("FOR501", Severity.ERROR, "runtime alarm traced to violated compiler correlation"),
         CodeInfo("FOR502", Severity.WARNING, "runtime alarm could not be fully explained"),
+        # -- interprocedural suppression audit (pass: interproc-audit) ---
+        CodeInfo("IP501", Severity.ERROR, "interproc provenance without a live BAT SET entry"),
+        CodeInfo("IP502", Severity.ERROR, "suppressed kill not re-provable from re-derived summaries"),
+        CodeInfo("IP503", Severity.ERROR, "SET action survives a clobbered region without interproc proof"),
+        # -- static protection coverage (pass: coverage) -----------------
+        CodeInfo("COV601", Severity.NOTE, "per-function protected-branch coverage"),
+        CodeInfo("COV602", Severity.WARNING, "conditional branch is unprotected"),
+        CodeInfo("COV603", Severity.NOTE, "program protection totals and tamper surface"),
         # -- infeasible / dead branch detection (pass: dead-branch) ------
         CodeInfo("DEAD401", Severity.WARNING, "branch condition is constant: always taken"),
         CodeInfo("DEAD402", Severity.WARNING, "branch condition is constant: never taken"),

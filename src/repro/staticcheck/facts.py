@@ -36,6 +36,7 @@ from ..analysis.defs import DefinitionMap
 from ..ir.function import BasicBlock, IRFunction
 from ..ir.instructions import (
     BinOp,
+    Call,
     CondBranch,
     Const,
     Cmp,
@@ -121,8 +122,10 @@ class CheckFact:
 
 
 #: Interval-transfer steps: ("load", term) | ("store", var, spec) |
-#: ("clobber", (vars...)).  Store specs: ("const", c) |
-#: ("affine", term, sign, offset) | ("top",).
+#: ("call", callee, (vars...)) | ("clobber", (vars...)).  Store specs:
+#: ("const", c) | ("affine", term, sign, offset) | ("top",).  A call
+#: step names the callee so summary-aware transfers can apply its
+#: interprocedural image instead of a plain clobber.
 Step = Tuple
 
 
@@ -363,8 +366,10 @@ def summarize_block(
                 env.pop(dest, None)
 
         # Potential writes from indirect stores and calls invalidate
-        # both the interval state (clobber step) and the symbolic
+        # both the interval state (clobber/call step) and the symbolic
         # memory mirror.  Direct stores were handled exactly above.
+        # Calls keep their callee name so a summary-aware transfer can
+        # apply the callee's interprocedural image instead of top.
         if isinstance(instruction, Store):
             continue
         sites = def_map.at(block.label, index)
@@ -372,7 +377,10 @@ def summarize_block(
             affected = tuple(
                 sorted({s.var for s in sites}, key=lambda v: (v.name, v.uid))
             )
-            summary.steps.append(("clobber", affected))
+            if isinstance(instruction, Call):
+                summary.steps.append(("call", instruction.callee, affected))
+            else:
+                summary.steps.append(("clobber", affected))
             for var in affected:
                 mem_expr[var] = None
 
@@ -396,12 +404,18 @@ def summarize_function(
 
 
 def transfer_block(
-    summary: BlockSummary, env_in: Env
+    summary: BlockSummary, env_in: Env, transfers=None
 ) -> Tuple[Env, Dict[Term, ValueSet]]:
     """Run the interval-transfer steps over an input environment.
 
     Returns the exit environment and the *snapshots*: the value set
     each load observed, which is what branch conditions actually test.
+
+    ``transfers`` (an :class:`repro.staticcheck.ipsummaries.IPSummaries`
+    or anything with ``call_image(callee, var, values)``) makes call
+    steps apply the callee's interprocedural image; without it a call
+    clobbers its affected variables to top, exactly the opt-0/1
+    behaviour.
     """
     env: Env = dict(env_in)
     snapshots: Dict[Term, ValueSet] = {}
@@ -419,6 +433,17 @@ def transfer_block(
                 env_set(env, var, base.affine_image(sign, offset))
             else:
                 env_set(env, var, ValueSet.top())
+        elif kind == "call":
+            _, callee, affected = step
+            for var in affected:
+                if transfers is None:
+                    env_set(env, var, ValueSet.top())
+                else:
+                    env_set(
+                        env,
+                        var,
+                        transfers.call_image(callee, var, env_get(env, var)),
+                    )
         else:  # clobber
             for var in step[1]:
                 env_set(env, var, ValueSet.top())

@@ -1,0 +1,240 @@
+"""Interprocedural suppression audit (pass: interproc-audit).
+
+At ``--opt 2`` the builder keeps a ``SET_T``/``SET_NT`` entry alive
+across a branch-free region whose only definitions of the checked
+variable are calls, on the strength of callee transfer summaries
+(:mod:`repro.analysis.summaries`).  Each surviving entry carries an
+``interproc`` provenance record with the summary text that justified
+it.  This pass re-proves every such record from the auditor's *own*
+re-derived summaries (:mod:`repro.staticcheck.ipsummaries`) and checks
+the inverse direction too:
+
+* ``IP501`` — an ``interproc`` provenance record does not correspond
+  to a live BAT SET entry (tampered or stale sidecar);
+* ``IP502`` — a suppression is not provable from the re-derived
+  summaries: the region's definition sites are not all calls, a callee
+  transfer fails to preserve the claimed outcome set, or the record's
+  summary text differs from the independently rendered canonical one;
+* ``IP503`` — a SET entry survives a region that contains definition
+  sites of the checked variable *without* ``interproc`` provenance
+  (the kills-win rule was bypassed silently).
+
+The shared trust base with the builder is the may-write model (alias
+sets, purity, :class:`~repro.analysis.defs.DefinitionMap`); the
+transfer summaries themselves and the preservation argument are
+recomputed here from the forward block walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.alias import analyze_aliases
+from ..analysis.defs import DefinitionMap
+from ..analysis.purity import PurityResult, analyze_purity
+from ..correlation.actions import BranchAction
+from ..correlation.provenance import REASON_INTERPROC, ActionProvenance
+from ..correlation.tables import FunctionTables
+from ..ir.cfg import regions_by_edge
+from ..ir.function import IRFunction, IRModule
+from ..ir.instructions import Call, VarKind
+from .diagnostics import Diagnostic, DiagnosticSink
+from .facts import BlockSummary, summarize_function
+from .ipsummaries import IPSummaries, derive_ipsummaries
+
+INTERPROC_PASS = "interproc-audit"
+
+_SET_ACTIONS = (BranchAction.SET_T, BranchAction.SET_NT)
+
+
+def audit_interproc(
+    program, purity: Optional[PurityResult] = None
+) -> List[Diagnostic]:
+    """Audit every function's interprocedural suppressions."""
+    sink = DiagnosticSink(INTERPROC_PASS)
+    module: IRModule = program.module
+    if purity is None:
+        analyze_aliases(module)
+        purity = analyze_purity(module)
+    transfers = derive_ipsummaries(module, purity)
+    for fn in module.functions:
+        tables = program.tables.by_function.get(fn.name)
+        if tables is None:
+            continue  # correlation-audit reports COR210
+        _audit_function(sink, fn, module, tables, purity, transfers)
+    return sink.diagnostics
+
+
+def _audit_function(
+    sink: DiagnosticSink,
+    fn: IRFunction,
+    module: IRModule,
+    tables: FunctionTables,
+    purity: PurityResult,
+    transfers: IPSummaries,
+) -> None:
+    # Structural preconditions (hash collisions, PC drift) belong to the
+    # correlation audit; without them slot identities are meaningless,
+    # so bail rather than report nonsense here.
+    ir_pcs = tuple(sorted(b.address for b in fn.cond_branches()))
+    if tuple(sorted(tables.branch_pcs)) != ir_pcs:
+        return
+    slots = {tables.slot_of(pc) for pc in tables.branch_pcs}
+    if len(slots) != len(tables.branch_pcs):
+        return
+
+    def_map = DefinitionMap(fn, module, purity)
+    summaries = summarize_function(fn, def_map)
+    label_of_pc: Dict[int, str] = {
+        summary.branch_pc: summary.label
+        for summary in summaries.values()
+        if summary.branch_pc is not None
+    }
+    region_of: Dict = {}
+    for edge, region in regions_by_edge(fn).items():
+        pc = fn.block(edge.block_label).terminator.address
+        region_of[(pc, edge.taken)] = region
+
+    # -- IP501 / IP502: every interproc record must back a live SET
+    # entry and re-prove from scratch --------------------------------
+    for record in tables.provenance:
+        if record.reason != REASON_INTERPROC:
+            continue
+        target_slot = tables.slot_of(record.target_pc)
+        live = record.action in (
+            BranchAction.SET_T.value,
+            BranchAction.SET_NT.value,
+        ) and any(
+            entry_target == target_slot and action.value == record.action
+            for entry_target, action in tables.actions_for(
+                record.source_pc, record.taken
+            )
+        )
+        if not live:
+            sink.emit(
+                "IP501",
+                f"interproc record claims ({record.source_block}, "
+                f"{record.direction}) -> {record.action} "
+                f"{record.target_block}, but no such BAT entry is live",
+                function=fn.name,
+                block=record.source_block,
+                pc=record.source_pc,
+            )
+            continue
+        witness = _reprove_suppression(
+            fn, def_map, summaries, label_of_pc, region_of, transfers, record
+        )
+        if witness is not None:
+            sink.emit(
+                "IP502",
+                f"suppressed kill ({record.source_block}, "
+                f"{record.direction}) -> {record.action} "
+                f"{record.target_block} is not re-provable: {witness}",
+                function=fn.name,
+                block=record.target_block,
+                pc=record.target_pc,
+            )
+
+    # -- IP503: no SET survives a clobbered region uncredited --------
+    for (source_slot, taken), entries in sorted(tables.bat.items()):
+        source_pc = tables.pc_of_slot(source_slot)
+        if source_pc is None:
+            continue
+        region = region_of.get((source_pc, taken))
+        if region is None:
+            continue
+        for target_slot, action in entries:
+            if action not in _SET_ACTIONS:
+                continue
+            target_pc = tables.pc_of_slot(target_slot)
+            if target_pc is None or target_pc not in label_of_pc:
+                continue
+            check = summaries[label_of_pc[target_pc]].check
+            if check is None:
+                continue
+            sites = [
+                site
+                for site in def_map.of_var(check.var)
+                if site.block_label in region
+            ]
+            if not sites:
+                continue
+            record = tables.provenance_for(source_pc, taken, target_pc)
+            if record is None or record.reason != REASON_INTERPROC:
+                sink.emit(
+                    "IP503",
+                    f"action {action.value} survives although the "
+                    f"direction's branch-free region holds "
+                    f"{len(sites)} potential store(s) to "
+                    f"{check.var.name} — no interprocedural proof is "
+                    f"on record (kills-win rule bypassed)",
+                    function=fn.name,
+                    block=label_of_pc[target_pc],
+                    pc=target_pc,
+                )
+
+
+def _reprove_suppression(
+    fn: IRFunction,
+    def_map: DefinitionMap,
+    summaries: Dict[str, BlockSummary],
+    label_of_pc: Dict[int, str],
+    region_of: Dict,
+    transfers: IPSummaries,
+    record: ActionProvenance,
+) -> Optional[str]:
+    """Re-prove one suppression; None on success, else a witness."""
+    region = region_of.get((record.source_pc, record.taken))
+    if region is None:
+        return "the record's source is not a conditional edge"
+    target_label = label_of_pc.get(record.target_pc)
+    if target_label is None:
+        return "the record's target is not a conditional branch"
+    check = summaries[target_label].check
+    if check is None:
+        return "no check predicate is derivable for the target branch"
+    var = check.var
+    if record.var != var.name:
+        return (
+            f"the record names variable {record.var!r} but the check "
+            f"reads {var.name!r}"
+        )
+    if var.kind is not VarKind.GLOBAL or var.is_pointer or var.is_array:
+        return f"{var.name} is not a global scalar (out of summary scope)"
+    sites = [
+        site for site in def_map.of_var(var) if site.block_label in region
+    ]
+    if not sites:
+        return (
+            "the region holds no definition site of the variable — "
+            "nothing was suppressed, so the interproc reason is bogus"
+        )
+    callees = []
+    for site in sites:
+        if site.kind != "call":
+            return (
+                f"the region holds a non-call definition of {var.name} "
+                f"({site}) — the kill may not be suppressed"
+            )
+        instruction = fn.block(site.block_label).instructions[site.index]
+        if not isinstance(instruction, Call):
+            return f"definition site {site} is not a call instruction"
+        callees.append(instruction.callee)
+    claimed = check.outcome_set(record.action == BranchAction.SET_T.value)
+    for callee in sorted(set(callees)):
+        transfer = transfers.transfer_for(callee, var)
+        if callee not in transfers.by_function or not transfer.preserves(
+            claimed
+        ):
+            return (
+                f"callee {callee}'s re-derived transfer "
+                f"({transfer.describe(var.name)}) does not preserve the "
+                f"claimed outcome set {claimed}"
+            )
+    canonical = transfers.region_summary(tuple(callees), var.name, var)
+    if record.summary != canonical:
+        return (
+            f"the record's summary text {record.summary!r} differs from "
+            f"the independently rendered canonical summary {canonical!r}"
+        )
+    return None

@@ -30,16 +30,21 @@ def solve_range_mfp(
     summaries: Dict[str, BlockSummary],
     seeds: Dict[str, Env],
     should_cut: Optional[CutHook] = None,
+    transfers=None,
 ) -> Dict[str, Env]:
     """Propagate seed environments to a fixpoint; returns the state at
-    each reached block's entry (unreached blocks are absent)."""
+    each reached block's entry (unreached blocks are absent).
+
+    ``transfers`` is forwarded to :func:`transfer_block`: with it, call
+    steps apply interprocedural summary images instead of clobbering to
+    top."""
     states: Dict[str, Env] = dict(seeds)
     join_counts: Dict[str, int] = {}
     worklist: List[str] = list(seeds)
     while worklist:
         label = worklist.pop()
         summary = summaries[label]
-        env_out, snapshots = transfer_block(summary, states[label])
+        env_out, snapshots = transfer_block(summary, states[label], transfers)
         if summary.is_return:
             continue
         edges: List[Tuple[str, Env]] = []

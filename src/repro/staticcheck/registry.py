@@ -17,8 +17,10 @@ from ..analysis.alias import analyze_aliases
 from ..analysis.purity import PurityResult, analyze_purity
 from ..observability.metrics import MetricsRegistry
 from .audit import audit_image, audit_program
+from .coverage import coverage_report
 from .deadcode import find_dead_branches
 from .diagnostics import Diagnostic
+from .interproc import audit_interproc
 from .irverify import verify_module_diagnostics
 
 
@@ -43,6 +45,11 @@ PASSES: Tuple[CheckPass, ...] = (
         lambda program, purity: audit_program(program, purity),
     ),
     CheckPass(
+        "interproc-audit",
+        "interprocedural kill-suppression audit (IP5xx reproof)",
+        lambda program, purity: audit_interproc(program, purity),
+    ),
+    CheckPass(
         "image-audit",
         "binary table image audit",
         lambda program, purity: audit_image(program),
@@ -52,13 +59,26 @@ PASSES: Tuple[CheckPass, ...] = (
         "infeasible/dead branch and unreachable code detection",
         lambda program, purity: find_dead_branches(program.module, purity),
     ),
+    CheckPass(
+        "coverage",
+        "static protection-coverage report",
+        lambda program, purity: coverage_report(program, purity),
+    ),
 )
 
 #: ``repro audit`` — soundness-bearing passes (errors gate CI).
-AUDIT_PASSES: Tuple[str, ...] = ("ir-verify", "correlation-audit", "image-audit")
+AUDIT_PASSES: Tuple[str, ...] = (
+    "ir-verify",
+    "correlation-audit",
+    "interproc-audit",
+    "image-audit",
+)
 
 #: ``repro lint`` — advisory passes.
 LINT_PASSES: Tuple[str, ...] = ("dead-branch",)
+
+#: ``repro coverage`` — informational protection-coverage report.
+COVERAGE_PASSES: Tuple[str, ...] = ("coverage",)
 
 
 def pass_by_name(name: str) -> CheckPass:

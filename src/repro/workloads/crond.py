@@ -11,6 +11,11 @@ SOURCE = """
 // crond -- synthetic cron daemon.
 
 int lifetime_runs;           // global counter
+int ops_handled;             // per-op accounting, bumped via helper
+
+void note_op() {
+  ops_handled = ops_handled + 1;
+}
 
 void main() {
   int job_user[6];           // owner uid per slot (-1 = free)
@@ -104,6 +109,11 @@ void main() {
     if (job_period[0] + job_period[1] + job_period[2]
         + job_period[3] + job_period[4] + job_period[5] >= 6) { emit(6); }
     else { emit(-6); }
+    // Accounting sweep: the counter is monotone, so the sanity check
+    // survives the helper call (interprocedurally at --opt 2).
+    if (ops_handled >= 0) { emit(9); } else { emit(-9); }
+    note_op();
+    if (ops_handled >= 0) { emit(10); } else { emit(-10); }
     op = read_int();
   }
   emit(runs);

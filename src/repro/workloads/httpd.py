@@ -12,6 +12,10 @@ SOURCE = """
 
 int lifetime_requests;        // global counter
 
+void account_request() {
+  lifetime_requests = lifetime_requests + 1;
+}
+
 void main() {
   int authorized = 0;         // Basic-auth result for the realm
   int keepalive = 1;
@@ -33,7 +37,11 @@ void main() {
       keepalive = 0;
     } else {
       reqno = reqno + 1;
-      lifetime_requests = lifetime_requests + 1;
+      // Accounting via helper; the counter is monotone, so the sanity
+      // checks straddling the call survive interprocedurally (--opt 2).
+      if (lifetime_requests >= 0) { emit(8); } else { emit(-8); }
+      account_request();
+      if (lifetime_requests >= 0) { emit(9); } else { emit(-9); }
       if (method == 1) {                 // GET
         int path = read_int();
         urlbuf[reqno % 8] = path;

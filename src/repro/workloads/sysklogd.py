@@ -12,6 +12,10 @@ SOURCE = """
 
 int lifetime_msgs;            // global counter
 
+void note_msg() {
+  lifetime_msgs = lifetime_msgs + 1;
+}
+
 void main() {
   int threshold = 0;          // minimum priority written to the file
   int console_level = 0;      // stricter bound for the console
@@ -35,7 +39,11 @@ void main() {
   while (priority >= 0) {
     int msg = read_int();               // the format-string hole
     if (priority > 7) { priority = 7; }
-    lifetime_msgs = lifetime_msgs + 1;
+    // Accounting via helper; the counter is monotone, so the sanity
+    // checks straddling the call survive interprocedurally (--opt 2).
+    if (lifetime_msgs >= 0) { emit(9); } else { emit(-9); }
+    note_msg();
+    if (lifetime_msgs >= 0) { emit(10); } else { emit(-10); }
     ringbuf[head % 8] = msg;
     head = head + 1;
     // File sink: filter by the configured threshold.

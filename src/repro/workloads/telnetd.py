@@ -17,6 +17,11 @@ SOURCE = """
 // telnetd -- synthetic login + shell daemon.
 
 int sessions_served;     // global, non-security bookkeeping
+int commands_handled;    // global accounting, bumped via helper
+
+void note_command() {
+  commands_handled = commands_handled + 1;
+}
 
 int check_password(int uid, int pass) {
   // Deterministic "password database".
@@ -90,6 +95,11 @@ void main() {
         + termbuf[4] + termbuf[5] + termbuf[6] + termbuf[7] >= 0) {
       emit(6);
     } else { emit(7); }
+    // Accounting sweep: the counter is monotone, so the sanity check
+    // survives the helper call (interprocedurally at --opt 2).
+    if (commands_handled >= 0) { emit(12); } else { emit(13); }
+    note_command();
+    if (commands_handled >= 0) { emit(14); } else { emit(15); }
     cmd = read_int();
   }
   sessions_served = sessions_served + 1;

@@ -17,6 +17,11 @@ SOURCE = """
 // wu-ftpd -- synthetic FTP daemon.
 
 int total_xfers;           // global transfer counter (bookkeeping)
+int commands_seen;         // per-command accounting, bumped via helper
+
+void note_command() {
+  commands_seen = commands_seen + 1;
+}
 
 int valid_user(int user, int pass) {
   if (user == 0) { return 1; }          // anonymous always allowed
@@ -104,6 +109,11 @@ void main() {
     if (namebuf[0] + namebuf[1] + namebuf[2]
         + namebuf[3] + namebuf[4] + namebuf[5] >= 0) { emit(7); }
     else { emit(8); }
+    // Accounting sweep: the counter is monotone, so the sanity check
+    // survives the helper call (interprocedurally at --opt 2).
+    if (commands_seen >= 0) { emit(15); } else { emit(16); }
+    note_command();
+    if (commands_seen >= 0) { emit(17); } else { emit(18); }
     cmd = read_int();
   }
   emit(xfers);

@@ -11,6 +11,11 @@ SOURCE = """
 // xinetd -- synthetic super-server.
 
 int lifetime_conns;          // global counter
+int ops_handled;             // per-op accounting, bumped via helper
+
+void note_op() {
+  ops_handled = ops_handled + 1;
+}
 
 void main() {
   int conns[8];              // per-service live connections (stack)
@@ -81,6 +86,11 @@ void main() {
     if (enabled[0] + enabled[1] + enabled[2] + enabled[3]
         + enabled[4] + enabled[5] + enabled[6] + enabled[7] <= 8) { emit(6); }
     else { emit(-6); }
+    // Accounting sweep: the counter is monotone, so the sanity check
+    // survives the helper call (interprocedurally at --opt 2).
+    if (ops_handled >= 0) { emit(9); } else { emit(-9); }
+    note_op();
+    if (ops_handled >= 0) { emit(10); } else { emit(-10); }
     op = read_int();
   }
   emit(total);

@@ -110,6 +110,32 @@ def test_default_rules_cover_noop_configs():
     assert ("configs", "noop_events", "overhead_vs_bare_pct") in paths
 
 
+def test_default_rules_gate_compile_time_and_detection():
+    by_bench = {}
+    for rule in DEFAULT_RULES:
+        by_bench.setdefault(rule.bench, []).append(rule)
+    compile_paths = {r.path for r in by_bench["compile_time"]}
+    assert ("total", "opt0_seconds") in compile_paths
+    assert ("total", "opt2_seconds") in compile_paths
+    # Detection rate gates in the "higher is better" direction: the
+    # seeded campaigns are deterministic, so a drop is a real weakening
+    # of the emitted tables.
+    fig7 = by_bench["fig7_detection"]
+    assert fig7
+    assert all(rule.direction == "higher" for rule in fig7)
+    assert ("detection", "avg_pct_detected_of_changed") in {
+        r.path for r in fig7
+    }
+
+
+def test_committed_baselines_exist_for_all_default_rules():
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    for rule in DEFAULT_RULES:
+        assert (root / f"BENCH_{rule.bench}.json").exists(), rule.bench
+
+
 def test_main_against_committed_baseline(capsys):
     """The real gate, as CI runs it: repo-root BENCH files against the
     committed benchmarks/baselines/."""

@@ -186,3 +186,132 @@ def test_alarmed_branch_is_recorded(telnetd_program):
 
 def test_default_depth_is_documented_value():
     assert FlightRecorder().depth == DEFAULT_DEPTH == 64
+
+
+# -- eviction under call/return-heavy traces ----------------------------
+#
+# Call and return events share the ring with branch records, so a
+# call-heavy region of the trace can push the setting event out even
+# when few *branches* ran since.  These tests pin that degradation:
+# find_setter returns None (never a wrong setter), the eviction counter
+# owns up to it, and the forensics engine says so in its notes.
+
+
+def _frame_pair(seq, function="helper"):
+    return (
+        FrameRecord(seq=seq, kind="call", function=function, frame_id=1),
+        FrameRecord(seq=seq + 1, kind="return", function=function, frame_id=1),
+    )
+
+
+def test_frame_records_evict_branch_setters():
+    recorder = FlightRecorder(depth=4)
+    recorder.record(_branch(0, slot=7))  # the only setter
+    seq = 1
+    for _ in range(3):  # three call/return pairs: six frame records
+        call, ret = _frame_pair(seq)
+        recorder.record(call)
+        recorder.record(ret)
+        seq += 2
+    assert recorder.evictions == 3
+    assert all(isinstance(r, FrameRecord) for r in recorder.records)
+    assert recorder.branch_records == ()
+    # Degraded, not wrong: the evicted setter is never invented.
+    assert recorder.find_setter(frame_id=0, slot=7, before_seq=seq) is None
+
+
+def test_mixed_trace_keeps_most_recent_window_in_order():
+    recorder = FlightRecorder(depth=5)
+    seq = 0
+    for _ in range(4):
+        recorder.record(
+            FrameRecord(seq=seq, kind="call", function="helper", frame_id=1)
+        )
+        recorder.record(_branch(seq + 1, slot=seq))
+        recorder.record(
+            FrameRecord(
+                seq=seq + 2, kind="return", function="helper", frame_id=1
+            )
+        )
+        seq += 3
+    assert recorder.total_recorded == 12
+    assert recorder.evictions == 7
+    held = [r.seq for r in recorder.records]
+    assert held == sorted(held)
+    assert held == list(range(7, 12))
+    # The survivor set still answers for slots set inside the window...
+    assert recorder.find_setter(0, slot=9, before_seq=12) is not None
+    # ...and stays silent for the evicted ones.
+    assert recorder.find_setter(0, slot=0, before_seq=12) is None
+
+
+def _call_heavy_source(calls_per_iteration=6):
+    body = "    bump();\n" * calls_per_iteration
+    return (
+        "int g;\n"
+        "void bump() { g = g + 1; }\n"
+        "void main() {\n"
+        "  int n = read_int();\n"
+        "  int i = 0;\n"
+        "  while (i < n) {\n"
+        "    if (g >= 0) { emit(1); } else { emit(2); }\n"
+        f"{body}"
+        "    i = i + 1;\n"
+        "  }\n"
+        "  emit(g);\n"
+        "}\n"
+    )
+
+
+def test_call_heavy_run_overflows_a_shallow_ring():
+    program = compile_program(_call_heavy_source(), "callheavy", 1)
+    recorder = FlightRecorder(depth=8)
+    _, ipds = monitored_run(
+        program, inputs=[12], flight_recorder=recorder
+    )
+    assert not ipds.detected
+    assert recorder.evictions > 0
+    assert recorder.total_recorded == recorder.evictions + len(recorder)
+    kinds = {type(r).__name__ for r in recorder.records}
+    assert "FrameRecord" in kinds  # calls/returns really share the ring
+
+
+def test_forensics_notes_eviction_on_call_heavy_alarm(telnetd_program):
+    """With a shallow ring under telnetd's call-heavy command loop, the
+    setter is gone by alarm time; the report must say evicted — and
+    recommend a deeper ring — instead of naming a wrong setter."""
+    from repro.forensics import explain_ipds
+
+    _, program = telnetd_program
+    recorder = FlightRecorder(depth=2)
+    _, ipds = monitored_run(
+        program,
+        inputs=ATTACK["inputs"],
+        tamper=_attack_spec(program),
+        flight_recorder=recorder,
+    )
+    assert ipds.detected and recorder.evictions > 0
+    (report,) = explain_ipds(ipds)
+    assert report.setter is None
+    assert any("evicted" in note for note in report.notes)
+    assert any("--flight-recorder-depth" in note for note in report.notes)
+
+
+def test_deep_ring_recovers_the_same_alarms_setter(telnetd_program):
+    """Control for the eviction test: same attack, ring deep enough to
+    hold the whole trace, setter found with provenance attached."""
+    from repro.forensics import explain_ipds
+
+    _, program = telnetd_program
+    recorder = FlightRecorder(depth=4096)
+    _, ipds = monitored_run(
+        program,
+        inputs=ATTACK["inputs"],
+        tamper=_attack_spec(program),
+        flight_recorder=recorder,
+    )
+    assert ipds.detected and recorder.evictions == 0
+    (report,) = explain_ipds(ipds)
+    assert report.setter is not None
+    assert report.transition is not None
+    assert not any("evicted" in note for note in report.notes)

@@ -1,0 +1,352 @@
+"""Interprocedural transfer summaries (``--opt 2``) and their audit.
+
+Covers both sides of the derivation — the builder's
+:mod:`repro.analysis.summaries` and the auditor's independently derived
+:mod:`repro.staticcheck.ipsummaries` — plus the suppression machinery:
+
+* transfer algebra (join / widen / preservation / canonical grammar);
+* the two derivations agree byte-for-byte on every registry workload;
+* ``--opt 2`` proves strictly more BAT actions than ``--opt 1`` on the
+  instrumented workloads, and every suppression carries ``interproc``
+  provenance the ``IP5xx`` audit re-proves;
+* corruption properties: tampering with a summary, laundering the
+  provenance reason, or dropping the backing BAT entry is always
+  flagged.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.branch_info import OutcomeSet
+from repro.analysis.purity import analyze_purity
+from repro.analysis.ranges import Interval
+from repro.analysis.summaries import VarTransfer, analyze_summaries
+from repro.correlation.actions import BranchAction
+from repro.correlation.provenance import (
+    REASON_INTERPROC,
+    REASON_SUBSUMPTION,
+)
+from repro.ir.instructions import RelOp
+from repro.pipeline import compile_program, compile_program_cached
+from repro.staticcheck import errors_in, run_passes
+from repro.staticcheck.interproc import audit_interproc
+from repro.staticcheck.ipsummaries import IPTransfer, derive_ipsummaries
+from repro.workloads import all_workloads, get_workload
+
+# Two same-variable sanity branches straddle a call to the monotone
+# accounting helper inside the loop: at opt 0/1 the call kills the
+# predictions crossing it, at opt 2 the callee's transfer summary
+# (lifetime' = lifetime + [1, 1]) proves them preserved.
+DEMO = """
+int lifetime;
+
+void bump() {
+  lifetime = lifetime + 1;
+}
+
+void main() {
+  int i = 0;
+  int n = read_int();
+  lifetime = 0;
+  while (i < n) {
+    if (lifetime >= 0) { emit(1); } else { emit(2); }
+    bump();
+    if (lifetime >= 0) { emit(3); } else { emit(4); }
+    i = i + 1;
+  }
+  emit(lifetime);
+}
+"""
+
+#: Workloads carrying the accounting-helper pattern (global counter
+#: bumped via a call between two sanity branches).
+INSTRUMENTED = ("telnetd", "wu-ftpd", "xinetd", "crond", "sysklogd", "httpd")
+
+
+def _outcome(op, bound, taken=True):
+    return OutcomeSet.from_relop(op, bound, taken)
+
+
+# ----------------------------------------------------------------------
+# Transfer algebra — both implementations, via a shared parametrization
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [VarTransfer, IPTransfer], ids=["builder", "audit"])
+class TestTransferAlgebra:
+    def test_identity_preserves_everything(self, cls):
+        identity = cls()
+        assert identity.is_identity
+        assert identity.preserves(_outcome(RelOp.GE, 0))
+        assert identity.preserves(_outcome(RelOp.EQ, 5))
+        assert identity.preserves(_outcome(RelOp.NE, 0))
+
+    def test_top_preserves_nothing(self, cls):
+        top = cls.top_transfer()
+        assert not top.preserves(_outcome(RelOp.GE, 0))
+        assert cls().join(top).top
+
+    def test_nonnegative_delta_preserves_lower_bound(self, cls):
+        inc = cls(delta_hull=Interval(1, 1))
+        assert inc.preserves(_outcome(RelOp.GE, 0))  # [0, +inf]
+        assert not inc.preserves(_outcome(RelOp.LE, 7))  # [-inf, 7]
+        assert not inc.preserves(_outcome(RelOp.EQ, 3))  # point interval
+        dec = cls(delta_hull=Interval(-1, 0))
+        assert dec.preserves(_outcome(RelOp.LE, 7))
+        assert not dec.preserves(_outcome(RelOp.GE, 0))
+
+    def test_hole_outcome_needs_exact_zero_delta(self, cls):
+        hole = _outcome(RelOp.NE, 0)  # Z \ {0}
+        assert cls(delta_hull=Interval(0, 0)).preserves(hole)
+        assert not cls(delta_hull=Interval(0, 1)).preserves(hole)
+
+    def test_const_hull_must_land_inside_outcome(self, cls):
+        assert cls(const_hull=Interval(3, 9)).preserves(_outcome(RelOp.GE, 0))
+        assert not cls(const_hull=Interval(-1, 9)).preserves(
+            _outcome(RelOp.GE, 0)
+        )
+
+    def test_join_hulls_union(self, cls):
+        a = cls(const_hull=Interval(1, 2))
+        b = cls(delta_hull=Interval(-1, 0))
+        joined = a.join(b)
+        assert joined.const_hull == Interval(1, 2)
+        assert joined.delta_hull == Interval(-1, 0)
+
+    def test_describe_grammar(self, cls):
+        assert cls().describe("g") == "g' unchanged"
+        assert cls.top_transfer().describe("g") == "g' unbounded"
+        assert (
+            cls(const_hull=Interval(0, 0)).describe("g") == "g' in [0, 0]"
+        )
+        assert (
+            cls(delta_hull=Interval(1, 1)).describe("g")
+            == "g' = g + [1, 1]"
+        )
+        both = cls(const_hull=Interval(0, 0), delta_hull=Interval(1, 1))
+        assert both.describe("g") == "g' in [0, 0] or g' = g + [1, 1]"
+
+
+# ----------------------------------------------------------------------
+# Derivation agreement and the opt-2 gain
+# ----------------------------------------------------------------------
+
+
+def test_demo_summary_is_affine_unit_increment():
+    program = compile_program(DEMO, "demo", 2)
+    summaries = analyze_summaries(program.module)
+    fn = summaries.by_function["bump"]
+    (transfer,) = fn.transfers.values()
+    assert transfer.delta_hull == Interval(1, 1)
+    assert transfer.const_hull is None
+    assert not transfer.top
+
+
+def test_builder_and_audit_summaries_agree_on_all_workloads():
+    """Same canonical text for every (function, global) on both sides —
+    the IP502 text comparison depends on this."""
+    for workload in all_workloads():
+        program = compile_program_cached(workload.source, workload.name, 2)
+        built = analyze_summaries(program.module)
+        purity = analyze_purity(program.module)
+        derived = derive_ipsummaries(program.module, purity)
+        for fn_name, summary in built.by_function.items():
+            for var, transfer in summary.transfers.items():
+                twin = derived.transfer_for(fn_name, var)
+                assert transfer.describe(var.name) == twin.describe(
+                    var.name
+                ), (workload.name, fn_name, var.name)
+
+
+def test_demo_opt2_gains_sets_with_interproc_provenance():
+    p1 = compile_program(DEMO, "demo", 1)
+    p2 = compile_program(DEMO, "demo", 2)
+    sets = lambda p: sum(s.set_entries for s in p.build_stats)
+    assert sets(p2) == sets(p1) + 2
+    assert sum(s.interproc_kills_suppressed for s in p2.build_stats) == 2
+    records = [
+        r
+        for t in p2.tables
+        for r in t.provenance
+        if r.reason == REASON_INTERPROC
+    ]
+    assert len(records) == 2
+    for record in records:
+        assert record.summary == "bump: lifetime' = lifetime + [1, 1]"
+        assert record.action in ("SET_T", "SET_NT")
+
+
+@pytest.mark.parametrize("name", INSTRUMENTED)
+def test_instrumented_workloads_gain_strictly_more_sets(name):
+    workload = get_workload(name)
+    p1 = compile_program_cached(workload.source, workload.name, 1)
+    p2 = compile_program_cached(workload.source, workload.name, 2)
+    s1 = sum(s.set_entries for s in p1.build_stats)
+    s2 = sum(s.set_entries for s in p2.build_stats)
+    assert s2 > s1, f"{name}: opt2 proved {s2} sets, opt1 {s1}"
+    assert sum(s.interproc_kills_suppressed for s in p2.build_stats) > 0
+
+
+def test_opt2_identical_to_opt1_without_eligible_kills():
+    """A program whose kills are not call-only must build identically."""
+    source = """
+    int g;
+    void main() {
+      int n = read_int();
+      if (g >= 0) { emit(1); }
+      g = n;                       // direct store: never suppressible
+      if (g >= 0) { emit(2); }
+    }
+    """
+    p1 = compile_program(source, "plain", 1)
+    p2 = compile_program(source, "plain", 2)
+    t1 = p1.tables.by_function["main"]
+    t2 = p2.tables.by_function["main"]
+    assert dict(t1.bat) == dict(t2.bat)
+    assert sum(s.interproc_kills_suppressed for s in p2.build_stats) == 0
+
+
+# ----------------------------------------------------------------------
+# IP5xx corruption properties
+# ----------------------------------------------------------------------
+
+
+def _fresh_demo():
+    program = compile_program(DEMO, "demo", 2)
+    tables = program.tables.by_function["main"]
+    return program, tables
+
+
+def _codes(program):
+    return sorted({d.code for d in audit_interproc(program)})
+
+
+def test_fresh_demo_is_ip_clean():
+    program, _ = _fresh_demo()
+    assert _codes(program) == []
+    assert errors_in(run_passes(program)) == []
+
+
+def test_tampered_summary_text_flags_ip502():
+    program, tables = _fresh_demo()
+    records = list(tables.provenance)
+    index = next(
+        i for i, r in enumerate(records) if r.reason == REASON_INTERPROC
+    )
+    records[index] = replace(
+        records[index], summary="bump: lifetime' unchanged"
+    )
+    tables.provenance = tuple(records)
+    tables._prov_index = None
+    assert "IP502" in _codes(program)
+
+
+def test_laundered_reason_flags_ip503():
+    program, tables = _fresh_demo()
+    tables.provenance = tuple(
+        replace(r, reason=REASON_SUBSUMPTION, summary=None)
+        if r.reason == REASON_INTERPROC
+        else r
+        for r in tables.provenance
+    )
+    tables._prov_index = None
+    assert _codes(program) == ["IP503"]
+
+
+def test_dropped_bat_entry_flags_ip501():
+    program, tables = _fresh_demo()
+    record = next(
+        r for r in tables.provenance if r.reason == REASON_INTERPROC
+    )
+    source_slot = tables.slot_of(record.source_pc)
+    target_slot = tables.slot_of(record.target_pc)
+    bat = dict(tables.bat)
+    bat[(source_slot, record.taken)] = tuple(
+        entry
+        for entry in bat[(source_slot, record.taken)]
+        if entry[0] != target_slot
+    )
+    tables.bat = bat
+    assert "IP501" in _codes(program)
+
+
+def test_forged_interproc_reason_flags_ip502():
+    """Claiming interproc on an entry whose region holds no call."""
+    program, tables = _fresh_demo()
+    records = list(tables.provenance)
+    index = next(
+        i for i, r in enumerate(records) if r.reason == REASON_SUBSUMPTION
+    )
+    records[index] = replace(
+        records[index],
+        reason=REASON_INTERPROC,
+        summary="bump: lifetime' = lifetime + [1, 1]",
+    )
+    tables.provenance = tuple(records)
+    tables._prov_index = None
+    assert "IP502" in _codes(program)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_interproc_record_tampering_always_flagged(seed):
+    """Any mutation of an interproc record's semantic fields is caught."""
+    rng = random.Random(f"ip-tamper:{seed}")
+    program, tables = _fresh_demo()
+    records = list(tables.provenance)
+    index = next(
+        i for i, r in enumerate(records) if r.reason == REASON_INTERPROC
+    )
+    record = records[index]
+    mutation = rng.choice(["summary", "action", "var", "reason"])
+    if mutation == "summary":
+        record = replace(record, summary="bump: lifetime' unbounded")
+    elif mutation == "action":
+        flipped = "SET_NT" if record.action == "SET_T" else "SET_T"
+        record = replace(record, action=flipped)
+    elif mutation == "var":
+        record = replace(record, var="ghost")
+    else:
+        record = replace(record, reason=REASON_SUBSUMPTION, summary=None)
+    records[index] = record
+    tables.provenance = tuple(records)
+    tables._prov_index = None
+    assert _codes(program) != [], mutation
+
+
+def test_suppressed_entries_reprove_under_full_audit():
+    """The correlation audit itself (COR205, summary-aware MFP) accepts
+    the opt-2 entries on every workload."""
+    for name in INSTRUMENTED:
+        workload = get_workload(name)
+        program = compile_program_cached(workload.source, workload.name, 2)
+        diagnostics = errors_in(run_passes(program))
+        assert diagnostics == [], (name, [str(d) for d in diagnostics])
+
+
+def test_suppression_needs_own_set_claim():
+    """A kill on a target the edge has no own SET for stays a kill,
+    even when the callee preserves every outcome involved."""
+    source = """
+    int g;
+    void bump() { g = g + 1; }
+    void main() {
+      int n = read_int();
+      int i = 0;
+      while (i < n) {
+        bump();
+        if (g >= 0) { emit(1); } else { emit(2); }
+        i = i + 1;
+      }
+      emit(g);
+    }
+    """
+    program = compile_program(source, "noclaim", 2)
+    tables = program.tables.by_function["main"]
+    # The loop branch's edge region holds the call but that edge has no
+    # SET on the g-check, so nothing may be suppressed there.
+    for stats in program.build_stats:
+        if stats.function_name == "main":
+            assert stats.interproc_kills_suppressed == 0
+    assert errors_in(run_passes(program)) == []

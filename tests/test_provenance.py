@@ -13,6 +13,7 @@ from repro.correlation.binary_image import (
 )
 from repro.correlation.provenance import (
     REASON_CONFLICT,
+    REASON_INTERPROC,
     REASON_KILL,
     REASON_SUBSUMPTION,
     VALID_REASONS,
@@ -24,7 +25,7 @@ from repro.pipeline import compile_program_cached
 from repro.workloads import get_workload, workload_names
 
 
-@pytest.fixture(scope="module", params=[0, 1], ids=["opt0", "opt1"])
+@pytest.fixture(scope="module", params=[0, 1, 2], ids=["opt0", "opt1", "opt2"])
 def programs(request):
     out = {}
     for name in workload_names():
@@ -57,12 +58,16 @@ def test_record_fields_are_well_formed(programs):
             for record in tables.provenance:
                 assert record.reason in VALID_REASONS
                 assert record.action in ("SET_T", "SET_NT", "SET_UN")
-                if record.reason == REASON_SUBSUMPTION:
+                if record.reason in (REASON_SUBSUMPTION, REASON_INTERPROC):
                     assert record.action in ("SET_T", "SET_NT")
                     assert record.var
                     assert record.link_kind in ("load", "store")
                     assert record.implied
                     assert record.check
+                    if record.reason == REASON_INTERPROC:
+                        assert record.summary
+                    else:
+                        assert record.summary is None
                 else:
                     assert record.action == "SET_UN"
                     assert record.var
@@ -103,6 +108,18 @@ def test_describe_covers_all_reasons():
         **base, action="SET_UN", reason=REASON_CONFLICT, var="x"
     )
     assert "contradictory" in conflict.describe()
+    interproc = ActionProvenance(
+        **base,
+        action="SET_T",
+        reason=REASON_INTERPROC,
+        var="x",
+        link_kind="store",
+        link_index=0,
+        implied="[1, +inf]",
+        check="x >= 0",
+        summary="bump: x' = x + [1, 1]",
+    )
+    assert "calls preserve it (bump: x' = x + [1, 1])" in interproc.describe()
 
 
 def test_unknown_reason_rejected():

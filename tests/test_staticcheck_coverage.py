@@ -1,0 +1,119 @@
+"""The static protection-coverage pass (``repro coverage``, COV6xx)."""
+
+import json
+
+from repro.pipeline import compile_program, compile_program_cached
+from repro.staticcheck import COVERAGE_PASSES, Severity, run_passes
+from repro.staticcheck.coverage import coverage_report
+from repro.workloads import get_workload, workload_names
+
+SOURCE = """
+int g;
+
+void bump() { g = g + 1; }
+
+void main() {
+  int n = read_int();
+  int i = 0;
+  while (i < n) {                 // no check predicate (local i vs n)
+    if (g >= 0) { emit(1); } else { emit(2); }
+    bump();
+    if (g >= 0) { emit(3); } else { emit(4); }
+    i = i + 1;
+  }
+  emit(g);
+}
+"""
+
+
+def _by_code(diagnostics):
+    out = {}
+    for diag in diagnostics:
+        out.setdefault(diag.code, []).append(diag)
+    return out
+
+
+def test_coverage_pass_reports_fractions_and_totals():
+    program = compile_program(SOURCE, "demo", 2)
+    by_code = _by_code(coverage_report(program))
+    # One COV601 per function that has branches (main only — bump has
+    # none), one COV602 per unprotected branch, exactly one COV603.
+    assert len(by_code["COV601"]) == 1
+    assert by_code["COV601"][0].span.function == "main"
+    assert "2/3" in by_code["COV601"][0].message
+    assert len(by_code["COV603"]) == 1
+    totals = by_code["COV603"][0].message
+    assert "2/3 conditional branches protected (66.7%)" in totals
+    assert "proved interprocedurally" in totals
+    assert "1 variable(s) are detectable tamper points" in totals
+
+
+def test_coverage_classifies_unprotected_branches():
+    program = compile_program(SOURCE, "demo", 2)
+    by_code = _by_code(coverage_report(program))
+    (loop,) = by_code["COV602"]
+    assert loop.severity is Severity.WARNING
+    assert "no check predicate is derivable" in loop.message
+
+
+def test_coverage_counts_interproc_actions():
+    p1 = compile_program(SOURCE, "demo", 1)
+    p2 = compile_program(SOURCE, "demo", 2)
+
+    def interproc_count(program):
+        (totals,) = [
+            d for d in coverage_report(program) if d.code == "COV603"
+        ]
+        return totals.message
+
+    assert "0 proved interprocedurally" in interproc_count(p1)
+    assert "2 proved interprocedurally" in interproc_count(p2)
+
+
+def test_fully_unprotected_program_reports_zero():
+    program = compile_program(
+        "void main() { emit(read_int()); }", "flat", 0
+    )
+    by_code = _by_code(coverage_report(program))
+    assert "COV601" not in by_code  # no conditional branches at all
+    assert "0/0 conditional branches protected (0.0%)" in (
+        by_code["COV603"][0].message
+    )
+
+
+def test_coverage_never_emits_errors_on_registry():
+    for name in workload_names():
+        workload = get_workload(name)
+        program = compile_program_cached(workload.source, workload.name, 2)
+        diagnostics = run_passes(program, names=COVERAGE_PASSES)
+        assert diagnostics, name
+        assert all(
+            diag.severity is not Severity.ERROR for diag in diagnostics
+        ), name
+        codes = {diag.code for diag in diagnostics}
+        assert "COV603" in codes
+
+
+def test_coverage_cli_exits_clean_and_writes_json(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "coverage.json"
+    code = main(["coverage", "sysklogd", "--opt", "2", "--json", str(out)])
+    assert code == 0  # --fail-on defaults to never
+    printed = capsys.readouterr().out
+    assert "COV603" in printed
+    document = json.loads(out.read_text())
+    codes = {
+        entry["code"]
+        for target in document["targets"]
+        for entry in target["diagnostics"]
+    }
+    assert {"COV601", "COV603"} <= codes
+
+
+def test_coverage_cli_fail_on_warning(tmp_path):
+    from repro.cli import main
+
+    # Every workload has at least one unprotected branch today, so
+    # lowering the gate to warnings must flip the exit code.
+    assert main(["coverage", "sysklogd", "--fail-on", "warning"]) == 1

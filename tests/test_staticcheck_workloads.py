@@ -1,8 +1,8 @@
 """Regression: the full audit is clean on every workload.
 
 This pins the PR's acceptance criterion — ``repro audit`` reports zero
-error-severity diagnostics on all ten workloads at both optimization
-levels — so any future change to the builder, the optimizer, or the
+error-severity diagnostics on all ten workloads at every optimization
+level — so any future change to the builder, the optimizer, or the
 auditor that breaks the zero-false-positive guarantee (or makes the
 auditor over-strict) fails here.
 """
@@ -14,7 +14,7 @@ from repro.staticcheck import AUDIT_PASSES, errors_in, run_passes
 from repro.workloads import get_workload, workload_names
 
 
-@pytest.mark.parametrize("opt", [0, 1])
+@pytest.mark.parametrize("opt", [0, 1, 2])
 @pytest.mark.parametrize("name", workload_names())
 def test_workload_audits_clean(name, opt):
     workload = get_workload(name)

@@ -12,16 +12,21 @@ Measures what attaching observers costs one interpreter execution:
   of the full stack can be attributed per consumer;
 * ``full_stack``  — the real four-consumer configuration: IPDS +
   baseline timing model + n-gram syscall capture + trace recorder on
-  one pass.
+  one pass;
+* ``full_stack_segment`` — the same stack with the timing model in
+  segment mode (``--timing-mode=segment``), including per-run segment
+  training: the campaign-speed configuration.
 
 Run with ``pytest benchmarks/bench_observer_overhead.py --benchmark-only``.
 Writes ``BENCH_observer_overhead.json`` at the repo root with per-config
 steps/sec, the overhead of each config relative to ``bare`` — the
 number the bus's pre-filtering (control-flow-only observers never pay
-per-instruction dispatch) is meant to keep small — and a ``breakdown``
+per-instruction dispatch) is meant to keep small — a ``breakdown``
 section attributing the full stack's cost to individual consumers
 (shares can exceed 100% of ``full_stack``: a lone consumer pays the
-whole dispatch fan-out cost that the stack amortizes).
+whole dispatch fan-out cost that the stack amortizes), and a
+``summary`` block with the headline full-stack throughput numbers the
+bench-diff gate watches direction-aware.
 """
 
 import json
@@ -44,7 +49,9 @@ CONSUMER_CONFIGS = [
     "ipds_only", "timing_only", "syscall_only", "recorder_only",
 ]
 CONFIGS = (
-    ["bare", "noop_events", "noop_instr"] + CONSUMER_CONFIGS + ["full_stack"]
+    ["bare", "noop_events", "noop_instr"]
+    + CONSUMER_CONFIGS
+    + ["full_stack", "full_stack_segment"]
 )
 
 BENCH_OUT = (
@@ -83,6 +90,17 @@ def _observers(config):
             SyscallTraceObserver(),
             TraceRecorder(),
         ]
+    if config == "full_stack_segment":
+        # A fresh model per run: the measured cost honestly includes
+        # segment training, not just trained-replay throughput.
+        return [
+            None,  # placeholder: fresh IPDS built per run
+            TimingObserver(
+                TimingModel(ProcessorParams(), None, mode="segment")
+            ),
+            SyscallTraceObserver(),
+            TraceRecorder(),
+        ]
     raise ValueError(config)
 
 
@@ -94,7 +112,7 @@ def test_observer_overhead(benchmark, compiled_workloads, workload_inputs,
 
     def execute():
         observers = _observers(config)
-        if config in ("full_stack", "ipds_only"):
+        if config in ("full_stack", "full_stack_segment", "ipds_only"):
             observers[0] = program.new_ipds()
         return observed_run(program, observers=observers, inputs=inputs)
 
@@ -138,6 +156,26 @@ def _write_report():
                 round(100.0 * lone_cost / full_cost, 2) if full_cost else 0.0
             ),
         }
+    # Headline block for the direction-aware bench-diff rules: the
+    # full-stack throughput (higher is better) and overhead vs bare
+    # (lower is better), exact and segment mode side by side.
+    full = _TIMINGS["full_stack"]
+    segment = _TIMINGS["full_stack_segment"]
+    summary = {
+        "full_stack_steps_per_sec": full["steps_per_sec"],
+        "full_stack_overhead_vs_bare_pct": full["overhead_vs_bare_pct"],
+        "full_stack_segment_steps_per_sec": segment["steps_per_sec"],
+        "full_stack_segment_overhead_vs_bare_pct": segment[
+            "overhead_vs_bare_pct"
+        ],
+        "segment_speedup_x_full_stack": (
+            round(
+                full["seconds_per_run"] / segment["seconds_per_run"], 3
+            )
+            if segment["seconds_per_run"]
+            else 0.0
+        ),
+    }
     BENCH_OUT.write_text(
         json.dumps(
             {
@@ -147,6 +185,7 @@ def _write_report():
                 "rounds": ROUNDS,
                 "configs": _TIMINGS,
                 "breakdown": breakdown,
+                "summary": summary,
             },
             indent=2,
             sort_keys=True,

@@ -83,6 +83,15 @@ class AttackOutcome:
     #: when the campaign runs with ``forensics=True``; empty otherwise,
     #: so forensics-off campaigns stay byte-identical to before.
     explanations: Tuple[str, ...] = ()
+    #: Rendered alarm strings from the attack run's IPDS, in raise
+    #: order.  Purely observational (derived from state the run already
+    #: produced), so recording them never perturbs an outcome — the
+    #: timing-equivalence goldens pin these byte-for-byte.
+    alarms: Tuple[str, ...] = ()
+    #: Modeled cycle count of the monitored attack run — populated only
+    #: when the campaign runs with a ``timing_mode``; None otherwise, so
+    #: timing-off campaigns stay byte-identical to before.
+    cycles: Optional[int] = None
 
 
 @dataclass
@@ -92,6 +101,11 @@ class WorkloadResult:
     workload: str
     vuln_kind: str
     attacks: List[AttackOutcome] = field(default_factory=list)
+    #: Timing mode the campaign ran its attack runs under (None = no
+    #: timing model attached).  Shard merges refuse to mix modes: a
+    #: cycle column whose rows came from different approximations would
+    #: be silently meaningless.
+    timing_mode: Optional[str] = None
 
     @property
     def total(self) -> int:
@@ -155,6 +169,7 @@ def run_attack(
     metrics: Optional[MetricsRegistry] = None,
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
 ) -> AttackOutcome:
     """Run one independent attack (clean + probe + attack runs).
 
@@ -174,9 +189,16 @@ def run_attack(
     ``metrics`` (optional) accumulates telemetry counters — event and
     step volumes, outcome tallies — without touching the outcome
     itself, so metrics-on and metrics-off campaigns stay bit-identical.
+
+    ``timing_mode`` (optional, ``"exact"`` or ``"segment"``) attaches a
+    timing model to the monitored attack run and records its cycle
+    count on the outcome.  The timing model is a passive bus consumer:
+    detection results are identical with it on or off.
     """
     if attack_model not in ("input", "process"):
         raise ValueError(f"unknown attack model {attack_model!r}")
+    if timing_mode not in (None, "exact", "segment"):
+        raise ValueError(f"unknown timing mode {timing_mode!r}")
     if rng is None:
         rng = attack_rng(seed_prefix, workload.name, index)
     inputs = workload.make_inputs(rng)
@@ -220,15 +242,28 @@ def run_attack(
     address, owner, var_name = rng.choice(candidates)
     value = rng.choice(TAMPER_VALUES)
 
-    # 3. The attack run (flight-recorded when forensics is on).
+    # 3. The attack run (flight-recorded when forensics is on, timed
+    # when a timing mode is selected).
     tamper = TamperSpec(trigger_kind, trigger, address, value)
     recorder = FlightRecorder(flight_recorder_depth) if forensics else None
+    timing_model = None
+    extra_observers: Tuple[object, ...] = ()
+    if timing_mode is not None:
+        from ..cpu.ipds_hw import IPDSHardwareModel
+        from ..cpu.pipeline import TimingModel
+        from ..cpu.simulator import TimingObserver
+
+        timing_model = TimingModel(
+            ipds=IPDSHardwareModel(program.tables), mode=timing_mode
+        )
+        extra_observers = (TimingObserver(timing_model),)
     attacked, ipds = monitored_run(
         program,
         inputs=inputs,
         tamper=tamper,
         step_limit=step_limit,
         flight_recorder=recorder,
+        observers=extra_observers,
     )
     explanations: Tuple[str, ...] = ()
     if forensics and ipds.detected:
@@ -267,6 +302,8 @@ def run_attack(
         clean_status=clean.status,
         attack_status=attacked.status,
         explanations=explanations,
+        alarms=tuple(str(alarm) for alarm in ipds.alarms),
+        cycles=timing_model.stats.cycles if timing_model is not None else None,
     )
 
 
@@ -282,6 +319,7 @@ def run_workload_campaign(
     metrics: Optional[MetricsRegistry] = None,
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
 ) -> WorkloadResult:
     """Attack one workload ``attacks`` times independently.
 
@@ -309,6 +347,7 @@ def run_workload_campaign(
             metrics=metrics,
             forensics=forensics,
             flight_recorder_depth=flight_recorder_depth,
+            timing_mode=timing_mode,
         )
     if program is None:
         from ..pipeline import compile_program_cached
@@ -319,7 +358,11 @@ def run_workload_campaign(
     if metrics is not None:
         metrics.increment("campaign.workloads")
         metrics.increment("campaign.jobs")
-    result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
+    result = WorkloadResult(
+        workload=workload.name,
+        vuln_kind=workload.vuln_kind,
+        timing_mode=timing_mode,
+    )
     for index in range(attacks):
         result.attacks.append(
             run_attack(
@@ -328,6 +371,7 @@ def run_workload_campaign(
                 attack_model=attack_model, metrics=metrics,
                 forensics=forensics,
                 flight_recorder_depth=flight_recorder_depth,
+                timing_mode=timing_mode,
             )
         )
     return result
@@ -345,6 +389,7 @@ def run_campaign(
     metrics: Optional[MetricsRegistry] = None,
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
 ) -> CampaignSummary:
     """The Figure-7 experiment, optionally sharded across processes.
 
@@ -370,6 +415,7 @@ def run_campaign(
         metrics=metrics,
         forensics=forensics,
         flight_recorder_depth=flight_recorder_depth,
+        timing_mode=timing_mode,
     )
 
 

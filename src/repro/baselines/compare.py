@@ -45,6 +45,20 @@ class SyscallTraceObserver(ExecutionObserver):
                 f"{instruction.callee}@{instruction.address:x}"
             )
 
+    def on_instruction_batch(
+        self,
+        instructions: Sequence[Instruction],
+        touched: Sequence[Optional[int]],
+        count: int,
+    ) -> None:
+        # Batched delivery: scan the flat buffer for calls in one call
+        # frame instead of paying a Python call per instruction.
+        append = self.symbols.append
+        for index in range(count):
+            instruction = instructions[index]
+            if instruction.__class__ is Call:
+                append(f"{instruction.callee}@{instruction.address:x}")
+
 
 def capture_trace(
     program: ProtectedProgram,

@@ -429,10 +429,12 @@ def _dump_outcomes(results, path: str) -> int:
                 "clean_status": outcome.clean_status.value,
                 "attack_status": outcome.attack_status.value,
             }
-            # Key appears only on forensics campaigns, so forensics-off
-            # outcome logs stay byte-identical to before.
+            # Keys appear only on forensics / timed campaigns, so logs
+            # from campaigns without them stay byte-identical to before.
             if outcome.explanations:
                 record["explanations"] = list(outcome.explanations)
+            if outcome.cycles is not None:
+                record["cycles"] = outcome.cycles
             writer.write(record)
     return writer.records_written
 
@@ -512,6 +514,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         model=args.model,
         opt=args.opt,
         seed_prefix=args.seed_prefix,
+        timing_mode=args.timing_mode,
     )
     if args.workload == "all":
         from .reporting import render_figure7
@@ -525,6 +528,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             metrics=metrics,
             forensics=args.forensics,
             flight_recorder_depth=args.flight_recorder_depth,
+            timing_mode=args.timing_mode,
         )
         print(render_figure7(summary))
         results = summary.results
@@ -545,6 +549,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             metrics=metrics,
             forensics=args.forensics,
             flight_recorder_depth=args.flight_recorder_depth,
+            timing_mode=args.timing_mode,
         )
         print(f"workload {workload.name} ({workload.vuln_kind}), "
               f"{result.total} attacks:")
@@ -554,6 +559,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"({result.pct_detected:.1f}%)")
         print(f"  detected of changed : "
               f"{result.pct_detected_of_changed:.1f}%")
+        if result.timing_mode is not None:
+            cycles = [a.cycles for a in result.attacks if a.cycles is not None]
+            if cycles:
+                print(f"  avg attack cycles   : "
+                      f"{sum(cycles) / len(cycles):.0f} "
+                      f"({result.timing_mode} timing)")
         results = [result]
         outcome_summary = {
             "total": result.total,
@@ -572,7 +583,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def cmd_timing(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
     manifest = RunManifest.begin(
-        "timing", workload=args.workload, scale=args.scale
+        "timing", workload=args.workload, scale=args.scale,
+        timing_mode=args.timing_mode,
     )
     workload = get_workload(args.workload)
     with metrics.span("compile"):
@@ -587,7 +599,8 @@ def cmd_timing(args: argparse.Namespace) -> int:
         observers.append(recorder)
     with metrics.span("simulate"):
         comp = normalized_performance(
-            program, inputs, workload.name, observers=observers
+            program, inputs, workload.name, observers=observers,
+            timing_mode=args.timing_mode,
         )
     metrics.increment("timing.instructions", comp.instructions)
     metrics.increment("timing.baseline_cycles", comp.baseline_cycles)
@@ -754,6 +767,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-prefix", default="",
                    help="campaign seed namespace (attack i draws from "
                         "seed '<prefix><workload>:<i>')")
+    p.add_argument("--timing-mode", choices=["exact", "segment"],
+                   default=None,
+                   help="attach a timing model to every attack run and "
+                        "record cycle counts ('segment' uses the "
+                        "memoized fast path; detection results are "
+                        "identical either way)")
     _add_forensics_args(p)
     _add_observability_args(
         p, trace_help="append per-attack outcome records as JSONL"
@@ -798,6 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("timing", help="Figure-9 timing for a workload")
     p.add_argument("workload", choices=workload_names())
     p.add_argument("--scale", type=int, default=10)
+    p.add_argument("--timing-mode", choices=["exact", "segment"],
+                   default="exact",
+                   help="'exact' is the cycle-accurate reference; "
+                        "'segment' memoizes per-trace-segment deltas "
+                        "(accuracy pinned by the tolerance matrix)")
     _add_observability_args(p)
     p.set_defaults(func=cmd_timing)
 

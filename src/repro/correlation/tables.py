@@ -51,6 +51,20 @@ class FunctionTables:
         self._slot_by_pc: Dict[int, int] = {
             pc: self.hash_params.slot(pc) for pc in self.branch_pcs
         }
+        # Per-branch runtime plan, precomputed once so the IPDS hot path
+        # pays a single int-keyed lookup per committed branch instead of
+        # slot_of + BCV membership + a (slot, taken)-tuple BAT lookup.
+        self._plan_by_pc: Dict[
+            int, Tuple[int, bool, Tuple[ActionEntry, ...], Tuple[ActionEntry, ...]]
+        ] = {
+            pc: (
+                slot,
+                slot in self.bcv_slots,
+                self.bat.get((slot, True), ()),
+                self.bat.get((slot, False), ()),
+            )
+            for pc, slot in self._slot_by_pc.items()
+        }
         self._prov_index: Optional[
             Dict[Tuple[int, bool, int], ActionProvenance]
         ] = None
@@ -64,6 +78,16 @@ class FunctionTables:
     def slot_of(self, pc: int) -> Optional[int]:
         """Slot of a branch PC, or None if the PC is not a branch here."""
         return self._slot_by_pc.get(pc)
+
+    def branch_plan(
+        self, pc: int
+    ) -> Optional[
+        Tuple[int, bool, Tuple[ActionEntry, ...], Tuple[ActionEntry, ...]]
+    ]:
+        """The precomputed ``(slot, checked, taken_actions,
+        not_taken_actions)`` runtime plan for a branch PC, or None if the
+        PC is not a branch of this function."""
+        return self._plan_by_pc.get(pc)
 
     def pc_of_slot(self, slot: int) -> Optional[int]:
         """Inverse of :meth:`slot_of` — well-defined because the hash is

@@ -38,16 +38,26 @@ class TwoLevelPredictor:
         return counter >= 2
 
     def update(self, pc: int, taken: bool) -> bool:
-        """Record the outcome; returns True if it was predicted right."""
-        self.stats.predictions += 1
-        index = self._index(pc)
-        counter = self._pht.get(index, 2)
+        """Record the outcome; returns True if it was predicted right.
+
+        Index computation and the saturating-counter move are inlined:
+        this runs once per committed conditional branch and sits on the
+        timing stack's hot path.
+        """
+        stats = self.stats
+        stats.predictions += 1
+        mask = self._mask
+        index = ((pc >> 2) ^ self._history) & mask
+        pht = self._pht
+        counter = pht.get(index, 2)
         predicted = counter >= 2
         if taken:
-            self._pht[index] = min(3, counter + 1)
+            pht[index] = counter + 1 if counter < 3 else 3
+            self._history = ((self._history << 1) | 1) & mask
         else:
-            self._pht[index] = max(0, counter - 1)
-        self._history = ((self._history << 1) | int(taken)) & self._mask
+            pht[index] = counter - 1 if counter > 0 else 0
+            self._history = (self._history << 1) & mask
         if predicted != taken:
-            self.stats.mispredictions += 1
-        return predicted == taken
+            stats.mispredictions += 1
+            return False
+        return True

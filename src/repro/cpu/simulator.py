@@ -36,6 +36,19 @@ class TimingObserver(ExecutionObserver):
 
     def __init__(self, model: TimingModel) -> None:
         self.model = model
+        # The bus binds hooks per instance (``getattr`` at sink-build
+        # time), so shadowing the class methods with the model's bound
+        # methods removes one call frame from every dispatch.  The
+        # class-level overrides below still exist — they are what makes
+        # the bus's override detection subscribe this observer.
+        self.on_instruction = model.on_instruction
+        self.on_instruction_batch = model.on_instructions
+        outcome = model.on_branch_outcome
+
+        def _on_branch(event: BranchEvent, _outcome=outcome) -> None:
+            _outcome(event.function_name, event.pc, event.taken)
+
+        self.on_branch = _on_branch
 
     def on_branch(self, event: BranchEvent) -> None:
         self.model.on_branch_outcome(event.function_name, event.pc, event.taken)
@@ -50,6 +63,16 @@ class TimingObserver(ExecutionObserver):
         self, instruction: Instruction, touched: Optional[int]
     ) -> None:
         self.model.on_instruction(instruction, touched)
+
+    def on_instruction_batch(
+        self,
+        instructions: Sequence[Instruction],
+        touched: Sequence[Optional[int]],
+        count: int,
+    ) -> None:
+        # The model's batch loop holds pipeline state in locals for the
+        # whole buffer — this is the timing fast path.
+        self.model.on_instructions(instructions, touched, count)
 
 
 @dataclass
@@ -80,17 +103,22 @@ def timed_run(
     ipds_params: IPDSHardwareParams = IPDSHardwareParams(),
     step_limit: int = 2_000_000,
     observers: Sequence[object] = (),
+    timing_mode: str = "exact",
+    batched_delivery: bool = True,
 ) -> TimedRun:
     """Execute once under the timing model.
 
     Extra ``observers`` share the same execution — e.g. a
     :class:`~repro.runtime.replay.TraceRecorder` for an audit trace of
-    the timed run.
+    the timed run.  ``timing_mode="segment"`` opts into the memoized
+    segment approximation; ``batched_delivery=False`` forces the
+    per-instruction reference path (the differential-equivalence
+    baseline).
     """
     ipds_hw = (
         IPDSHardwareModel(program.tables, ipds_params) if with_ipds else None
     )
-    model = TimingModel(processor, ipds_hw)
+    model = TimingModel(processor, ipds_hw, mode=timing_mode)
     interpreter = Interpreter(
         program.module,
         inputs=inputs,
@@ -98,6 +126,7 @@ def timed_run(
         step_limit=step_limit,
         observers=[TimingObserver(model), *observers],
         trace_branches=False,
+        batched_delivery=batched_delivery,
     )
     result = interpreter.run()
     return TimedRun(
@@ -140,6 +169,8 @@ def normalized_performance(
     ipds_params: IPDSHardwareParams = IPDSHardwareParams(),
     step_limit: int = 2_000_000,
     observers: Sequence[object] = (),
+    timing_mode: str = "exact",
+    batched_delivery: bool = True,
 ) -> PerformanceComparison:
     """Baseline and IPDS configurations measured from **one** execution.
 
@@ -148,11 +179,13 @@ def normalized_performance(
     them as two observers of a single execution halves the experiment's
     interpreter work while producing cycle counts identical to the old
     two-pass protocol.  Extra ``observers`` (recorders, metrics taps)
-    ride the same pass.
+    ride the same pass.  ``timing_mode="segment"`` applies the memoized
+    segment approximation to *both* models; ``batched_delivery=False``
+    forces per-instruction event delivery (the equivalence reference).
     """
-    baseline_model = TimingModel(processor, None)
+    baseline_model = TimingModel(processor, None, mode=timing_mode)
     ipds_hw = IPDSHardwareModel(program.tables, ipds_params)
-    protected_model = TimingModel(processor, ipds_hw)
+    protected_model = TimingModel(processor, ipds_hw, mode=timing_mode)
     interpreter = Interpreter(
         program.module,
         inputs=inputs,
@@ -163,6 +196,7 @@ def normalized_performance(
             *observers,
         ],
         trace_branches=False,
+        batched_delivery=batched_delivery,
     )
     interpreter.run()
     return PerformanceComparison(

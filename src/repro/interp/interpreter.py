@@ -89,6 +89,10 @@ class _Activation:
     block_label: str = ""
     index: int = 0
     return_reg: Optional[Reg] = None
+    #: The current block's instruction list, cached so the hot loop
+    #: indexes a list instead of re-resolving ``function.block(label)``
+    #: every step.  Kept in lockstep with ``block_label``.
+    instructions: List[Instruction] = field(default_factory=list)
 
 
 @dataclass
@@ -112,6 +116,13 @@ class RunResult:
 EventListener = Callable[[Event], None]
 #: Optional per-instruction listener (used by the timing model).
 InstructionListener = Callable[[Instruction, Optional[int]], None]
+
+#: Capacity of the flat instruction-event buffer (entries).  Batches
+#: also flush at every basic-block / control-flow boundary, so the
+#: capacity only caps straight-line runs; 512 comfortably covers the
+#: longest block any workload lowers to while keeping the buffer in
+#: cache.
+EVENT_BUFFER_CAPACITY = 512
 
 
 class Interpreter:
@@ -138,6 +149,7 @@ class Interpreter:
         probe: Optional[Tuple[str, int]] = None,
         syscall_listener: Optional[Callable[[str, int], None]] = None,
         observers: Sequence[object] = (),
+        batched_delivery: bool = True,
     ):
         if not module.finalized:
             raise InterpreterError("module must be finalized before execution")
@@ -157,6 +169,30 @@ class Interpreter:
         self._emit_return = self._bus.return_sink()
         self._emit_branch = self._bus.branch_sink()
         self._emit_instruction = self._bus.instruction_sink()
+        # Batched delivery: the hot loop appends committed instructions
+        # into a preallocated flat buffer (two parallel lists — object
+        # refs and touched addresses, no per-event allocation) and
+        # flushes it through one instruction_batch_sink call at every
+        # basic-block boundary and before any control-flow event, so
+        # consumers see the exact per-instruction interleaving.  The
+        # legacy per-instruction path stays available
+        # (``batched_delivery=False``) as the differential-equivalence
+        # reference.
+        self._batch_sink = (
+            self._bus.instruction_batch_sink() if batched_delivery else None
+        )
+        if self._batch_sink is not None:
+            self._emit_instruction = None
+            self._buffer_instructions: List[Optional[Instruction]] = (
+                [None] * EVENT_BUFFER_CAPACITY
+            )
+            self._buffer_touched: List[Optional[int]] = (
+                [None] * EVENT_BUFFER_CAPACITY
+            )
+        else:
+            self._buffer_instructions = []
+            self._buffer_touched = []
+        self._buffer_count = 0
         # Coarse-grained observation channel for baseline anomaly
         # detectors: called with (callee name, call-site PC) of every
         # call — builtin "system calls" and user functions alike.  The
@@ -184,6 +220,10 @@ class Interpreter:
         """Execute until the entry function returns or a fault occurs."""
         entry_fn = self._module.function(self._entry)
         status, return_value = self._execute(entry_fn)
+        # Deliver any instructions still buffered at exit (normal
+        # return, step/depth limits, faults) before end-of-execution.
+        if self._buffer_count:
+            self._flush_events()
         self._bus.finish()
         return RunResult(
             status=status,
@@ -201,17 +241,36 @@ class Interpreter:
 
     # -- machinery ---------------------------------------------------------
 
+    def _flush_events(self) -> None:
+        """Deliver the buffered instruction events in one batch call.
+
+        Invoked before every control-flow event (call/return/branch),
+        before the syscall listener, at buffer capacity and at
+        end-of-execution — so no consumer can observe an event out of
+        the order the per-instruction path produced.  The count is
+        cleared before dispatch so a re-entrant producer never
+        re-delivers the same batch.
+        """
+        count = self._buffer_count
+        if count:
+            self._buffer_count = 0
+            self._batch_sink(
+                self._buffer_instructions, self._buffer_touched, count
+            )
+
     def _push_activation(
         self, fn: IRFunction, args: Sequence[int], return_reg: Optional[Reg]
     ) -> _Activation:
         base = self._next_frame_base
         self._next_frame_base += self.memory.frame_size(fn.name)
+        entry_block = fn.entry
         activation = _Activation(
             function=fn,
             frame_base=base,
-            block_label=fn.entry.label,
+            block_label=entry_block.label,
             index=0,
             return_reg=return_reg,
+            instructions=entry_block.instructions,
         )
         for param, value in zip(fn.params, args):
             self.memory.write(
@@ -219,6 +278,8 @@ class Interpreter:
             )
         self._stack.append(activation)
         if self._emit_call is not None:
+            if self._buffer_count:
+                self._flush_events()
             self._emit_call(CallEvent(fn.name))
         return activation
 
@@ -226,6 +287,8 @@ class Interpreter:
         finished = self._stack.pop()
         self._next_frame_base = finished.frame_base
         if self._emit_return is not None:
+            if self._buffer_count:
+                self._flush_events()
             self._emit_return(ReturnEvent(finished.function.name))
         if self._stack and finished.return_reg is not None:
             self._stack[-1].regs[finished.return_reg] = (
@@ -294,18 +357,32 @@ class Interpreter:
         depth_limit = self._call_depth_limit
         emit_instruction = self._emit_instruction
         maybe_tamper = self._maybe_tamper_after_step
+        batching = self._batch_sink is not None
+        buffer_instructions = self._buffer_instructions
+        buffer_touched = self._buffer_touched
+        flush = self._flush_events
         while stack:
             if self._steps >= step_limit:
                 return RunStatus.STEP_LIMIT, None
             activation = stack[-1]
-            block = activation.function.block(activation.block_label)
-            instruction = block.instructions[activation.index]
+            instruction = activation.instructions[activation.index]
             self._steps += 1
             try:
                 outcome = step(activation, instruction)
             except ZeroDivisionError:
                 return RunStatus.DIV_BY_ZERO, None
-            if emit_instruction is not None:
+            if batching:
+                # Append into the flat buffer; _step already flushed it
+                # ahead of any control-flow event this instruction
+                # produced, so the committed order is preserved.
+                count = self._buffer_count
+                buffer_instructions[count] = instruction
+                buffer_touched[count] = outcome
+                count += 1
+                self._buffer_count = count
+                if count == EVENT_BUFFER_CAPACITY:
+                    flush()
+            elif emit_instruction is not None:
                 emit_instruction(instruction, outcome)
             maybe_tamper()
             if not stack:
@@ -324,76 +401,104 @@ class Interpreter:
 
         Returns the data address the instruction touched (for the
         timing model's cache simulation) or None.
+
+        Dispatch compares ``instruction.__class__`` by identity —
+        cheaper than an isinstance chain, and exact because the IR
+        instruction set is closed (no concrete class is subclassed).
+        Arms are ordered by dynamic frequency in the workload suite.
         """
         regs = activation.regs
+        cls = instruction.__class__
         touched: Optional[int] = None
         advance = True
 
-        if isinstance(instruction, Const):
-            regs[instruction.dest] = instruction.value
-        elif isinstance(instruction, BinOp):
-            lhs = self._value(activation, instruction.lhs)
-            rhs = self._value(activation, instruction.rhs)
+        if cls is BinOp:
+            lhs = instruction.lhs
+            if lhs.__class__ is Reg:
+                lhs = regs[lhs]
+            rhs = instruction.rhs
+            if rhs.__class__ is Reg:
+                rhs = regs[rhs]
             regs[instruction.dest] = self._binop(instruction.op, lhs, rhs)
-        elif isinstance(instruction, UnOp):
-            src = self._value(activation, instruction.src)
-            regs[instruction.dest] = -src if instruction.op == "-" else int(src == 0)
-        elif isinstance(instruction, Cmp):
-            lhs = self._value(activation, instruction.lhs)
-            rhs = self._value(activation, instruction.rhs)
+        elif cls is Const:
+            regs[instruction.dest] = instruction.value
+        elif cls is Cmp:
+            lhs = instruction.lhs
+            if lhs.__class__ is Reg:
+                lhs = regs[lhs]
+            rhs = instruction.rhs
+            if rhs.__class__ is Reg:
+                rhs = regs[rhs]
             regs[instruction.dest] = int(instruction.op.evaluate(lhs, rhs))
-        elif isinstance(instruction, Load):
+        elif cls is Load:
             address = self.memory.address_of(
                 instruction.var, activation.frame_base
             )
             regs[instruction.dest] = self.memory.read(address)
             touched = address
-        elif isinstance(instruction, Store):
+        elif cls is Store:
             address = self.memory.address_of(
                 instruction.var, activation.frame_base
             )
+            src = instruction.src
             self.memory.write(
-                address, self._value(activation, instruction.src)
+                address, regs[src] if src.__class__ is Reg else src
             )
             touched = address
-        elif isinstance(instruction, AddrOf):
-            regs[instruction.dest] = self.memory.address_of(
-                instruction.var, activation.frame_base
-            )
-        elif isinstance(instruction, LoadIndirect):
-            address = regs[instruction.addr]
-            regs[instruction.dest] = self.memory.read(address)
-            touched = address
-        elif isinstance(instruction, StoreIndirect):
-            address = regs[instruction.addr]
-            self.memory.write(
-                address, self._value(activation, instruction.src)
-            )
-            touched = address
-        elif isinstance(instruction, Call):
-            advance = self._call(activation, instruction)
-        elif isinstance(instruction, Jump):
-            activation.block_label = instruction.target
-            activation.index = 0
-            advance = False
-        elif isinstance(instruction, CondBranch):
+        elif cls is CondBranch:
             lhs = regs[instruction.lhs]
-            rhs = self._value(activation, instruction.rhs)
+            rhs = instruction.rhs
+            if rhs.__class__ is Reg:
+                rhs = regs[rhs]
             taken = instruction.op.evaluate(lhs, rhs)
             if self._trace_branches:
                 self._branch_trace.append((instruction.address, taken))
             if self._emit_branch is not None:
+                if self._buffer_count:
+                    self._flush_events()
                 self._emit_branch(
                     BranchEvent(
                         activation.function.name, instruction.address, taken
                     )
                 )
-            activation.block_label = (
-                instruction.taken if taken else instruction.fallthrough
-            )
+            target = instruction.taken if taken else instruction.fallthrough
+            activation.block_label = target
+            activation.instructions = activation.function.block(
+                target
+            ).instructions
             activation.index = 0
             advance = False
-        elif isinstance(instruction, Return):
+        elif cls is Jump:
+            target = instruction.target
+            activation.block_label = target
+            activation.instructions = activation.function.block(
+                target
+            ).instructions
+            activation.index = 0
+            advance = False
+        elif cls is Call:
+            advance = self._call(activation, instruction)
+        elif cls is UnOp:
+            src = instruction.src
+            if src.__class__ is Reg:
+                src = regs[src]
+            regs[instruction.dest] = -src if instruction.op == "-" else int(src == 0)
+        elif cls is AddrOf:
+            regs[instruction.dest] = self.memory.address_of(
+                instruction.var, activation.frame_base
+            )
+        elif cls is LoadIndirect:
+            address = regs[instruction.addr]
+            regs[instruction.dest] = self.memory.read(address)
+            touched = address
+        elif cls is StoreIndirect:
+            address = regs[instruction.addr]
+            src = instruction.src
+            self.memory.write(
+                address, regs[src] if src.__class__ is Reg else src
+            )
+            touched = address
+        elif cls is Return:
             value = (
                 self._value(activation, instruction.value)
                 if instruction.value is not None
@@ -413,6 +518,10 @@ class Interpreter:
     def _call(self, activation: _Activation, instruction: Call) -> bool:
         args = [self._value(activation, a) for a in instruction.args]
         if self._syscall_listener is not None:
+            # Keep the coarse syscall channel interleaved exactly as the
+            # per-instruction path would: drain buffered events first.
+            if self._buffer_count:
+                self._flush_events()
             self._syscall_listener(instruction.callee, instruction.address)
         if instruction.callee == "read_int":
             activation.regs[instruction.dest] = self._read_input()

@@ -64,6 +64,15 @@ class MemoryMap:
         self.frame_layouts: Dict[str, FrameLayout] = {
             fn.name: layout_frame(fn) for fn in module.functions
         }
+        # Flattened local-offset index: first owning frame wins, in
+        # declaration order, so ``address_of`` resolves locals with one
+        # dict probe instead of a per-access linear scan over every
+        # frame layout.
+        self._local_offsets: Dict[Variable, int] = {}
+        for layout in self.frame_layouts.values():
+            for var, offset in layout.offsets.items():
+                if var not in self._local_offsets:
+                    self._local_offsets[var] = offset
         self.words: Dict[int, int] = {}
         for var, value in module.global_inits.items():
             self.words[self.global_addresses[var]] = value
@@ -74,18 +83,15 @@ class MemoryMap:
         self, var: Variable, frame_base: Optional[int]
     ) -> int:
         """Address of a variable; locals need the activation's base."""
-        if var in self.global_addresses:
-            return self.global_addresses[var]
+        address = self.global_addresses.get(var)
+        if address is not None:
+            return address
         if frame_base is None:
             raise KeyError(f"no frame base for local {var}")
-        layout = self.frame_layouts[self._owner_of(var)]
-        return frame_base + layout.offsets[var]
-
-    def _owner_of(self, var: Variable) -> str:
-        for name, layout in self.frame_layouts.items():
-            if var in layout.offsets:
-                return name
-        raise KeyError(f"variable {var} has no frame")
+        offset = self._local_offsets.get(var)
+        if offset is None:
+            raise KeyError(f"variable {var} has no frame")
+        return frame_base + offset
 
     def frame_size(self, function_name: str) -> int:
         return self.frame_layouts[function_name].size

@@ -61,6 +61,7 @@ class ShardTask:
     collect_metrics: bool = False
     forensics: bool = False
     flight_recorder_depth: int = DEFAULT_DEPTH
+    timing_mode: Optional[str] = None
 
 
 @dataclass
@@ -73,6 +74,10 @@ class ShardResult:
 
     outcomes: List[AttackOutcome] = field(default_factory=list)
     metrics: Optional[Dict[str, Any]] = None
+    #: Timing mode the shard's attack runs used (None = timing off).
+    #: Merges refuse shards with differing modes — see
+    #: :func:`merge_shard_results`.
+    timing_mode: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -136,12 +141,14 @@ def _run_shard(task: ShardTask) -> ShardResult:
             metrics=registry,
             forensics=task.forensics,
             flight_recorder_depth=task.flight_recorder_depth,
+            timing_mode=task.timing_mode,
         )
         for index in task.indices
     ]
     return ShardResult(
         outcomes=outcomes,
         metrics=registry.snapshot() if registry is not None else None,
+        timing_mode=task.timing_mode,
     )
 
 
@@ -188,6 +195,32 @@ def merge_outcomes(
     return result
 
 
+def merge_shard_results(
+    workload: Workload, attacks: int, shards: Sequence[ShardResult]
+) -> WorkloadResult:
+    """Merge :class:`ShardResult` objects into one workload result.
+
+    Beyond :func:`merge_outcomes`'s completeness check, this validates
+    that every shard ran under the *same* timing mode: outcomes whose
+    ``cycles`` column came from different approximations (or from a mix
+    of timed and untimed shards) must never be silently averaged into
+    one table.
+    """
+    modes = {shard.timing_mode for shard in shards}
+    if len(modes) > 1:
+        rendered = ", ".join(sorted(str(mode) for mode in modes))
+        raise CampaignError(
+            f"sharded campaign for {workload.name} mixed timing modes "
+            f"across shards ({rendered}); all shards must run with the "
+            f"same --timing-mode"
+        )
+    result = merge_outcomes(
+        workload, attacks, [shard.outcomes for shard in shards]
+    )
+    result.timing_mode = modes.pop() if modes else None
+    return result
+
+
 def _serial_workload(
     workload: Workload,
     attacks: int,
@@ -198,9 +231,14 @@ def _serial_workload(
     metrics: Optional[MetricsRegistry] = None,
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
 ) -> WorkloadResult:
     program = cached_compile(workload.source, workload.name, opt_level)
-    result = WorkloadResult(workload=workload.name, vuln_kind=workload.vuln_kind)
+    result = WorkloadResult(
+        workload=workload.name,
+        vuln_kind=workload.vuln_kind,
+        timing_mode=timing_mode,
+    )
     for index in range(attacks):
         result.attacks.append(
             run_attack(
@@ -213,6 +251,7 @@ def _serial_workload(
                 metrics=metrics,
                 forensics=forensics,
                 flight_recorder_depth=flight_recorder_depth,
+                timing_mode=timing_mode,
             )
         )
     return result
@@ -230,6 +269,7 @@ def run_workload_sharded(
     metrics: Optional[MetricsRegistry] = None,
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
 ) -> WorkloadResult:
     """One workload's campaign, sharded across ``jobs`` processes."""
     summary = run_campaign(
@@ -243,6 +283,7 @@ def run_workload_sharded(
         metrics=metrics,
         forensics=forensics,
         flight_recorder_depth=flight_recorder_depth,
+        timing_mode=timing_mode,
     )
     return summary.results[0]
 
@@ -259,6 +300,7 @@ def run_campaign(
     metrics: Optional[MetricsRegistry] = None,
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
 ) -> CampaignSummary:
     """The full campaign, sharded across a process pool.
 
@@ -287,6 +329,7 @@ def run_campaign(
                             workload, attacks, seed_prefix, step_limit,
                             attack_model, opt_level, metrics,
                             forensics, flight_recorder_depth,
+                            timing_mode,
                         )
                     )
             else:
@@ -296,6 +339,7 @@ def run_campaign(
                         attack_model, opt_level,
                         forensics=forensics,
                         flight_recorder_depth=flight_recorder_depth,
+                        timing_mode=timing_mode,
                     )
                 )
         return CampaignSummary(results)
@@ -324,6 +368,7 @@ def run_campaign(
                             collect_metrics=collect_metrics,
                             forensics=forensics,
                             flight_recorder_depth=flight_recorder_depth,
+                            timing_mode=timing_mode,
                         ),
                     )
                     for block in shard_indices(attacks, jobs)
@@ -335,10 +380,8 @@ def run_campaign(
                 ]
                 if metrics is not None:
                     with metrics.span(f"workload.{workload.name}.merge"):
-                        merged = merge_outcomes(
-                            workload,
-                            attacks,
-                            [shard.outcomes for shard in shard_results],
+                        merged = merge_shard_results(
+                            workload, attacks, shard_results
                         )
                     metrics.increment(
                         "campaign.shards", len(shard_results)
@@ -346,10 +389,8 @@ def run_campaign(
                     for shard in shard_results:
                         metrics.merge_snapshot(shard.metrics)
                 else:
-                    merged = merge_outcomes(
-                        workload,
-                        attacks,
-                        [shard.outcomes for shard in shard_results],
+                    merged = merge_shard_results(
+                        workload, attacks, shard_results
                     )
                 results.append(merged)
         except BaseException:

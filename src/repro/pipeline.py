@@ -168,8 +168,13 @@ def monitored_run(
     halt_on_alarm: bool = False,
     allow_unprotected: bool = False,
     flight_recorder=None,
+    observers: Sequence[object] = (),
 ) -> Tuple[RunResult, IPDS]:
-    """Run a protected program with the IPDS attached."""
+    """Run a protected program with the IPDS attached.
+
+    Extra ``observers`` (timing models, recorders) ride the same
+    execution behind the IPDS on the bus.
+    """
     ipds = program.new_ipds(
         halt_on_alarm=halt_on_alarm,
         allow_unprotected=allow_unprotected,
@@ -177,7 +182,7 @@ def monitored_run(
     )
     result = observed_run(
         program,
-        observers=[ipds],
+        observers=[ipds, *observers],
         inputs=inputs,
         entry=entry,
         tamper=tamper,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallEvent:
     """Entering a function: push fresh tables for it."""
 
@@ -33,7 +33,7 @@ class CallEvent:
         return {"k": "call", "fn": self.function_name}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReturnEvent:
     """Leaving a function: pop its tables."""
 
@@ -46,7 +46,7 @@ class ReturnEvent:
         return {"k": "ret", "fn": self.function_name}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BranchEvent:
     """A committed conditional branch."""
 

@@ -225,12 +225,14 @@ class IPDS(ExecutionObserver):
             )
 
     def _branch(self, event: BranchEvent) -> Optional[Alarm]:
-        if not self._stack:
+        stack = self._stack
+        if not stack:
             raise IPDSError("branch event with empty table stack")
-        frame = self._stack[-1]
+        frame = stack[-1]
+        stats = self.stats
         if frame is None:
             # Branch inside an unprotected frame: observed, not checked.
-            self.stats.unprotected_branches += 1
+            stats.unprotected_branches += 1
             return None
         tables = frame.tables
         if tables.function_name != event.function_name:
@@ -238,24 +240,41 @@ class IPDS(ExecutionObserver):
                 f"branch event from {event.function_name!r} but active "
                 f"frame is {tables.function_name!r}"
             )
-        self.stats.branch_events += 1
-        slot = tables.slot_of(event.pc)
+        stats.branch_events += 1
+        taken = event.taken
+        # One precomputed int-keyed lookup replaces slot_of + BCV
+        # membership + the (slot, taken) BAT lookup on every committed
+        # branch (see FunctionTables.branch_plan).
+        plan = tables._plan_by_pc.get(event.pc)
+        if plan is None:
+            slot: Optional[int] = None
+            checked = False
+            actions: tuple = ()
+        else:
+            slot = plan[0]
+            checked = plan[1]
+            actions = plan[2] if taken else plan[3]
         recorder = self.flight_recorder
         alarm: Optional[Alarm] = None
 
-        # Verify first (only branches marked in the BCV).
-        checked = slot is not None and slot in tables.bcv_slots
+        # Verify first (only branches marked in the BCV).  The status
+        # read and UNKNOWN-matches-anything test are inlined (slot
+        # absent from the frame's dict means UNKNOWN, which can never
+        # alarm) — this path runs once per committed checked branch.
         expected: Optional[BranchStatus] = None
         if checked:
-            self.stats.checks += 1
-            expected = frame.status(slot)
-            if not expected.matches(event.taken):
+            stats.checks += 1
+            expected = frame._status.get(slot, BranchStatus.UNKNOWN)
+            if (
+                expected is not BranchStatus.UNKNOWN
+                and (expected is BranchStatus.TAKEN) != taken
+            ):
                 alarm = Alarm(
                     function_name=event.function_name,
                     pc=event.pc,
                     expected=expected,
-                    actual_taken=event.taken,
-                    event_index=self.stats.events,
+                    actual_taken=taken,
+                    event_index=stats.events,
                     slot=slot,
                     frame_id=frame.frame_id,
                 )
@@ -269,13 +288,11 @@ class IPDS(ExecutionObserver):
                     return alarm
 
         # Then update, whether or not the branch is checked (§5.4).
-        actions = tables.actions_for(event.pc, event.taken)
         if actions:
-            self.stats.updates += 1
+            stats.updates += 1
             if recorder is None:
-                for target_slot, action in actions:
-                    frame.apply(target_slot, action)
-                    self.stats.actions_fired += 1
+                frame.apply_all(actions)
+                stats.actions_fired += len(actions)
             else:
                 transitions = []
                 for target_slot, action in actions:

@@ -15,6 +15,8 @@ Hooks (all optional — the base class implementations are no-ops):
 * ``on_branch(event)``  — a conditional branch committed;
 * ``on_instruction(instruction, touched)`` — any instruction committed
   (``touched`` is the data address it accessed, or ``None``);
+* ``on_instruction_batch(instructions, touched, count)`` — a *batch*
+  of consecutive committed instructions (see below);
 * ``finish()``          — the execution ended; flush/aggregate.
 
 The bus pre-filters subscribers per hook: observers that keep a
@@ -25,6 +27,19 @@ the interpreter skips even allocating the event.  This is what makes
 attaching control-flow-only consumers (IPDS, trace recorders)
 essentially free on the instruction hot path, and instruction-only
 consumers free on the control-flow stream.
+
+Batched instruction delivery: producers that buffer committed
+instructions (the interpreter's flat event buffer) deliver them through
+``instruction_batch_sink()`` instead of one ``emit_instruction`` call
+per step.  A batch is always flushed *before* any control-flow event
+is dispatched, so every observer still sees the exact interleaving the
+per-instruction path produced — batching changes the call granularity,
+never the order.  Observers override ``on_instruction_batch`` to
+process the whole buffer in one call (the timing model's fast path);
+the base-class default loops over ``on_instruction``, so plain
+per-instruction observers ride batches unchanged.  The buffers passed
+to a batch hook are owned by the producer and reused after the call
+returns — consumers must copy anything they keep.
 """
 
 from __future__ import annotations
@@ -52,6 +67,25 @@ class ExecutionObserver:
 
     def on_instruction(self, instruction: Any, touched: Optional[int]) -> Any:
         """Any instruction committed (``touched`` = data address or None)."""
+
+    def on_instruction_batch(
+        self,
+        instructions: Sequence[Any],
+        touched: Sequence[Optional[int]],
+        count: int,
+    ) -> Any:
+        """A batch of consecutive committed instructions.
+
+        ``instructions[:count]`` / ``touched[:count]`` are the valid
+        entries (the producer reuses a preallocated buffer, so the
+        lists may be longer than ``count`` and are overwritten after
+        this call returns).  The default unrolls the batch through
+        ``on_instruction`` in order, so observers that only implement
+        the per-instruction hook see an identical event sequence.
+        """
+        on_instruction = self.on_instruction
+        for index in range(count):
+            on_instruction(instructions[index], touched[index])
 
     def finish(self) -> None:
         """The observed execution ended."""
@@ -122,17 +156,26 @@ class ObserverBus:
         # Per-hook pre-filtering: only observers that actually override
         # a hook pay its dispatch — and when nobody overrides it, the
         # producer's sink is None and the event is never even built.
-        self._instruction_observers = self._overriders("on_instruction")
+        # Overriding either instruction hook subscribes to the
+        # instruction stream (the default batch hook unrolls into
+        # on_instruction, and vice versa a batch-only observer still
+        # consumes per-instruction emission through its batch hook).
+        self._instruction_observers = self._overriders(
+            "on_instruction", "on_instruction_batch"
+        )
         self._call_observers = self._overriders("on_call")
         self._return_observers = self._overriders("on_return")
         self._branch_observers = self._overriders("on_branch")
 
-    def _overriders(self, hook: str) -> List[ExecutionObserver]:
-        base = getattr(ExecutionObserver, hook)
+    def _overriders(self, *hooks: str) -> List[ExecutionObserver]:
+        bases = tuple(getattr(ExecutionObserver, hook) for hook in hooks)
         return [
             observer
             for observer in self.observers
-            if getattr(type(observer), hook) is not base
+            if any(
+                getattr(type(observer), hook) is not base
+                for hook, base in zip(hooks, bases)
+            )
         ]
 
     def __len__(self) -> int:
@@ -147,10 +190,33 @@ class ObserverBus:
         for observer in self.observers:
             event.dispatch(observer)
 
+    @staticmethod
+    def _instruction_target(
+        observer: ExecutionObserver,
+    ) -> Callable[[Any, Optional[int]], None]:
+        """Per-instruction dispatch target for one subscriber.
+
+        Observers that override ``on_instruction`` get it directly; a
+        batch-only observer gets an adapter that wraps each instruction
+        in a one-element batch, so no event is ever dropped on the
+        unbatched delivery path.
+        """
+        if (
+            type(observer).on_instruction
+            is not ExecutionObserver.on_instruction
+        ):
+            return observer.on_instruction
+        batch_hook = observer.on_instruction_batch
+
+        def single(instruction: Any, touched: Optional[int]) -> None:
+            batch_hook([instruction], [touched], 1)
+
+        return single
+
     def emit_instruction(self, instruction: Any, touched: Optional[int]) -> None:
         """Dispatch one committed instruction to subscribers only."""
         for observer in self._instruction_observers:
-            observer.on_instruction(instruction, touched)
+            self._instruction_target(observer)(instruction, touched)
 
     @staticmethod
     def _sink(
@@ -187,7 +253,33 @@ class ObserverBus:
     def instruction_sink(
         self,
     ) -> Optional[Callable[[Any, Optional[int]], None]]:
-        return self._sink(self._instruction_observers, "on_instruction")
+        subscribers = self._instruction_observers
+        if not subscribers:
+            return None
+        targets = [
+            self._instruction_target(subscriber) for subscriber in subscribers
+        ]
+        if len(targets) == 1:
+            return targets[0]
+
+        def fan_out(instruction: Any, touched: Optional[int]) -> None:
+            for target in targets:
+                target(instruction, touched)
+
+        return fan_out
+
+    def instruction_batch_sink(
+        self,
+    ) -> Optional[Callable[[Sequence[Any], Sequence[Optional[int]], int], None]]:
+        """Pre-bound dispatch target for batched instruction delivery.
+
+        None when nobody subscribes to the instruction stream.  Every
+        subscriber receives the whole batch through its
+        ``on_instruction_batch`` hook — the base-class default unrolls
+        into ``on_instruction``, so per-instruction observers see the
+        identical event sequence at batch granularity.
+        """
+        return self._sink(self._instruction_observers, "on_instruction_batch")
 
     def finish(self) -> None:
         """Signal end-of-execution to every observer."""

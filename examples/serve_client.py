@@ -1,0 +1,158 @@
+"""Scripted client for the ``repro serve`` detection daemon.
+
+Doubles as the CI smoke test: spawn a daemon, drive two concurrent
+sessions through the socket — one benign run and one tampered attack
+with the quarantine policy — then assert the alarm, the policy action,
+the replay round trip, and the shared-cache metrics.
+
+Usage::
+
+    # against a daemon you started yourself
+    python -m repro.cli serve --socket /tmp/repro.sock &
+    python examples/serve_client.py --socket /tmp/repro.sock
+
+    # spawn-and-drive (what CI runs)
+    python examples/serve_client.py --spawn
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.interp import GLOBAL_BASE  # noqa: E402
+from repro.service import ServeClient  # noqa: E402
+
+FIGURE1 = """
+int user;
+void main() {
+  user = read_int();
+  if (user == 0) { emit(100); } else { emit(200); }
+  int someinput = read_int();
+  if (user == 0) { emit(111); } else { emit(222); }
+}
+"""
+
+
+def drive(socket_path: str, quarantine_dir: str) -> None:
+    with ServeClient(socket_path=socket_path) as client:
+        hello = client.hello()
+        print(f"connected: protocol v{hello['protocol']}, "
+              f"{hello['max_workers']} workers")
+
+        # Two concurrent sessions: a benign run and a tampered attack
+        # (the paper's Figure 1 program, with the global `user` flag
+        # flipped after the first correlated branch committed).
+        benign = client.submit(
+            {
+                "mode": "run",
+                "source": FIGURE1,
+                "source_name": "figure1",
+                "inputs": [5, 1],
+            }
+        )
+        tampered = client.submit(
+            {
+                "mode": "attack",
+                "source": FIGURE1,
+                "source_name": "figure1",
+                "inputs": [5, 1],
+                "tamper": {
+                    "trigger_kind": "read",
+                    "trigger": 2,
+                    "address": hex(GLOBAL_BASE),
+                    "value": 0,
+                },
+            },
+            policy={"kind": "quarantine", "dir": quarantine_dir},
+        )
+        results = client.results([benign, tampered])
+
+        clean = results[benign]
+        assert clean["state"] == "completed", clean
+        assert clean["outputs"] == [200, 222], clean
+        print(f"{benign}: benign run completed, outputs {clean['outputs']}")
+
+        attacked = results[tampered]
+        assert attacked["state"] == "alarmed", attacked
+        assert attacked["tamper_fired"] is True, attacked
+        print(f"{tampered}: ALARM {attacked['alarms'][0]}")
+
+        quarantined = [
+            action
+            for action in attacked["policy_actions"]
+            if action["action"] == "quarantine"
+        ]
+        assert quarantined, attacked["policy_actions"]
+        trace_path = quarantined[0]["path"]
+        print(f"{tampered}: quarantined -> {trace_path}")
+
+        # Round trip: the quarantined trace replays (through the same
+        # daemon) to the identical alarms.
+        with open(trace_path, encoding="utf-8") as handle:
+            trace_text = handle.read()
+        replayed = client.result(
+            client.submit(
+                {
+                    "mode": "replay",
+                    "source": FIGURE1,
+                    "source_name": "figure1",
+                    "trace_text": trace_text,
+                }
+            )
+        )
+        assert replayed["alarms"] == attacked["alarms"], replayed
+        print(f"replay round trip: {len(replayed['alarms'])} identical "
+              f"alarm(s)")
+
+        metrics = client.metrics()
+        cache = metrics["compile_cache"]
+        assert cache["hits"] >= 1, cache  # figure1 compiled once, shared
+        print(f"metrics: {metrics['sessions']} sessions, "
+              f"cache hit rate {cache['hit_rate']:.2f}, "
+              f"{metrics['steps_per_second']} steps/s")
+        client.shutdown()
+        print("daemon shut down cleanly")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", default=None,
+                        help="socket of an already-running daemon")
+    parser.add_argument("--spawn", action="store_true",
+                        help="spawn a daemon subprocess for the demo")
+    args = parser.parse_args()
+    if bool(args.socket) == bool(args.spawn):
+        parser.error("need exactly one of --socket or --spawn")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        quarantine_dir = os.path.join(workdir, "quarantine")
+        if args.spawn:
+            socket_path = os.path.join(workdir, "repro.sock")
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [sys.path[0], env.get("PYTHONPATH", "")])
+            )
+            daemon = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve",
+                 "--socket", socket_path],
+                env=env,
+            )
+            try:
+                drive(socket_path, quarantine_dir)
+                assert daemon.wait(timeout=30) == 0
+            finally:
+                if daemon.poll() is None:
+                    daemon.terminate()
+        else:
+            drive(args.socket, quarantine_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

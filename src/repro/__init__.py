@@ -27,7 +27,42 @@ from .pipeline import (
 from .runtime.ipds import IPDS, Alarm
 from .runtime.observer import ExecutionObserver, ObserverBus
 
-__version__ = "1.2.0"
+#: Fallback when neither pyproject.toml nor installed metadata is
+#: reachable (e.g. a vendored source tree).  Keep in sync with
+#: pyproject.toml — :func:`_resolve_version` prefers that file.
+_FALLBACK_VERSION = "1.3.0"
+
+
+def _resolve_version() -> str:
+    """The package version, from the single source of truth.
+
+    Checkout layouts (``PYTHONPATH=src``) read pyproject.toml two
+    levels up from this file; installed layouts fall back to importlib
+    metadata; the pinned constant covers everything else.
+    """
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"',
+            pyproject.read_text(encoding="utf-8"),
+            re.MULTILINE,
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return _FALLBACK_VERSION
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "Alarm",

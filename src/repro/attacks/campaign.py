@@ -93,6 +93,34 @@ class AttackOutcome:
     #: timing-off campaigns stay byte-identical to before.
     cycles: Optional[int] = None
 
+    def to_record(self, workload: str) -> dict:
+        """The outcome as a plain JSON-ready record.
+
+        The one shape every sink shares — campaign ``--trace-out``
+        JSONL logs and the daemon's per-session result events — so
+        outcome logs are byte-comparable across front ends.
+        """
+        record = {
+            "workload": workload,
+            "index": self.index,
+            "trigger_read": self.trigger_read,
+            "address": self.address,
+            "target": self.target_label,
+            "value": self.value,
+            "fired": self.fired,
+            "control_flow_changed": self.control_flow_changed,
+            "detected": self.detected,
+            "clean_status": self.clean_status.value,
+            "attack_status": self.attack_status.value,
+        }
+        # Keys appear only on forensics / timed campaigns, so logs
+        # from campaigns without them stay byte-identical to before.
+        if self.explanations:
+            record["explanations"] = list(self.explanations)
+        if self.cycles is not None:
+            record["cycles"] = self.cycles
+        return record
+
 
 @dataclass
 class WorkloadResult:
@@ -158,6 +186,29 @@ class CampaignSummary:
         return 100.0 * self.avg_pct_detected / self.avg_pct_changed
 
 
+@dataclass
+class AttackExecution:
+    """Every artifact of one attack-recipe execution.
+
+    :func:`run_attack` keeps returning the bare :class:`AttackOutcome`;
+    session-scoped callers (the detection daemon's
+    :class:`~repro.service.engine.DetectionSession`) need the live
+    objects too — the monitored IPDS, the flight recorder, the typed
+    forensics reports — so the daemon can stream alarms and quarantine
+    traces without re-running anything.
+    """
+
+    outcome: AttackOutcome
+    clean: "RunResult"
+    attacked: "RunResult"
+    ipds: "IPDS"
+    flight_recorder: Optional[FlightRecorder] = None
+    #: Typed forensics reports (populated when ``forensics`` was on and
+    #: the attack was detected; the outcome's ``explanations`` are the
+    #: rendered causal chains of exactly these reports).
+    reports: List[object] = field(default_factory=list)
+
+
 def run_attack(
     program: ProtectedProgram,
     workload: Workload,
@@ -194,6 +245,51 @@ def run_attack(
     timing model to the monitored attack run and records its cycle
     count on the outcome.  The timing model is a passive bus consumer:
     detection results are identical with it on or off.
+    """
+    return run_attack_detailed(
+        program,
+        workload,
+        index,
+        seed_prefix=seed_prefix,
+        step_limit=step_limit,
+        attack_model=attack_model,
+        rng=rng,
+        metrics=metrics,
+        forensics=forensics,
+        flight_recorder_depth=flight_recorder_depth,
+        timing_mode=timing_mode,
+    ).outcome
+
+
+def run_attack_detailed(
+    program: ProtectedProgram,
+    workload: Workload,
+    index: int,
+    *,
+    seed_prefix: str = "",
+    step_limit: int = 500_000,
+    attack_model: str = "input",
+    rng: Optional[random.Random] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    forensics: bool = False,
+    flight_recorder_depth: int = DEFAULT_DEPTH,
+    timing_mode: Optional[str] = None,
+    extra_observers: Sequence[object] = (),
+    alarm_sink=None,
+) -> AttackExecution:
+    """The attack recipe, returning every artifact (see
+    :class:`AttackExecution`).
+
+    :func:`run_attack` is a thin wrapper over this function; the two
+    extra knobs exist for session-scoped callers and never perturb the
+    outcome:
+
+    * ``extra_observers`` ride the monitored attack run's bus behind
+      the IPDS and any timing model (trace recorders, progress hooks);
+    * ``alarm_sink`` is invoked with each alarm as the IPDS raises it —
+      the online policy hook.  A sink that raises aborts the attack run
+      (the kill-session policy); the exception propagates to the
+      caller.
     """
     if attack_model not in ("input", "process"):
         raise ValueError(f"unknown attack model {attack_model!r}")
@@ -247,7 +343,6 @@ def run_attack(
     tamper = TamperSpec(trigger_kind, trigger, address, value)
     recorder = FlightRecorder(flight_recorder_depth) if forensics else None
     timing_model = None
-    extra_observers: Tuple[object, ...] = ()
     if timing_mode is not None:
         from ..cpu.ipds_hw import IPDSHardwareModel
         from ..cpu.pipeline import TimingModel
@@ -256,22 +351,25 @@ def run_attack(
         timing_model = TimingModel(
             ipds=IPDSHardwareModel(program.tables), mode=timing_mode
         )
-        extra_observers = (TimingObserver(timing_model),)
+        observers = (TimingObserver(timing_model), *extra_observers)
+    else:
+        observers = tuple(extra_observers)
     attacked, ipds = monitored_run(
         program,
         inputs=inputs,
         tamper=tamper,
         step_limit=step_limit,
         flight_recorder=recorder,
-        observers=extra_observers,
+        observers=observers,
+        alarm_sink=alarm_sink,
     )
+    reports: List[object] = []
     explanations: Tuple[str, ...] = ()
     if forensics and ipds.detected:
         from ..forensics import explain_ipds
 
-        explanations = tuple(
-            report.causal_chain() for report in explain_ipds(ipds)
-        )
+        reports = explain_ipds(ipds)
+        explanations = tuple(report.causal_chain() for report in reports)
 
     changed = (
         attacked.branch_trace != clean.branch_trace
@@ -290,7 +388,7 @@ def run_attack(
         metrics.increment("campaign.tamper_fired", int(attacked.tamper_fired))
         metrics.increment("campaign.control_flow_changed", int(changed))
         metrics.increment("campaign.detected", int(ipds.detected))
-    return AttackOutcome(
+    outcome = AttackOutcome(
         index=index,
         trigger_read=trigger,
         address=address,
@@ -304,6 +402,14 @@ def run_attack(
         explanations=explanations,
         alarms=tuple(str(alarm) for alarm in ipds.alarms),
         cycles=timing_model.stats.cycles if timing_model is not None else None,
+    )
+    return AttackExecution(
+        outcome=outcome,
+        clean=clean,
+        attacked=attacked,
+        ipds=ipds,
+        flight_recorder=recorder,
+        reports=reports,
     )
 
 

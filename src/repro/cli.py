@@ -25,7 +25,12 @@ Subcommands:
   provenance sidecar (exit 0 no alarms / 1 explained alarms / 2 tool
   error, the audit convention);
 * ``bench-diff``    — compare fresh ``BENCH_*.json`` files against the
-  committed baselines in ``benchmarks/baselines/`` (same convention).
+  committed baselines in ``benchmarks/baselines/`` (same convention);
+* ``serve``         — long-lived detection daemon multiplexing many
+  concurrent sessions over a local socket (NDJSON protocol, shared
+  compile cache, per-session alarm policies; see DESIGN.md §4f).
+
+``--version`` prints the package version (sourced from pyproject.toml).
 
 Forensics: ``run``, ``attack`` and ``campaign`` accept ``--forensics``
 (attach a bounded flight recorder and print a causal explanation for
@@ -61,7 +66,7 @@ from .observability import (
     export_trace,
     write_manifest,
 )
-from .pipeline import compile_program, compile_program_cached, observed_run, unmonitored_run
+from .pipeline import compile_program, compile_program_cached
 from .runtime.flight_recorder import DEFAULT_DEPTH, FlightRecorder
 from .runtime.replay import TraceRecorder
 from .workloads.registry import get_workload, workload_names
@@ -158,7 +163,18 @@ def _report_forensics(args: argparse.Namespace, ipds) -> None:
             print(f"forensics report -> {args.forensics_out}")
 
 
+def _run_session(args: argparse.Namespace, spec, metrics: MetricsRegistry):
+    """Drive one CLI-owned detection session to a terminal state."""
+    from .service.engine import DetectionSession
+
+    session = DetectionSession(spec, metrics=metrics)
+    session.execute()
+    return session
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from .service.engine import SessionSpec
+
     metrics = MetricsRegistry()
     manifest = RunManifest.begin(
         "run",
@@ -168,31 +184,25 @@ def cmd_run(args: argparse.Namespace) -> int:
         opt=args.opt,
         allow_unprotected=args.allow_unprotected,
     )
-    with metrics.span("compile"):
-        program = compile_program(_read_source(args.file), args.file, args.opt)
-    ipds = program.new_ipds(
+    spec = SessionSpec(
+        mode="run",
+        workload=args.file,
+        entry=args.entry,
+        inputs=tuple(_parse_inputs(args.inputs)),
+        opt_level=args.opt,
         allow_unprotected=args.allow_unprotected,
-        flight_recorder=_new_flight_recorder(args),
+        forensics=args.forensics,
+        flight_recorder_depth=args.flight_recorder_depth,
+        record_trace=bool(args.trace_out),
     )
-    observers: List[object] = [ipds]
-    recorder: Optional[TraceRecorder] = None
-    if args.trace_out:
-        recorder = TraceRecorder()
-        observers.append(recorder)
-    with metrics.span("execute"):
-        result = observed_run(
-            program,
-            observers=observers,
-            inputs=_parse_inputs(args.inputs),
-            entry=args.entry,
-        )
-    metrics.increment("interp.steps", result.steps)
-    _record_ipds_metrics(metrics, ipds)
+    session = _run_session(args, spec, metrics)
+    result = session.run_result
+    ipds = session.ipds
     print(f"status : {result.status.value}")
     print(f"outputs: {result.outputs}")
     print(f"steps  : {result.steps}")
-    if recorder is not None:
-        count = export_trace(recorder.events, args.trace_out)
+    if args.trace_out:
+        count = export_trace(session.trace_events, args.trace_out)
         print(f"trace  : {count} events -> {args.trace_out}")
     _emit_manifest(
         args,
@@ -215,6 +225,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
+    from .service.engine import SessionSpec
+
     metrics = MetricsRegistry()
     manifest = RunManifest.begin(
         "attack",
@@ -226,42 +238,33 @@ def cmd_attack(args: argparse.Namespace) -> int:
         value=args.value,
         opt=args.opt,
     )
-    with metrics.span("compile"):
-        program = compile_program(_read_source(args.file), args.file, args.opt)
-    inputs = _parse_inputs(args.inputs)
-    with metrics.span("clean"):
-        clean = unmonitored_run(program, inputs=inputs, entry=args.entry)
     tamper = TamperSpec(
         trigger_kind=args.trigger_kind,
         trigger_value=args.trigger,
         address=int(args.address, 0),
         value=args.value,
     )
-    ipds = program.new_ipds(flight_recorder=_new_flight_recorder(args))
-    observers: List[object] = [ipds]
-    recorder: Optional[TraceRecorder] = None
-    if args.trace_out:
-        recorder = TraceRecorder()
-        observers.append(recorder)
-    with metrics.span("attack"):
-        attacked = observed_run(
-            program,
-            observers=observers,
-            inputs=inputs,
-            entry=args.entry,
-            tamper=tamper,
-        )
+    spec = SessionSpec(
+        mode="attack",
+        workload=args.file,
+        entry=args.entry,
+        inputs=tuple(_parse_inputs(args.inputs)),
+        opt_level=args.opt,
+        forensics=args.forensics,
+        flight_recorder_depth=args.flight_recorder_depth,
+        record_trace=bool(args.trace_out),
+        tamper=tamper,
+    )
+    session = _run_session(args, spec, metrics)
+    clean = session.clean_result
+    attacked = session.run_result
+    ipds = session.ipds
     changed = attacked.branch_trace != clean.branch_trace
-    metrics.increment("interp.steps", clean.steps + attacked.steps)
-    metrics.increment("attack.tamper_fired", int(attacked.tamper_fired))
-    metrics.increment("attack.control_flow_changed", int(changed))
-    metrics.increment("attack.detected", int(ipds.detected))
-    _record_ipds_metrics(metrics, ipds)
     print(f"tamper fired        : {attacked.tamper_fired}")
     print(f"control flow changed: {changed}")
     print(f"outputs             : {clean.outputs} -> {attacked.outputs}")
-    if recorder is not None:
-        count = export_trace(recorder.events, args.trace_out)
+    if args.trace_out:
+        count = export_trace(session.trace_events, args.trace_out)
         print(f"trace               : {count} events -> {args.trace_out}")
     _emit_manifest(
         args,
@@ -394,17 +397,20 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    from .runtime.replay import load_trace, replay
+    from .service.engine import SessionSpec
 
-    program = compile_program(_read_source(args.file), args.file, args.opt)
     with open(args.trace, "r", encoding="utf-8") as handle:
-        alarms = replay(
-            program.tables,
-            load_trace(handle),
-            allow_unprotected=args.allow_unprotected,
-        )
-    if alarms:
-        for alarm in alarms:
+        trace_text = handle.read()
+    spec = SessionSpec(
+        mode="replay",
+        workload=args.file,
+        opt_level=args.opt,
+        allow_unprotected=args.allow_unprotected,
+        trace_text=trace_text,
+    )
+    session = _run_session(args, spec, MetricsRegistry())
+    if session.alarms:
+        for alarm in session.alarms:
             print(f"ALARM: {alarm}")
         return 2
     print("trace is clean (no infeasible paths)")
@@ -416,26 +422,7 @@ def _dump_outcomes(results, path: str) -> int:
     writer = JsonlWriter(path)
     for result in results:
         for outcome in result.attacks:
-            record = {
-                "workload": result.workload,
-                "index": outcome.index,
-                "trigger_read": outcome.trigger_read,
-                "address": outcome.address,
-                "target": outcome.target_label,
-                "value": outcome.value,
-                "fired": outcome.fired,
-                "control_flow_changed": outcome.control_flow_changed,
-                "detected": outcome.detected,
-                "clean_status": outcome.clean_status.value,
-                "attack_status": outcome.attack_status.value,
-            }
-            # Keys appear only on forensics / timed campaigns, so logs
-            # from campaigns without them stay byte-identical to before.
-            if outcome.explanations:
-                record["explanations"] = list(outcome.explanations)
-            if outcome.cycles is not None:
-                record["cycles"] = outcome.cycles
-            writer.write(record)
+            writer.write(outcome.to_record(result.workload))
     return writer.records_written
 
 
@@ -580,6 +567,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the long-lived detection daemon (``repro serve``)."""
+    from .service.daemon import DetectionDaemon
+
+    daemon = DetectionDaemon(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        quarantine_dir=args.quarantine_dir,
+        default_policy=args.policy,
+    )
+    daemon.on_ready = lambda where: print(
+        f"serving on {where} ({args.max_workers} workers)", flush=True
+    )
+    try:
+        return daemon.run()
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", file=sys.stderr)
+        return 0
+
+
 def cmd_timing(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
     manifest = RunManifest.begin(
@@ -672,9 +681,14 @@ def _add_observability_args(
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="IPDS: infeasible-path anomaly detection toolkit.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -814,6 +828,29 @@ def build_parser() -> argparse.ArgumentParser:
     _bench_args(p)
     p.set_defaults(func=cmd_bench_diff)
 
+    p = sub.add_parser(
+        "serve",
+        help="long-lived detection daemon (line-delimited JSON over "
+             "a local socket)",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix domain socket path (default: TCP)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address when no --socket is given")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--max-workers", type=_positive_int, default=8,
+                   metavar="N",
+                   help="concurrently executing sessions (default 8)")
+    p.add_argument("--quarantine-dir", default=None, metavar="DIR",
+                   help="default directory for the quarantine policy's "
+                        "replayable traces")
+    p.add_argument("--policy", default=None,
+                   choices=["log", "kill-session", "quarantine"],
+                   help="default alarm policy for sessions that don't "
+                        "name one (default: log)")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("timing", help="Figure-9 timing for a workload")
     p.add_argument("workload", choices=workload_names())
     p.add_argument("--scale", type=int, default=10)
@@ -830,7 +867,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C during a campaign (or any verb) exits with the
+        # conventional 130 instead of a executor traceback; in-flight
+        # shard futures are cancelled by the engine's cleanup.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

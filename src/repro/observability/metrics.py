@@ -70,11 +70,19 @@ class Span:
 
 @dataclass
 class MetricsRegistry:
-    """Named counters + timers + an ordered span log for one run."""
+    """Named counters + timers + an ordered span log for one run.
+
+    Long-lived deployments (the detection daemon) additionally use
+    *gauges* — point-in-time values like "sessions active" that are set,
+    not accumulated.  Gauges only appear in :meth:`snapshot` when at
+    least one is set, so one-shot runs keep their historical payload
+    shape byte-for-byte.
+    """
 
     counters: Dict[str, Counter] = field(default_factory=dict)
     timers: Dict[str, Timer] = field(default_factory=dict)
     spans: List[Span] = field(default_factory=list)
+    gauges: Dict[str, float] = field(default_factory=dict)
 
     # -- counters ---------------------------------------------------------
 
@@ -90,6 +98,15 @@ class MetricsRegistry:
     def value(self, name: str) -> int:
         counter = self.counters.get(name)
         return counter.value if counter else 0
+
+    # -- gauges -----------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (overwrites any previous reading)."""
+        self.gauges[name] = value
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, default)
 
     # -- timers / spans ---------------------------------------------------
 
@@ -117,7 +134,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view (picklable, JSON-ready) of everything."""
-        return {
+        payload = {
             "counters": {
                 name: counter.value
                 for name, counter in sorted(self.counters.items())
@@ -128,6 +145,11 @@ class MetricsRegistry:
             },
             "spans": [span.to_dict() for span in self.spans],
         }
+        if self.gauges:
+            payload["gauges"] = {
+                name: value for name, value in sorted(self.gauges.items())
+            }
+        return payload
 
     def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
         """Fold a child registry's ``snapshot()`` into this one.
@@ -157,3 +179,7 @@ class MetricsRegistry:
             self.spans.append(
                 Span(span.get("name", "?"), span.get("seconds", 0.0))
             )
+        # Gauges are point-in-time readings: the child's latest value
+        # wins (there is nothing meaningful to accumulate).
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = value

@@ -12,6 +12,11 @@ Two layers:
 * **memory** — a per-process dict.  Always on.  Guarantees each
   workload's :class:`ProtectedProgram` is built at most once per
   process, no matter how many attacks or benchmark fixtures ask for it.
+  Concurrent lookups of the same key are *single-flight*: the first
+  thread compiles while the rest block on a per-key latch and then read
+  the published program — this is what lets the detection daemon
+  (:mod:`repro.service`) run many sessions of one workload while
+  compiling its tables exactly once.
 * **disk** — optional, enabled by pointing ``REPRO_COMPILE_CACHE`` at a
   directory.  Entries are pickled programs named ``<key>.pkl`` and
   written atomically, so concurrent shard workers can share one cache
@@ -66,13 +71,40 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1] (0.0 before any lookup)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.memory_hits, self.disk_hits, self.misses)
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """The delta relative to an earlier snapshot (daemon uptime view)."""
+        return CacheStats(
+            memory_hits=self.memory_hits - baseline.memory_hits,
+            disk_hits=self.disk_hits - baseline.disk_hits,
+            misses=self.misses - baseline.misses,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
 
 _memory: Dict[str, "ProtectedProgram"] = {}
 _stats = CacheStats()
 _lock = threading.Lock()
+#: Per-key latches for compiles currently in flight; waiters block on
+#: the latch instead of duplicating the compile (single-flight).
+_inflight: Dict[str, threading.Event] = {}
 
 
 def compile_fingerprint(
@@ -135,27 +167,47 @@ def _disk_store(key: str, program: "ProtectedProgram") -> None:
 def cached_compile(
     source: str, name: str = "<source>", opt_level: int = 0
 ) -> "ProtectedProgram":
-    """Compile via the cache (memory first, then disk, then for real)."""
-    key = compile_fingerprint(source, name, opt_level)
-    with _lock:
-        program = _memory.get(key)
-        if program is not None:
-            _stats.memory_hits += 1
-            return program
-    program = _disk_load(key)
-    if program is not None:
-        with _lock:
-            _stats.disk_hits += 1
-            _memory.setdefault(key, program)
-        return program
-    from ..pipeline import compile_program
+    """Compile via the cache (memory first, then disk, then for real).
 
-    program = compile_program(source, name, opt_level)
-    with _lock:
-        _stats.misses += 1
-        _memory[key] = program
-    _disk_store(key, program)
-    return program
+    Thread-safe and single-flight: when several threads request the
+    same key at once (concurrent daemon sessions on one workload), one
+    compiles and the others wait for the published result — counted as
+    memory hits, because they never ran the compiler.
+    """
+    key = compile_fingerprint(source, name, opt_level)
+    while True:
+        with _lock:
+            program = _memory.get(key)
+            if program is not None:
+                _stats.memory_hits += 1
+                return program
+            latch = _inflight.get(key)
+            if latch is None:
+                _inflight[key] = threading.Event()
+                break
+        # Someone else is compiling this key: wait for the latch, then
+        # retry the lookup (it re-compiles only if the leader failed).
+        latch.wait()
+    try:
+        program = _disk_load(key)
+        if program is not None:
+            with _lock:
+                _stats.disk_hits += 1
+                _memory.setdefault(key, program)
+            return program
+        from ..pipeline import compile_program
+
+        program = compile_program(source, name, opt_level)
+        with _lock:
+            _stats.misses += 1
+            _memory[key] = program
+        _disk_store(key, program)
+        return program
+    finally:
+        with _lock:
+            latch = _inflight.pop(key, None)
+        if latch is not None:
+            latch.set()
 
 
 def compile_cache_stats() -> CacheStats:

@@ -394,6 +394,9 @@ def run_campaign(
                     )
                 results.append(merged)
         except BaseException:
+            # Ctrl-C (KeyboardInterrupt) and shard failures alike:
+            # cancel queued shards and return immediately rather than
+            # draining the pool; the CLI maps the interrupt to exit 130.
             executor.shutdown(wait=False, cancel_futures=True)
             raise
     return CampaignSummary(results)

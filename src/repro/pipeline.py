@@ -44,6 +44,7 @@ class ProtectedProgram:
         halt_on_alarm: bool = False,
         allow_unprotected: bool = False,
         flight_recorder=None,
+        alarm_sink=None,
     ) -> IPDS:
         """A fresh IPDS instance for one monitored execution."""
         return IPDS(
@@ -51,6 +52,7 @@ class ProtectedProgram:
             halt_on_alarm=halt_on_alarm,
             allow_unprotected=allow_unprotected,
             flight_recorder=flight_recorder,
+            alarm_sink=alarm_sink,
         )
 
     def to_image(self) -> bytes:
@@ -169,16 +171,19 @@ def monitored_run(
     allow_unprotected: bool = False,
     flight_recorder=None,
     observers: Sequence[object] = (),
+    alarm_sink=None,
 ) -> Tuple[RunResult, IPDS]:
     """Run a protected program with the IPDS attached.
 
     Extra ``observers`` (timing models, recorders) ride the same
-    execution behind the IPDS on the bus.
+    execution behind the IPDS on the bus.  ``alarm_sink`` is forwarded
+    to the IPDS — the per-alarm hook an online alarm policy uses.
     """
     ipds = program.new_ipds(
         halt_on_alarm=halt_on_alarm,
         allow_unprotected=allow_unprotected,
         flight_recorder=flight_recorder,
+        alarm_sink=alarm_sink,
     )
     result = observed_run(
         program,
@@ -189,6 +194,28 @@ def monitored_run(
         step_limit=step_limit,
     )
     return result, ipds
+
+
+def resolve_target(target: str, read_files: bool = True) -> Tuple[str, str]:
+    """Resolve a program spec to ``(source text, name)``.
+
+    One rule shared by every front end (CLI verbs, the detection
+    daemon): a registered workload name resolves from the registry;
+    anything else is treated as a path to a mini-C file (when
+    ``read_files``) or rejected.  Raises ``KeyError`` for an unknown
+    workload when file reading is disabled, ``OSError`` for an
+    unreadable path.
+    """
+    from .workloads.registry import get_workload, workload_names
+
+    if target in workload_names():
+        return get_workload(target).source, target
+    if not read_files:
+        raise KeyError(
+            f"unknown workload {target!r} and file access is disabled"
+        )
+    with open(target, "r", encoding="utf-8") as handle:
+        return handle.read(), target
 
 
 def unmonitored_run(

@@ -27,7 +27,7 @@ occupancy, spills, detection latency) is modeled separately in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from ..correlation.actions import BranchStatus
 from ..correlation.tables import ProgramTables
@@ -98,6 +98,13 @@ class IPDS(ExecutionObserver):
     for updates — instead of hard-raising :class:`IPDSError`.  This is
     the deployment reality of a binary linked against unanalyzed
     libraries.
+
+    ``alarm_sink`` is an optional callback invoked with each
+    :class:`Alarm` immediately after it is recorded — the hook an
+    alarm-response policy (log / kill session / quarantine) hangs off.
+    A sink that raises aborts the monitored execution; the alarm is
+    already recorded when the sink runs, so observers of ``alarms``
+    see identical state with or without a sink.
     """
 
     def __init__(
@@ -106,6 +113,7 @@ class IPDS(ExecutionObserver):
         halt_on_alarm: bool = False,
         allow_unprotected: bool = False,
         flight_recorder: Optional[FlightRecorder] = None,
+        alarm_sink: Optional[Callable[[Alarm], None]] = None,
     ):
         self._tables = tables
         self._stack: List[Optional[BSVFrame]] = []
@@ -116,6 +124,7 @@ class IPDS(ExecutionObserver):
         # so alarms (which carry frame_id) are identical either way.
         self._next_frame_id = 0
         self.flight_recorder = flight_recorder
+        self.alarm_sink = alarm_sink
         self.alarms: List[Alarm] = []
         self.stats = IPDSStats()
 
@@ -285,6 +294,8 @@ class IPDS(ExecutionObserver):
                         recorder.record(
                             self._branch_record(event, frame, checked, expected, True, ())
                         )
+                    if self.alarm_sink is not None:
+                        self.alarm_sink(alarm)
                     return alarm
 
         # Then update, whether or not the branch is checked (§5.4).
@@ -314,11 +325,15 @@ class IPDS(ExecutionObserver):
                         alarm is not None, tuple(transitions),
                     )
                 )
+                if alarm is not None and self.alarm_sink is not None:
+                    self.alarm_sink(alarm)
                 return alarm
         if recorder is not None:
             recorder.record(
                 self._branch_record(event, frame, checked, expected, alarm is not None, ())
             )
+        if alarm is not None and self.alarm_sink is not None:
+            self.alarm_sink(alarm)
         return alarm
 
     def _branch_record(

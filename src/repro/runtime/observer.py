@@ -91,6 +91,42 @@ class ExecutionObserver:
         """The observed execution ended."""
 
 
+class ProgressObserver(ExecutionObserver):
+    """Periodic liveness callback for long executions.
+
+    Counts committed control-flow events (calls, returns, branches) and
+    invokes ``callback(events_seen)`` every ``every`` events — the hook
+    the detection daemon uses to stream step progress for a running
+    session and to poll for operator kill requests.  Purely
+    observational: it subscribes only to the control-flow stream, so
+    instruction-hot-path cost is zero and detection results are
+    untouched.
+    """
+
+    def __init__(
+        self, callback: Callable[[int], None], every: int = 10_000
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"progress interval must be >= 1, got {every}")
+        self._callback = callback
+        self._every = every
+        self.events_seen = 0
+
+    def _tick(self) -> None:
+        self.events_seen += 1
+        if self.events_seen % self._every == 0:
+            self._callback(self.events_seen)
+
+    def on_call(self, event: CallEvent) -> None:
+        self._tick()
+
+    def on_return(self, event: ReturnEvent) -> None:
+        self._tick()
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self._tick()
+
+
 class CallbackObserver(ExecutionObserver):
     """Adapts a legacy ``Callable[[Event], None]`` listener to the bus.
 

@@ -1,0 +1,536 @@
+"""The session-scoped detection engine.
+
+One :class:`DetectionSession` owns everything a single monitored
+execution needs — compiled program (through the shared content-addressed
+cache), IPDS instance, observer bus attachments (trace recorder,
+progress hook), flight recorder, forensics, metrics, and the alarm
+policy.  The CLI verbs (``run`` / ``attack`` / ``replay``) and the
+``repro serve`` daemon both drive sessions through this one code path,
+so a detection served over the socket is byte-identical to the same
+detection run from the command line.
+
+Three modes, mirroring the CLI verbs:
+
+* ``run``    — one monitored execution of a program on given inputs;
+* ``attack`` — either an *explicit* tampering (``spec.tamper`` set: the
+  ``repro attack`` shape — unmonitored clean run, monitored tampered
+  run, control-flow diff) or an *indexed* campaign attack
+  (``spec.attack_index`` set: the full §6 recipe via
+  :func:`repro.attacks.campaign.run_attack_detailed`, byte-identical to
+  the serial campaign for the same seed prefix and index);
+* ``replay`` — offline re-check of a recorded event trace.
+
+The policy hook rides the IPDS ``alarm_sink``: it fires synchronously
+at the committed branch that contradicted the BSV, *after* the alarm is
+recorded, so policies can stream/kill/quarantine without ever changing
+what is detected.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..interp.interpreter import RunResult, TamperSpec
+from ..lang.errors import ReproError
+from ..observability.metrics import MetricsRegistry
+from ..pipeline import (
+    ProtectedProgram,
+    compile_program_cached,
+    observed_run,
+    resolve_target,
+    unmonitored_run,
+)
+from ..runtime.flight_recorder import DEFAULT_DEPTH, FlightRecorder
+from ..runtime.ipds import IPDS, Alarm
+from ..runtime.observer import ProgressObserver
+from ..runtime.replay import TraceRecorder, load_trace
+from .policy import AlarmPolicy, LogPolicy, PolicyAction
+
+#: Step budget of a run/attack session (the interpreter default) and of
+#: an indexed campaign attack (the campaign default) — kept distinct so
+#: session-driven executions match their CLI counterparts exactly.
+RUN_STEP_LIMIT = 2_000_000
+ATTACK_STEP_LIMIT = 500_000
+
+#: Control-flow events between progress emissions / kill-flag checks.
+PROGRESS_EVERY = 10_000
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of one detection session."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    COMPLETED = "completed"  # ran to the end, no alarms
+    ALARMED = "alarmed"      # ran to the end, IPDS raised >= 1 alarm
+    KILLED = "killed"        # terminated early (kill policy / operator)
+    FAILED = "failed"        # session error (bad program, step limit, ...)
+    REAPED = "reaped"        # terminal + removed from the registry
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            SessionState.COMPLETED,
+            SessionState.ALARMED,
+            SessionState.KILLED,
+            SessionState.FAILED,
+        )
+
+
+class SessionKilled(ReproError):
+    """Raised inside a monitored execution to terminate this session.
+
+    Thrown by :class:`~repro.service.policy.KillSessionPolicy` from the
+    alarm sink, or by the progress hook when an operator requested a
+    kill.  The interpreter does not catch observer exceptions, so the
+    execution aborts at the current committed event; only this session
+    is affected.
+    """
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to run one detection session.
+
+    ``workload`` is a registered workload name or (when ``read_files``)
+    a path to a mini-C file; ``source`` carries inline program text
+    instead (daemon submissions).  Exactly the same resolution rule as
+    the CLI verbs (:func:`repro.pipeline.resolve_target`).
+    """
+
+    mode: str = "run"  # run | attack | replay
+    workload: Optional[str] = None
+    source: Optional[str] = None
+    source_name: Optional[str] = None
+    entry: str = "main"
+    inputs: Tuple[int, ...] = ()
+    opt_level: int = 0
+    step_limit: Optional[int] = None
+    allow_unprotected: bool = False
+    forensics: bool = False
+    flight_recorder_depth: int = DEFAULT_DEPTH
+    record_trace: bool = False
+    read_files: bool = True
+    # -- explicit tampering (the ``repro attack`` shape) --
+    tamper: Optional[TamperSpec] = None
+    # -- indexed campaign attack (the §6 recipe) --
+    attack_index: Optional[int] = None
+    seed_prefix: str = ""
+    attack_model: str = "input"
+    timing_mode: Optional[str] = None
+    # -- replay --
+    trace_text: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.mode not in ("run", "attack", "replay"):
+            raise ValueError(f"unknown session mode {self.mode!r}")
+        if self.source is None and not self.workload:
+            raise ValueError("session needs a workload name or source text")
+        if self.mode == "attack":
+            if (self.tamper is None) == (self.attack_index is None):
+                raise ValueError(
+                    "attack session needs exactly one of an explicit "
+                    "tamper spec or an attack index"
+                )
+            if self.attack_index is not None and self.source is not None:
+                raise ValueError(
+                    "indexed attacks need a registered workload "
+                    "(its input generator), not inline source"
+                )
+        if self.mode == "replay" and self.trace_text is None:
+            raise ValueError("replay session needs trace text")
+
+    @property
+    def effective_step_limit(self) -> int:
+        if self.step_limit is not None:
+            return self.step_limit
+        if self.mode == "attack" and self.attack_index is not None:
+            return ATTACK_STEP_LIMIT
+        return RUN_STEP_LIMIT
+
+    def resolve_program_source(self) -> Tuple[str, str]:
+        """``(source text, name)`` for compilation."""
+        if self.source is not None:
+            return self.source, self.source_name or "<session>"
+        assert self.workload is not None
+        return resolve_target(self.workload, read_files=self.read_files)
+
+
+@dataclass
+class SessionResult:
+    """The JSON-ready terminal record of one session."""
+
+    session_id: str
+    mode: str
+    state: str
+    detected: bool
+    alarms: List[str] = field(default_factory=list)
+    policy_actions: List[Dict[str, Any]] = field(default_factory=list)
+    steps: int = 0
+    status: Optional[str] = None
+    outputs: List[int] = field(default_factory=list)
+    tamper_fired: Optional[bool] = None
+    control_flow_changed: Optional[bool] = None
+    outcome: Optional[Dict[str, Any]] = None
+    forensics: Optional[str] = None
+    trace_event_count: int = 0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "session": self.session_id,
+            "mode": self.mode,
+            "state": self.state,
+            "detected": self.detected,
+            "alarms": list(self.alarms),
+            "policy_actions": list(self.policy_actions),
+            "steps": self.steps,
+            "trace_event_count": self.trace_event_count,
+        }
+        if self.status is not None:
+            record["status"] = self.status
+            record["outputs"] = list(self.outputs)
+        if self.tamper_fired is not None:
+            record["tamper_fired"] = self.tamper_fired
+        if self.control_flow_changed is not None:
+            record["control_flow_changed"] = self.control_flow_changed
+        if self.outcome is not None:
+            record["outcome"] = self.outcome
+        if self.forensics is not None:
+            record["forensics"] = self.forensics
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+#: Event callback: ``emit(kind, payload)``.  The daemon routes these to
+#: the submitting connection; the CLI runs with the no-op default.
+EmitFn = Callable[[str, Dict[str, Any]], None]
+
+
+def record_ipds_metrics(metrics: MetricsRegistry, ipds: IPDS) -> None:
+    """The standard per-run IPDS counter block (shared with the CLI)."""
+    metrics.increment("ipds.events", ipds.stats.events)
+    metrics.increment("ipds.checks", ipds.stats.checks)
+    metrics.increment("ipds.alarms", len(ipds.alarms))
+    if ipds.stats.unprotected_calls:
+        metrics.increment(
+            "ipds.unprotected_calls", ipds.stats.unprotected_calls
+        )
+    if ipds.stats.unprotected_branches:
+        metrics.increment(
+            "ipds.unprotected_branches", ipds.stats.unprotected_branches
+        )
+
+
+class DetectionSession:
+    """One detection session: program + IPDS + policy + observers.
+
+    :meth:`execute` runs the session and lets exceptions propagate (the
+    CLI path: argparse-level error handling applies); :meth:`run`
+    catches them into the FAILED state and always returns a
+    :class:`SessionResult` (the daemon path: one bad session must never
+    take the server down).
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        session_id: str = "s0",
+        policy: Optional[AlarmPolicy] = None,
+        emit: Optional[EmitFn] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.session_id = session_id
+        self.policy = policy if policy is not None else LogPolicy()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._emit_fn = emit
+        self.state = SessionState.CREATED
+        self.alarms: List[str] = []
+        self.policy_actions: List[PolicyAction] = []
+        self.trace_events: List[object] = []
+        self.result: Optional[SessionResult] = None
+        self.error: Optional[str] = None
+        self.events_seen = 0
+        self._kill_requested = False
+        # Live artifacts (populated by execute; the CLI renders these).
+        self.program: Optional[ProtectedProgram] = None
+        self.program_name: str = spec.source_name or spec.workload or "<session>"
+        self.ipds: Optional[IPDS] = None
+        self.run_result: Optional[RunResult] = None
+        self.clean_result: Optional[RunResult] = None
+        self.reports: List[object] = []
+        self.forensics_json: Optional[str] = None
+        self.outcome_record: Optional[Dict[str, Any]] = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    def emit(self, kind: str, payload: Dict[str, Any]) -> None:
+        if self._emit_fn is not None:
+            self._emit_fn(kind, payload)
+
+    def request_kill(self) -> None:
+        """Ask the session to stop at its next progress checkpoint."""
+        self._kill_requested = True
+
+    def record_policy_action(self, action: PolicyAction) -> None:
+        self.policy_actions.append(action)
+        self.metrics.increment("session.policy_actions")
+        self.emit("policy", action.to_dict())
+
+    def _set_state(self, state: SessionState) -> None:
+        self.state = state
+        self.emit("state", {"state": state.value})
+
+    def _on_alarm(self, alarm: Alarm) -> None:
+        rendered = str(alarm)
+        self.alarms.append(rendered)
+        self.metrics.increment("session.alarms")
+        self.emit("alarm", {"alarm": rendered, "index": len(self.alarms)})
+        action = self.policy.on_alarm(self, alarm)
+        if action is not None:
+            self.record_policy_action(action)
+
+    def _on_progress(self, events_seen: int) -> None:
+        self.events_seen = events_seen
+        if self._kill_requested:
+            raise SessionKilled("killed by operator request")
+        self.emit("progress", {"events": events_seen})
+
+    def _session_observers(self) -> Tuple[List[object], Optional[TraceRecorder]]:
+        """The passive bus riders every mode attaches: optional trace
+        recorder (requested or required by the policy) + progress hook."""
+        observers: List[object] = []
+        recorder: Optional[TraceRecorder] = None
+        if self.spec.record_trace or self.policy.wants_trace:
+            recorder = TraceRecorder()
+            observers.append(recorder)
+        observers.append(ProgressObserver(self._on_progress, PROGRESS_EVERY))
+        return observers, recorder
+
+    def _new_flight_recorder(self) -> Optional[FlightRecorder]:
+        if not self.spec.forensics:
+            return None
+        return FlightRecorder(self.spec.flight_recorder_depth)
+
+    def _compile(self) -> ProtectedProgram:
+        source, name = self.spec.resolve_program_source()
+        self.program_name = name
+        with self.metrics.span("compile"):
+            program = compile_program_cached(source, name, self.spec.opt_level)
+        self.program = program
+        return program
+
+    def _explain(self) -> None:
+        """Typed forensics for a recorder-carrying, alarmed IPDS."""
+        ipds = self.ipds
+        if ipds is None or ipds.flight_recorder is None or not ipds.detected:
+            return
+        from ..forensics import explain_ipds, reports_to_json
+
+        self.reports = explain_ipds(ipds)
+        self.forensics_json = reports_to_json(self.reports)
+
+    # -- the three modes --------------------------------------------------
+
+    def _execute_run(self) -> None:
+        program = self._compile()
+        ipds = program.new_ipds(
+            allow_unprotected=self.spec.allow_unprotected,
+            flight_recorder=self._new_flight_recorder(),
+            alarm_sink=self._on_alarm,
+        )
+        self.ipds = ipds
+        extra, recorder = self._session_observers()
+        with self.metrics.span("execute"):
+            result = observed_run(
+                program,
+                observers=[ipds, *extra],
+                inputs=self.spec.inputs,
+                entry=self.spec.entry,
+                step_limit=self.spec.effective_step_limit,
+            )
+        self.run_result = result
+        if recorder is not None:
+            self.trace_events = recorder.events
+        self.metrics.increment("interp.steps", result.steps)
+        record_ipds_metrics(self.metrics, ipds)
+        self._explain()
+
+    def _execute_attack_explicit(self) -> None:
+        program = self._compile()
+        with self.metrics.span("clean"):
+            clean = unmonitored_run(
+                program,
+                inputs=self.spec.inputs,
+                entry=self.spec.entry,
+                step_limit=self.spec.effective_step_limit,
+            )
+        self.clean_result = clean
+        ipds = program.new_ipds(
+            flight_recorder=self._new_flight_recorder(),
+            alarm_sink=self._on_alarm,
+        )
+        self.ipds = ipds
+        extra, recorder = self._session_observers()
+        with self.metrics.span("attack"):
+            attacked = observed_run(
+                program,
+                observers=[ipds, *extra],
+                inputs=self.spec.inputs,
+                entry=self.spec.entry,
+                tamper=self.spec.tamper,
+                step_limit=self.spec.effective_step_limit,
+            )
+        self.run_result = attacked
+        if recorder is not None:
+            self.trace_events = recorder.events
+        changed = attacked.branch_trace != clean.branch_trace
+        self.metrics.increment("interp.steps", clean.steps + attacked.steps)
+        self.metrics.increment("attack.tamper_fired", int(attacked.tamper_fired))
+        self.metrics.increment("attack.control_flow_changed", int(changed))
+        self.metrics.increment("attack.detected", int(ipds.detected))
+        record_ipds_metrics(self.metrics, ipds)
+        self._explain()
+
+    def _execute_attack_indexed(self) -> None:
+        from ..attacks.campaign import run_attack_detailed
+        from ..workloads.registry import get_workload
+
+        workload = get_workload(self.spec.workload)
+        program = self._compile()
+        extra, recorder = self._session_observers()
+        execution = run_attack_detailed(
+            program,
+            workload,
+            self.spec.attack_index,
+            seed_prefix=self.spec.seed_prefix,
+            step_limit=self.spec.effective_step_limit,
+            attack_model=self.spec.attack_model,
+            metrics=self.metrics,
+            forensics=self.spec.forensics,
+            flight_recorder_depth=self.spec.flight_recorder_depth,
+            timing_mode=self.spec.timing_mode,
+            extra_observers=extra,
+            alarm_sink=self._on_alarm,
+        )
+        self.ipds = execution.ipds
+        self.run_result = execution.attacked
+        self.clean_result = execution.clean
+        self.reports = list(execution.reports)
+        if recorder is not None:
+            self.trace_events = recorder.events
+        self.outcome_record = execution.outcome.to_record(workload.name)
+        if self.reports:
+            from ..forensics import reports_to_json
+
+            self.forensics_json = reports_to_json(self.reports)
+
+    def _execute_replay(self) -> None:
+        program = self._compile()
+        ipds = program.new_ipds(
+            allow_unprotected=self.spec.allow_unprotected,
+            flight_recorder=self._new_flight_recorder(),
+            alarm_sink=self._on_alarm,
+        )
+        self.ipds = ipds
+        events = list(load_trace(io.StringIO(self.spec.trace_text)))
+        self.trace_events = events
+        with self.metrics.span("replay"):
+            ipds.run(events)
+        record_ipds_metrics(self.metrics, ipds)
+        self._explain()
+
+    # -- driving ----------------------------------------------------------
+
+    def execute(self) -> SessionResult:
+        """Run to a terminal state; exceptions (other than a session
+        kill) propagate to the caller."""
+        self._set_state(SessionState.RUNNING)
+        self.metrics.increment("session.started")
+        killed = False
+        try:
+            if self.spec.mode == "run":
+                self._execute_run()
+            elif self.spec.mode == "replay":
+                self._execute_replay()
+            elif self.spec.tamper is not None:
+                self._execute_attack_explicit()
+            else:
+                self._execute_attack_indexed()
+        except SessionKilled as kill:
+            killed = True
+            self.error = str(kill)
+        if killed:
+            self._set_state(SessionState.KILLED)
+        elif self.alarms:
+            self._set_state(SessionState.ALARMED)
+        else:
+            self._set_state(SessionState.COMPLETED)
+        self._finish_policy()
+        self.result = self._build_result()
+        self.emit("result", {"result": self.result.to_dict()})
+        return self.result
+
+    def run(self) -> SessionResult:
+        """The daemon entry point: never raises."""
+        try:
+            return self.execute()
+        except Exception as error:  # noqa: BLE001 - daemon isolation boundary
+            self.error = f"{type(error).__name__}: {error}"
+            self.metrics.increment("session.failed")
+            self._set_state(SessionState.FAILED)
+            self._finish_policy()
+            self.result = self._build_result()
+            self.emit("result", self.result.to_dict())
+            return self.result
+
+    def _finish_policy(self) -> None:
+        try:
+            action = self.policy.finish(self)
+        except Exception as error:  # noqa: BLE001 - policy must not kill daemon
+            self.emit(
+                "error",
+                {"error": f"policy finish failed: {error}"},
+            )
+            return
+        if action is not None:
+            self.record_policy_action(action)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.alarms)
+
+    def _build_result(self) -> SessionResult:
+        result = SessionResult(
+            session_id=self.session_id,
+            mode=self.spec.mode,
+            state=self.state.value,
+            detected=self.detected,
+            alarms=list(self.alarms),
+            policy_actions=[a.to_dict() for a in self.policy_actions],
+            trace_event_count=len(self.trace_events),
+            error=self.error,
+        )
+        if self.run_result is not None:
+            result.steps = self.run_result.steps
+            result.status = self.run_result.status.value
+            result.outputs = list(self.run_result.outputs)
+            if self.spec.mode == "attack":
+                result.tamper_fired = self.run_result.tamper_fired
+        if (
+            self.spec.tamper is not None
+            and self.clean_result is not None
+            and self.run_result is not None
+        ):
+            result.control_flow_changed = (
+                self.run_result.branch_trace != self.clean_result.branch_trace
+            )
+        result.outcome = self.outcome_record
+        result.forensics = self.forensics_json
+        return result

@@ -1,0 +1,83 @@
+"""The daemon's thread-safe session registry.
+
+Sessions execute on worker threads while the asyncio loop serves the
+socket, so every registry operation takes one lock.  Ids are dense
+(``s1``, ``s2``, ...) per daemon lifetime; a session stays listed until
+a client reaps it (terminal states only), which is what lets clients
+poll results for sessions submitted by other connections.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from .engine import DetectionSession, SessionState
+
+
+class SessionRegistry:
+    """Id allocation + lookup + lifecycle accounting for sessions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, DetectionSession] = {}
+        self._next_id = 0
+        self._reaped = 0
+
+    def allocate_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"s{self._next_id}"
+
+    def add(self, session: DetectionSession) -> None:
+        with self._lock:
+            self._sessions[session.session_id] = session
+
+    def get(self, session_id: str) -> Optional[DetectionSession]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def list(self) -> List[DetectionSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Sessions per lifecycle state (reaped = lifetime total)."""
+        with self._lock:
+            tally: Dict[str, int] = {}
+            for session in self._sessions.values():
+                key = session.state.value
+                tally[key] = tally.get(key, 0) + 1
+            if self._reaped:
+                tally[SessionState.REAPED.value] = self._reaped
+            return tally
+
+    def active(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for session in self._sessions.values()
+                if not session.state.terminal
+            )
+
+    def kill(self, session_id: str) -> bool:
+        """Request an early stop; True if the session exists and was
+        still running."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None or session.state.terminal:
+            return False
+        session.request_kill()
+        return True
+
+    def reap(self, session_id: str) -> bool:
+        """Drop a terminal session from the registry; False when the
+        session is unknown or still running."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None or not session.state.terminal:
+                return False
+            del self._sessions[session_id]
+            self._reaped += 1
+        session.state = SessionState.REAPED
+        return True

@@ -1,0 +1,272 @@
+"""End-to-end tests for the ``repro serve`` daemon.
+
+A real daemon on a real unix socket, driven by the blocking client:
+concurrent mixed-workload sessions must produce alarms, outcome records
+and forensics byte-identical to the serial campaign path, with the
+compiled-table cache shared across sessions.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.attacks.campaign import run_attack_detailed
+from repro.forensics import reports_to_json
+from repro.pipeline import compile_program_cached
+from repro.service import DetectionDaemon, ServeClient
+from repro.service.protocol import ProtocolError
+from repro.workloads.registry import get_workload
+
+FIGURE1 = """
+int user;
+void main() {
+  user = read_int();
+  if (user == 0) { emit(100); } else { emit(200); }
+  int someinput = read_int();
+  if (user == 0) { emit(111); } else { emit(222); }
+}
+"""
+
+#: 4 workloads x 3 indices = 12 concurrent sessions; includes the
+#: pinned detected attacks telnetd#1, wu-ftpd#7 and atftpd#3.
+MIXED_WORKLOADS = {
+    "telnetd": [0, 1, 2],
+    "wu-ftpd": [5, 6, 7],
+    "atftpd": [2, 3, 4],
+    "httpd": [0, 1, 2],
+}
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    instance = DetectionDaemon(
+        socket_path=str(tmp_path / "repro.sock"),
+        max_workers=8,
+        quarantine_dir=str(tmp_path / "quarantine"),
+    )
+    thread = threading.Thread(target=instance.run, daemon=True)
+    thread.start()
+    assert instance.wait_ready(10)
+    yield instance
+    if not instance._stop.is_set():
+        with ServeClient(socket_path=instance.socket_path) as client:
+            client.shutdown()
+    thread.join(10)
+    assert not thread.is_alive()
+
+
+def _serial_expectations():
+    expected = {}
+    for name, indices in MIXED_WORKLOADS.items():
+        workload = get_workload(name)
+        program = compile_program_cached(workload.source, name, 0)
+        for index in indices:
+            execution = run_attack_detailed(
+                program, workload, index, forensics=True
+            )
+            expected[(name, index)] = execution
+    return expected
+
+
+def test_concurrent_sessions_byte_identical_to_serial(daemon):
+    expected = _serial_expectations()
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        submitted = {}
+        for name, indices in MIXED_WORKLOADS.items():
+            for index in indices:
+                sid = client.submit(
+                    {
+                        "mode": "attack",
+                        "workload": name,
+                        "attack_index": index,
+                        "forensics": True,
+                    }
+                )
+                submitted[sid] = (name, index)
+        assert len(submitted) == 12
+
+        results = client.results(list(submitted))
+        detected = 0
+        for sid, key in submitted.items():
+            name, _index = key
+            serial = expected[key]
+            result = results[sid]
+            assert result["outcome"] == serial.outcome.to_record(name), key
+            assert result["alarms"] == list(serial.outcome.alarms), key
+            if serial.outcome.detected:
+                detected += 1
+                assert result["state"] == "alarmed"
+                assert result["forensics"] == reports_to_json(serial.reports)
+            else:
+                assert result["state"] == "completed"
+        assert detected >= 3
+
+        metrics = client.metrics()
+        # 12 sessions over 4 distinct programs: the shared table cache
+        # must have absorbed the rest.
+        assert metrics["compile_cache"]["hits"] >= 8
+        assert metrics["compile_cache"]["hit_rate"] > 0
+        assert metrics["sessions"]["alarmed"] == detected
+        assert metrics["counters"]["serve.submitted"] == 12
+        assert metrics["steps_per_second"] >= 0
+        client.shutdown()
+
+
+def test_alarm_stream_and_sessions_listing(daemon):
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        sid = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 1}
+        )
+        result = client.result(sid)
+        assert result["state"] == "alarmed"
+        events = client.events(sid)
+        kinds = [message["event"] for message in events]
+        assert "state" in kinds
+        assert "alarm" in kinds
+        alarm_events = [m for m in events if m["event"] == "alarm"]
+        assert [m["alarm"] for m in alarm_events] == result["alarms"]
+
+        listing = {entry["session"]: entry for entry in client.sessions()}
+        assert listing[sid]["state"] == "alarmed"
+        assert listing[sid]["program"] == "telnetd"
+
+        assert client.reap(sid) is True
+        assert client.reap(sid) is False  # already gone
+        assert all(
+            entry["session"] != sid for entry in client.sessions()
+        )
+        client.shutdown()
+
+
+def test_kill_policy_kills_only_the_alarmed_session(daemon):
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        doomed = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 1},
+            policy="kill-session",
+        )
+        bystander = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 0},
+            policy="kill-session",
+        )
+        results = client.results([doomed, bystander])
+        assert results[doomed]["state"] == "killed"
+        assert results[doomed]["policy_actions"][0]["action"] == "kill-session"
+        assert results[bystander]["state"] == "completed"
+        # The daemon itself survived both.
+        assert client.hello()["protocol"] == 1
+        client.shutdown()
+
+
+def test_quarantine_policy_over_the_wire(daemon, tmp_path):
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        sid = client.submit(
+            {
+                "mode": "attack",
+                "workload": "atftpd",
+                "attack_index": 3,
+                "forensics": True,
+            },
+            policy="quarantine",
+        )
+        result = client.result(sid)
+        assert result["state"] == "alarmed"
+        quarantined = [
+            action
+            for action in result["policy_actions"]
+            if action["action"] == "quarantine"
+        ]
+        assert len(quarantined) == 1
+        trace_path = quarantined[0]["path"]
+
+        # The quarantined trace replays to the identical alarms —
+        # through the daemon itself this time.
+        replay_sid = client.submit(
+            {
+                "mode": "replay",
+                "workload": "atftpd",
+                "trace_text": open(trace_path, encoding="utf-8").read(),
+            }
+        )
+        replayed = client.result(replay_sid)
+        assert replayed["state"] == "alarmed"
+        assert replayed["alarms"] == result["alarms"]
+        client.shutdown()
+
+
+def test_inline_source_and_explicit_tamper(daemon):
+    from repro.interp import GLOBAL_BASE
+
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        clean = client.submit(
+            {
+                "mode": "run",
+                "source": FIGURE1,
+                "source_name": "figure1",
+                "inputs": [5, 1],
+            }
+        )
+        tampered = client.submit(
+            {
+                "mode": "attack",
+                "source": FIGURE1,
+                "source_name": "figure1",
+                "inputs": [5, 1],
+                "tamper": {
+                    "trigger_kind": "read",
+                    "trigger": 2,
+                    "address": hex(GLOBAL_BASE),
+                    "value": 0,
+                },
+            }
+        )
+        results = client.results([clean, tampered])
+        assert results[clean]["state"] == "completed"
+        assert results[clean]["outputs"] == [200, 222]
+        assert results[tampered]["state"] == "alarmed"
+        assert results[tampered]["tamper_fired"] is True
+        client.shutdown()
+
+
+def test_protocol_errors_do_not_kill_the_daemon(daemon):
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        with pytest.raises(ProtocolError):
+            client._request("no-such-op")
+        with pytest.raises(ProtocolError):
+            client.submit({"mode": "attack", "workload": "telnetd"})
+        with pytest.raises(ProtocolError):
+            client.submit({"mode": "run", "workload": "telnetd", "bogus": 1})
+        # Daemon never reads files on a client's behalf.
+        sid = client.submit({"mode": "run", "workload": "/etc/hostname"})
+        assert client.result(sid)["state"] == "failed"
+        # Raw garbage on the wire is answered with an error event.
+        client._sock.sendall(b"not json\n")
+        message = client.wait_for(lambda m: m.get("event") == "error")
+        assert "bad request line" in message["error"]
+        assert client.hello()["protocol"] == 1
+        assert client.kill("s999") is False
+        client.shutdown()
+
+
+def test_cli_serve_smoke(tmp_path, capsys):
+    """``repro serve`` through the CLI entry point (in-process)."""
+    from repro.cli import main
+
+    socket_path = str(tmp_path / "cli.sock")
+    rc_box = {}
+
+    def serve():
+        rc_box["rc"] = main(
+            ["serve", "--socket", socket_path, "--max-workers", "2"]
+        )
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    with ServeClient(socket_path=socket_path) as client:
+        sid = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 1}
+        )
+        assert client.result(sid)["state"] == "alarmed"
+        client.shutdown()
+    thread.join(10)
+    assert rc_box["rc"] == 0

@@ -1,0 +1,136 @@
+"""Tests for the pluggable alarm policies (log / kill / quarantine)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    DetectionSession,
+    KillSessionPolicy,
+    LogPolicy,
+    QuarantinePolicy,
+    SessionSpec,
+    SessionState,
+    make_policy,
+)
+from repro.workloads.registry import get_workload
+
+
+def _attack_spec(workload="telnetd", index=1, **overrides):
+    fields = dict(
+        mode="attack", workload=workload, attack_index=index, forensics=True
+    )
+    fields.update(overrides)
+    return SessionSpec(**fields)
+
+
+def test_log_policy_records_every_alarm():
+    session = DetectionSession(_attack_spec(), policy=LogPolicy())
+    result = session.execute()
+    assert session.state is SessionState.ALARMED
+    assert result.alarms
+    log_actions = [
+        action for action in result.policy_actions
+        if action["action"] == "log"
+    ]
+    assert len(log_actions) == len(result.alarms)
+    assert result.alarms[0] in log_actions[0]["detail"]
+
+
+def test_kill_policy_terminates_on_first_alarm():
+    logged = DetectionSession(_attack_spec(), policy=LogPolicy())
+    logged.execute()
+
+    killed = DetectionSession(_attack_spec(), policy=KillSessionPolicy())
+    result = killed.execute()
+    assert killed.state is SessionState.KILLED
+    # The first alarm is recorded before the kill, and it is the same
+    # alarm the log-policy session saw first.
+    assert result.alarms == logged.result.alarms[:1]
+    assert result.policy_actions[0]["action"] == "kill-session"
+    # The killed execution stopped at the alarm: no outcome record was
+    # produced (the attack recipe never finished).
+    assert result.outcome is None
+
+
+def test_kill_policy_is_inert_on_clean_sessions():
+    session = DetectionSession(
+        _attack_spec(index=0), policy=KillSessionPolicy()
+    )
+    result = session.execute()
+    assert session.state is SessionState.COMPLETED
+    assert result.policy_actions == []
+    assert result.outcome is not None
+
+
+def test_quarantine_policy_writes_replayable_trace(tmp_path):
+    quarantine = tmp_path / "quarantine"
+    session = DetectionSession(
+        _attack_spec(workload="atftpd", index=3),
+        session_id="s42",
+        policy=QuarantinePolicy(str(quarantine)),
+    )
+    result = session.execute()
+    assert session.state is SessionState.ALARMED
+
+    actions = {action["action"] for action in result.policy_actions}
+    assert "quarantine" in actions
+    trace_path = quarantine / "s42" / "trace.jsonl"
+    manifest_path = quarantine / "s42" / "manifest.json"
+    assert trace_path.exists()
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["session"] == "s42"
+    assert manifest["program"] == "atftpd"
+    assert manifest["alarms"] == result.alarms
+
+    # Round trip: the quarantined trace replays through the offline
+    # checker with the identical alarms.
+    rc = main(["replay", "atftpd", str(trace_path)])
+    assert rc == 2
+
+
+def test_quarantined_trace_replays_with_same_alarms(tmp_path, capsys):
+    quarantine = tmp_path / "quarantine"
+    session = DetectionSession(
+        _attack_spec(workload="atftpd", index=3),
+        session_id="s1",
+        policy=QuarantinePolicy(str(quarantine)),
+    )
+    result = session.execute()
+    main(["replay", "atftpd", str(quarantine / "s1" / "trace.jsonl")])
+    out = capsys.readouterr().out
+    replayed = [
+        line.split("ALARM: ", 1)[1]
+        for line in out.splitlines()
+        if line.startswith("ALARM: ")
+    ]
+    assert replayed == result.alarms
+
+
+def test_quarantine_policy_skips_clean_sessions(tmp_path):
+    quarantine = tmp_path / "quarantine"
+    session = DetectionSession(
+        _attack_spec(index=0), policy=QuarantinePolicy(str(quarantine))
+    )
+    result = session.execute()
+    assert session.state is SessionState.COMPLETED
+    assert result.policy_actions == []
+    assert not quarantine.exists()
+
+
+def test_make_policy_factory(tmp_path):
+    assert make_policy(None).name == "log"
+    assert make_policy("log").name == "log"
+    assert make_policy("kill-session").name == "kill-session"
+    policy = make_policy({"kind": "quarantine", "dir": str(tmp_path)})
+    assert policy.name == "quarantine"
+    assert policy.wants_trace is True
+    fallback = make_policy("quarantine", quarantine_dir=str(tmp_path))
+    assert fallback.directory == str(tmp_path)
+    with pytest.raises(ValueError):
+        make_policy("quarantine")
+    with pytest.raises(ValueError):
+        make_policy("detonate")
+    with pytest.raises(ValueError):
+        make_policy(42)

@@ -17,7 +17,10 @@ are identical at any job count).
 Each campaign runs with a :class:`MetricsRegistry` attached, and the
 summary test writes ``BENCH_fig7_detection.json`` at the repo root:
 per-workload and aggregate events/sec and steps/sec, the seed numbers
-of the bench trajectory.
+of the bench trajectory.  A second campaign sweep at ``--opt 3``
+(feasible-path-sensitive tables) records its detection rates under
+``detection_opt3`` — the gated proof that the extra SET entries never
+weaken detection.
 """
 
 import json
@@ -40,6 +43,7 @@ BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_fig7_detection.json"
 
 _RESULTS = {}
 _METRICS = {}
+_OPT3_RESULTS = {}
 
 
 @pytest.mark.parametrize("name", workload_names())
@@ -85,6 +89,32 @@ def test_fig7_campaign(benchmark, compiled_workloads, name):
     )
 
 
+@pytest.mark.parametrize("name", workload_names())
+def test_fig7_campaign_opt3(benchmark, compiled_workloads, name):
+    """The same seeded campaigns against the opt-3 tables.
+
+    Runs after the opt-0 sweep (the cache-hit assertions there count on
+    exactly ten compiles having happened) and reuses each workload's
+    opt-3 build through the content-addressed cache."""
+    workload, _ = compiled_workloads[name]
+
+    def campaign():
+        return run_workload_campaign(
+            workload, attacks=ATTACKS, jobs=JOBS, opt_level=3
+        )
+
+    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    _OPT3_RESULTS[name] = result
+    assert result.detected <= result.changed <= result.total == ATTACKS
+    # The feasible-path entries only *add* predictions: the opt-3
+    # tables must never detect less than the baseline tables did.
+    if name in _RESULTS:
+        assert result.detected >= _RESULTS[name].detected, name
+        assert result.changed == _RESULTS[name].changed, name
+    benchmark.extra_info["pct_changed"] = result.pct_changed
+    benchmark.extra_info["pct_detected"] = result.pct_detected
+
+
 def test_fig7_summary_shape(benchmark, compiled_workloads):
     """Aggregate shape assertions + the rendered figure."""
 
@@ -98,6 +128,15 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
         return CampaignSummary([_RESULTS[n] for n in workload_names()])
 
     summary = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    for name in workload_names():
+        if name not in _OPT3_RESULTS:
+            workload, _ = compiled_workloads[name]
+            _OPT3_RESULTS[name] = run_workload_campaign(
+                workload, attacks=ATTACKS, opt_level=3
+            )
+    opt3_summary = CampaignSummary(
+        [_OPT3_RESULTS[n] for n in workload_names()]
+    )
     print()
     print(render_figure7(summary))
     if _METRICS:
@@ -115,6 +154,17 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
                         "avg_pct_detected": round(summary.avg_pct_detected, 3),
                         "avg_pct_detected_of_changed": round(
                             summary.avg_pct_detected_of_changed, 3
+                        ),
+                    },
+                    "detection_opt3": {
+                        "avg_pct_changed": round(
+                            opt3_summary.avg_pct_changed, 3
+                        ),
+                        "avg_pct_detected": round(
+                            opt3_summary.avg_pct_detected, 3
+                        ),
+                        "avg_pct_detected_of_changed": round(
+                            opt3_summary.avg_pct_detected_of_changed, 3
                         ),
                     },
                     "workloads": _METRICS,
@@ -146,3 +196,10 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
     # Some detections must exist in several benchmarks, not just one.
     detecting = [r for r in summary.results if r.detected > 0]
     assert len(detecting) >= 4
+    # The opt-3 tables strictly add predictions over the same seeded
+    # attacks: the detection rate must not drop below the baseline.
+    assert opt3_summary.avg_pct_changed == summary.avg_pct_changed
+    assert (
+        opt3_summary.avg_pct_detected_of_changed
+        >= summary.avg_pct_detected_of_changed
+    )

@@ -30,7 +30,7 @@ from .runtime.observer import ExecutionObserver, ObserverBus
 #: Fallback when neither pyproject.toml nor installed metadata is
 #: reachable (e.g. a vendored source tree).  Keep in sync with
 #: pyproject.toml — :func:`_resolve_version` prefers that file.
-_FALLBACK_VERSION = "1.3.0"
+_FALLBACK_VERSION = "1.4.0"
 
 
 def _resolve_version() -> str:

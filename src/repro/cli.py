@@ -637,9 +637,10 @@ def cmd_timing(args: argparse.Namespace) -> int:
 
 
 def _add_opt_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--opt", type=int, default=0, choices=[0, 1, 2],
+    p.add_argument("--opt", type=int, default=0, choices=[0, 1, 2, 3],
                    help="optimization level: 0/1 intra-procedural, "
-                        "2 adds summary-based interprocedural analysis")
+                        "2 adds summary-based interprocedural analysis, "
+                        "3 adds feasible-path-sensitive correlation")
 
 
 def _add_report_args(

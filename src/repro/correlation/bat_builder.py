@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.branch_info import BranchFacts, analyze_branches
 from ..analysis.defs import DefinitionMap, ReachingDefinitions, analyze_definitions
+from ..analysis.feasible import FeasibleAnalysis, FeasibleFinding, analyze_feasible
 from ..analysis.purity import PurityResult, analyze_purity
 from ..analysis.alias import analyze_aliases
 from ..analysis.summaries import (
@@ -59,6 +60,7 @@ from .actions import BranchAction
 from .hashing import find_perfect_hash
 from .provenance import (
     REASON_CONFLICT,
+    REASON_FEASIBLE,
     REASON_INTERPROC,
     REASON_KILL,
     REASON_SUBSUMPTION,
@@ -81,6 +83,7 @@ class BuildStats:
     conflicts: int
     hash_trials: int
     interproc_kills_suppressed: int = 0
+    feasible_sets: int = 0
 
 
 def build_function_tables(
@@ -88,10 +91,14 @@ def build_function_tables(
     module: IRModule,
     purity: PurityResult,
     summaries: Optional[ProgramSummaries] = None,
+    feasible: bool = False,
 ) -> Tuple[FunctionTables, BuildStats]:
     """Run the Figure-5 construction for one function."""
     def_map, reaching = analyze_definitions(fn, module, purity)
     facts_by_pc = analyze_branches(fn, def_map)
+    feas: Optional[FeasibleAnalysis] = (
+        analyze_feasible(fn, def_map, facts_by_pc) if feasible else None
+    )
     branches = fn.cond_branches()
     branch_pcs = tuple(sorted(b.address for b in branches))
     block_of_pc = {
@@ -166,6 +173,25 @@ def build_function_tables(
             if action is not BranchAction.SET_UN:
                 checked_pcs.add(bl_pc)
 
+    # -- step 1b (opt 3): feasible-path actions ---------------------------
+    # The per-edge feasible-path MFP proves forced outcomes the pairwise
+    # subsumption test cannot see (constant stores along the way, pruned
+    # infeasible merges).  New actions are only *added* where subsumption
+    # proposed nothing; existing resolutions — including conflicts — win,
+    # keeping opt <= 2 results byte-identical.
+    feas_records: Dict[Tuple[EventKey, int], FeasibleFinding] = {}
+    if feas is not None:
+        for key, per_target in sorted(feas.findings.items()):
+            for bl_pc, finding in sorted(per_target.items()):
+                if resolved.get(key, {}).get(bl_pc) is not None:
+                    continue
+                action = (
+                    BranchAction.SET_T if finding.forced else BranchAction.SET_NT
+                )
+                resolved.setdefault(key, {})[bl_pc] = action
+                checked_pcs.add(bl_pc)
+                feas_records[(key, bl_pc)] = finding
+
     # Drop entries targeting branches that never became checkable: their
     # BSV slots are never verified, so updates to them are dead weight.
     for key in list(resolved):
@@ -210,6 +236,22 @@ def build_function_tables(
                     saved[(key, bl_pc)] = summary_text
                     suppressed += 1
                     continue
+            if feas is not None and previous in (
+                BranchAction.SET_T,
+                BranchAction.SET_NT,
+            ):
+                # Feasible-path aversion: the MFP already pushed every
+                # store on every feasible path from this edge through
+                # its transfer, so a claim it re-proves holds at every
+                # later execution of the target — no kill needed.  This
+                # covers direct stores, which interprocedural summaries
+                # (call-only) cannot.
+                finding = feas.for_edge(*key).get(bl_pc)
+                if finding is not None and finding.forced == (
+                    previous is BranchAction.SET_T
+                ):
+                    feas_records[(key, bl_pc)] = finding
+                    continue
             if previous is not BranchAction.SET_UN:
                 if previous is not None:
                     set_entries -= 1
@@ -237,8 +279,15 @@ def build_function_tables(
             if not resolved[key]:
                 del resolved[key]
 
+    feas_records = {
+        (key, bl_pc): finding
+        for (key, bl_pc), finding in feas_records.items()
+        if resolved.get(key, {}).get(bl_pc)
+        in (BranchAction.SET_T, BranchAction.SET_NT)
+    }
+
     provenance = _render_provenance(
-        resolved, facts_by_pc, block_of_pc, evidence, killed, saved
+        resolved, facts_by_pc, block_of_pc, evidence, killed, saved, feas_records
     )
 
     # -- step 3: hash + render --------------------------------------------
@@ -287,6 +336,7 @@ def build_function_tables(
         conflicts=conflicts,
         hash_trials=search.trials,
         interproc_kills_suppressed=suppressed,
+        feasible_sets=len(feas_records),
     )
     return tables, stats
 
@@ -337,12 +387,14 @@ def _render_provenance(
     evidence: Dict[Tuple[int, bool], Dict[int, Dict[BranchAction, object]]],
     killed: Set[Tuple[EventKey, int]],
     saved: Dict[Tuple[EventKey, int], str],
+    feasible: Optional[Dict[Tuple[EventKey, int], FeasibleFinding]] = None,
 ) -> Tuple[ActionProvenance, ...]:
     """One :class:`ActionProvenance` per surviving BAT entry.
 
     Runs after the final pruning so the records describe exactly the
     entries the runtime will fire — forensics joins against these.
     """
+    feasible = feasible or {}
     records: List[ActionProvenance] = []
     for (bs_pc, taken), per_target in resolved.items():
         for bl_pc, action in per_target.items():
@@ -357,7 +409,17 @@ def _render_provenance(
                 var=check.var.name,
                 check=f"{check.var.name} {check.op.value} {check.bound}",
             )
-            if action is not BranchAction.SET_UN:
+            finding = feasible.get(((bs_pc, taken), bl_pc))
+            if finding is not None:
+                records.append(
+                    ActionProvenance(
+                        reason=REASON_FEASIBLE,
+                        implied=finding.implied,
+                        witness=finding.witness,
+                        **common,
+                    )
+                )
+            elif action is not BranchAction.SET_UN:
                 inference = evidence[(bs_pc, taken)][bl_pc][action]
                 summary = saved.get(((bs_pc, taken), bl_pc))
                 records.append(
@@ -425,12 +487,18 @@ def _source_feeds_check(
 def build_program_tables(
     module: IRModule,
     interproc: bool = False,
+    feasible: bool = False,
 ) -> Tuple[ProgramTables, List[BuildStats]]:
     """Run the whole compiler side: alias → purity → per-function BATs.
 
     ``interproc=True`` (the ``--opt 2`` configuration) additionally
     computes bottom-up transfer summaries and lets the per-function
     construction suppress call-only kills they prove harmless.
+
+    ``feasible=True`` (the ``--opt 3`` configuration) additionally runs
+    the per-function feasible-path MFP (:mod:`repro.analysis.feasible`),
+    adding SET entries for branch outcomes forced on every feasible
+    path from an edge and averting kills those proofs cover.
 
     This is the main compiler entry point; the result is what gets
     "attached to the program binary" (§5.4).
@@ -441,7 +509,9 @@ def build_program_tables(
     program = ProgramTables()
     stats: List[BuildStats] = []
     for fn in module.functions:
-        tables, fn_stats = build_function_tables(fn, module, purity, summaries)
+        tables, fn_stats = build_function_tables(
+            fn, module, purity, summaries, feasible=feasible
+        )
         program.by_function[fn.name] = tables
         stats.append(fn_stats)
     return program, stats

@@ -30,12 +30,14 @@ REASON_SUBSUMPTION = "subsumption"  # implied range subsumes one outcome set
 REASON_KILL = "kill"  # branch-free region may store to the variable
 REASON_CONFLICT = "conflict"  # contradictory inferences -> forced UNKNOWN
 REASON_INTERPROC = "interproc"  # kill suppressed by callee transfer summaries
+REASON_FEASIBLE = "feasible-path"  # forced outcome on every feasible path
 
 VALID_REASONS = (
     REASON_SUBSUMPTION,
     REASON_KILL,
     REASON_CONFLICT,
     REASON_INTERPROC,
+    REASON_FEASIBLE,
 )
 
 
@@ -65,6 +67,7 @@ class ActionProvenance:
     implied: Optional[str] = None  # e.g. "[1, +inf]" or "Z\\{0}"
     check: Optional[str] = None  # e.g. "authenticated == 0"
     summary: Optional[str] = None  # interproc: callee transfers that kept it
+    witness: Optional[Tuple[str, ...]] = None  # feasible: pruned edges
 
     def __post_init__(self) -> None:
         if self.reason not in VALID_REASONS:
@@ -102,6 +105,13 @@ class ActionProvenance:
                 f"subsuming one outcome of check '{self.check}'; the "
                 f"region's calls preserve it ({self.summary})"
             )
+        if self.reason == REASON_FEASIBLE:
+            pruned = ", ".join(self.witness) if self.witness else "none"
+            return (
+                f"{where}: on every feasible path from the edge, "
+                f"{self.var} stays in {self.implied}, forcing check "
+                f"'{self.check}' (pruned infeasible edges: {pruned})"
+            )
         return (
             f"{where}: contradictory inferences about {self.var} — "
             f"direction statically infeasible, forced UNKNOWN"
@@ -122,6 +132,9 @@ class ActionProvenance:
             "implied": self.implied,
             "check": self.check,
             "summary": self.summary,
+            "witness": (
+                list(self.witness) if self.witness is not None else None
+            ),
         }
 
     @staticmethod
@@ -140,6 +153,11 @@ class ActionProvenance:
             implied=record.get("implied"),
             check=record.get("check"),
             summary=record.get("summary"),
+            witness=(
+                tuple(record["witness"])
+                if record.get("witness") is not None
+                else None
+            ),
         )
 
 

@@ -46,10 +46,11 @@ class MetricRule:
 
 #: Default gate: the observer-overhead noop configs (the hot-path cost
 #: this repo actively optimizes), the full stack as advisory, the
-#: whole-set compile times (opt 0, and opt 2 which adds the
-#: interprocedural summary fixpoint), and the Figure-7 detection rate
-#: (direction "higher": the seeded campaigns are deterministic, so a
-#: drop means the tables really got weaker, not noise).
+#: whole-set compile times (opt 0, opt 2 which adds the interprocedural
+#: summary fixpoint, and opt 3 which adds the per-edge feasible-path
+#: MFP), and the Figure-7 detection rates at the default and opt-3
+#: tables (direction "higher": the seeded campaigns are deterministic,
+#: so a drop means the tables really got weaker, not noise).
 DEFAULT_RULES: Tuple[MetricRule, ...] = (
     MetricRule(
         "observer_overhead",
@@ -111,8 +112,21 @@ DEFAULT_RULES: Tuple[MetricRule, ...] = (
         min_delta=1.0,
     ),
     MetricRule(
+        "compile_time",
+        ("total", "opt3_seconds"),
+        max_change_pct=50.0,
+        min_delta=1.0,
+    ),
+    MetricRule(
         "fig7_detection",
         ("detection", "avg_pct_detected_of_changed"),
+        max_change_pct=10.0,
+        min_delta=2.0,
+        direction="higher",
+    ),
+    MetricRule(
+        "fig7_detection",
+        ("detection_opt3", "avg_pct_detected_of_changed"),
         max_change_pct=10.0,
         min_delta=2.0,
         direction="higher",

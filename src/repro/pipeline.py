@@ -86,6 +86,13 @@ def compile_program(
     construction keep predictions alive across calls it proves harmless
     — strictly more actions, same zero-false-positive guarantee.
 
+    ``opt_level=3`` additionally runs the feasible-path MFP
+    (:mod:`repro.analysis.feasible`): infeasible CFG edges are pruned
+    from the per-edge range propagation, so outcomes forced on every
+    *feasible* path become SET actions (``reason=feasible-path``
+    provenance with the pruned-edge witness) instead of being diluted
+    by ranges flowing along paths that can never execute.
+
     ``check=True`` runs the static soundness auditor
     (:mod:`repro.staticcheck`) over the freshly emitted tables and
     raises :class:`~repro.staticcheck.StaticCheckError` on any
@@ -100,7 +107,11 @@ def compile_program(
 
         optimize_module(module)
         verify_module(module)
-    tables, stats = build_program_tables(module, interproc=opt_level >= 2)
+    tables, stats = build_program_tables(
+        module,
+        interproc=opt_level >= 2,
+        feasible=opt_level >= 3,
+    )
     program = ProtectedProgram(
         module=module, tables=tables, build_stats=stats, source_name=name
     )

@@ -17,6 +17,7 @@ Entry points: :func:`run_passes` (programmatic), ``repro audit`` and
 from .audit import audit_image, audit_program
 from .coverage import coverage_report
 from .deadcode import find_dead_branches
+from .feasaudit import audit_feasible
 from .interproc import audit_interproc
 from .diagnostics import (
     CODES,
@@ -59,6 +60,7 @@ __all__ = [
     "Severity",
     "Span",
     "StaticCheckError",
+    "audit_feasible",
     "audit_image",
     "audit_interproc",
     "audit_program",

@@ -106,6 +106,10 @@ CODES: Dict[str, CodeInfo] = {
         CodeInfo("IP501", Severity.ERROR, "interproc provenance without a live BAT SET entry"),
         CodeInfo("IP502", Severity.ERROR, "suppressed kill not re-provable from re-derived summaries"),
         CodeInfo("IP503", Severity.ERROR, "SET action survives a clobbered region without interproc proof"),
+        # -- feasible-path action audit (pass: feasible-audit) -----------
+        CodeInfo("FP701", Severity.ERROR, "feasible-path provenance without a live BAT SET entry"),
+        CodeInfo("FP702", Severity.ERROR, "pruned-edge witness not independently re-provable from the IR"),
+        CodeInfo("FP703", Severity.ERROR, "claimed range laundered through an unproven pruned merge"),
         # -- static protection coverage (pass: coverage) -----------------
         CodeInfo("COV601", Severity.NOTE, "per-function protected-branch coverage"),
         CodeInfo("COV602", Severity.WARNING, "conditional branch is unprotected"),

@@ -1,0 +1,345 @@
+"""Feasible-path action audit (pass: feasible-audit).
+
+At ``--opt 3`` the builder adds ``SET_T``/``SET_NT`` entries proved by
+its feasible-path MFP (:mod:`repro.analysis.feasible`): a forward range
+propagation seeded at the source edge in which conditional edges whose
+direction contradicts the propagated ranges are *pruned* instead of
+merged over.  Every such entry carries a ``feasible-path`` provenance
+record whose ``witness`` lists the pruned edges.  This pass re-proves
+each record from the auditor's *own* forward facts
+(:mod:`repro.staticcheck.facts`) under a **witness-restricted** MFP:
+
+* ``FP701`` — a ``feasible-path`` provenance record does not
+  correspond to a live BAT SET entry (tampered or stale sidecar);
+* ``FP702`` — a pruned-edge witness is not independently re-provable:
+  a witness names an unknown or non-conditional block, or the edge is
+  reached at the fixpoint and is *feasible* from the re-derived state;
+* ``FP703`` — the claimed outcome does not hold at the target under
+  the witness-restricted propagation: the range was laundered through
+  a pruned merge the record never declared (or the action was
+  flipped).
+
+The laundering guard is the heart of the protocol: during propagation
+an infeasible direction is dropped **only when the record's witness
+declares it**.  Any other direction propagates — refined by every
+constraint that does not empty a binding, so the state stays as tight
+as the builder's without ever *emulating* a prune (a propagated
+environment is never empty).  Pruning the builder never claimed
+therefore cannot silently rescue the proof: deleting a load-bearing
+witness entry turns into ``FP703``, fabricating one into ``FP702``.
+
+The shared trust base with the builder stays the may-write model
+(alias sets, purity, :class:`~repro.analysis.defs.DefinitionMap`); the
+block facts, transfer functions and the range lattice are the
+auditor's own (:mod:`repro.staticcheck.facts`,
+:mod:`repro.staticcheck.domain`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.alias import analyze_aliases
+from ..analysis.defs import DefinitionMap
+from ..analysis.purity import PurityResult, analyze_purity
+from ..correlation.actions import BranchAction
+from ..correlation.provenance import REASON_FEASIBLE, ActionProvenance
+from ..correlation.tables import FunctionTables
+from ..ir.function import IRFunction, IRModule
+from .diagnostics import Diagnostic, DiagnosticSink
+from .domain import Env, ValueSet, env_get, env_join, env_set, env_widen
+from .facts import BlockSummary, edge_environment, summarize_function, transfer_block
+from .mfp import WIDEN_AFTER
+
+FEASAUDIT_PASS = "feasible-audit"
+
+#: A parsed witness edge: (block label, direction).
+Edge = Tuple[str, bool]
+
+
+def audit_feasible(
+    program, purity: Optional[PurityResult] = None
+) -> List[Diagnostic]:
+    """Audit every function's feasible-path provenance records."""
+    sink = DiagnosticSink(FEASAUDIT_PASS)
+    module: IRModule = program.module
+    if purity is None:
+        analyze_aliases(module)
+        purity = analyze_purity(module)
+    for fn in module.functions:
+        tables = program.tables.by_function.get(fn.name)
+        if tables is None:
+            continue  # correlation-audit reports COR210
+        _audit_function(sink, fn, module, tables, purity)
+    return sink.diagnostics
+
+
+def _audit_function(
+    sink: DiagnosticSink,
+    fn: IRFunction,
+    module: IRModule,
+    tables: FunctionTables,
+    purity: PurityResult,
+) -> None:
+    # Structural preconditions (hash collisions, PC drift) belong to the
+    # correlation audit; without them slot identities are meaningless,
+    # so bail rather than report nonsense here.
+    ir_pcs = tuple(sorted(b.address for b in fn.cond_branches()))
+    if tuple(sorted(tables.branch_pcs)) != ir_pcs:
+        return
+    slots = {tables.slot_of(pc) for pc in tables.branch_pcs}
+    if len(slots) != len(tables.branch_pcs):
+        return
+
+    records = [
+        record
+        for record in tables.provenance
+        if record.reason == REASON_FEASIBLE
+    ]
+    if not records:
+        return
+
+    def_map = DefinitionMap(fn, module, purity)
+    summaries = summarize_function(fn, def_map)
+    label_of_pc: Dict[int, str] = {
+        summary.branch_pc: summary.label
+        for summary in summaries.values()
+        if summary.branch_pc is not None
+    }
+
+    for record in records:
+        # -- FP701: the record must back a live SET entry ------------
+        target_slot = tables.slot_of(record.target_pc)
+        live = record.action in (
+            BranchAction.SET_T.value,
+            BranchAction.SET_NT.value,
+        ) and any(
+            entry_target == target_slot and action.value == record.action
+            for entry_target, action in tables.actions_for(
+                record.source_pc, record.taken
+            )
+        )
+        if not live:
+            sink.emit(
+                "FP701",
+                f"feasible-path record claims ({record.source_block}, "
+                f"{record.direction}) -> {record.action} "
+                f"{record.target_block}, but no such BAT entry is live",
+                function=fn.name,
+                block=record.source_block,
+                pc=record.source_pc,
+            )
+            continue
+        _reprove_record(sink, fn, summaries, label_of_pc, record)
+
+
+def _parse_witness(
+    summaries: Dict[str, BlockSummary], record: ActionProvenance
+) -> Tuple[Optional[Set[Edge]], Optional[str]]:
+    """Parse and structurally validate the pruned-edge witness.
+
+    Returns ``(edges, None)`` on success, ``(None, complaint)`` when a
+    witness entry is malformed or names a non-conditional edge."""
+    edges: Set[Edge] = set()
+    for entry in record.witness or ():
+        label, sep, direction = entry.rpartition(":")
+        if not sep or direction not in ("T", "NT"):
+            return None, f"malformed witness edge {entry!r}"
+        summary = summaries.get(label)
+        if summary is None:
+            return None, f"witness names unknown block {label!r}"
+        if summary.branch_pc is None:
+            return None, (
+                f"witness edge {entry!r} is not a conditional edge "
+                f"(block has no conditional branch)"
+            )
+        edges.add((label, direction == "T"))
+    return edges, None
+
+
+def _reprove_record(
+    sink: DiagnosticSink,
+    fn: IRFunction,
+    summaries: Dict[str, BlockSummary],
+    label_of_pc: Dict[int, str],
+    record: ActionProvenance,
+) -> None:
+    """Re-prove one record under the witness-restricted MFP."""
+    where = (
+        f"({record.source_block}, {record.direction}) -> "
+        f"{record.action} {record.target_block}"
+    )
+
+    witness, complaint = _parse_witness(summaries, record)
+    if witness is None:
+        sink.emit(
+            "FP702",
+            f"{where}: {complaint}",
+            function=fn.name,
+            block=record.source_block,
+            pc=record.source_pc,
+        )
+        return
+
+    source_label = label_of_pc.get(record.source_pc)
+    target_label = label_of_pc.get(record.target_pc)
+    if source_label is None or target_label is None:
+        sink.emit(
+            "FP702",
+            f"{where}: the record's source or target is not a "
+            f"conditional branch",
+            function=fn.name,
+            block=record.source_block,
+            pc=record.source_pc,
+        )
+        return
+
+    # Seed: the state after the source block commits its direction.  A
+    # None seed means the direction itself never executes — every claim
+    # about what follows it is vacuously true.
+    source = summaries[source_label]
+    env_out, snapshots = transfer_block(source, {})
+    seed = edge_environment(source, env_out, snapshots, record.taken)
+    if seed is None:
+        return
+    start = (
+        source.taken_target if record.taken else source.fallthrough_target
+    )
+
+    states = _witness_restricted_mfp(summaries, {start: seed}, witness)
+
+    # -- FP702: every *reached* witness edge must re-prove infeasible
+    # at the fixpoint (unreached sources are vacuous — the edge cannot
+    # occur after the source direction commits) ----------------------
+    for label, direction in sorted(witness):
+        if label not in states:
+            continue
+        summary = summaries[label]
+        env_out, snapshots = transfer_block(summary, states[label])
+        if edge_environment(summary, env_out, snapshots, direction) is not None:
+            sink.emit(
+                "FP702",
+                f"{where}: witnessed pruned edge "
+                f"{label}:{'T' if direction else 'NT'} is feasible "
+                f"from the re-derived state — the infeasibility claim "
+                f"does not re-prove",
+                function=fn.name,
+                block=label,
+                pc=summary.branch_pc,
+            )
+            return
+
+    # -- FP703: the forced outcome must hold at the target -----------
+    if target_label not in states:
+        return  # target unreached after the edge: vacuously safe
+    target = summaries[target_label]
+    env_out, snapshots = transfer_block(target, states[target_label])
+    check = target.check
+    if check is None or record.var != check.var.name:
+        sink.emit(
+            "FP702",
+            f"{where}: no matching check predicate is derivable for "
+            f"the target branch",
+            function=fn.name,
+            block=target_label,
+            pc=record.target_pc,
+        )
+        return
+    tested = snapshots.get(check.term, ValueSet.top())
+    claimed = check.outcome_set(record.action == BranchAction.SET_T.value)
+    if not tested.subset_of_outcome(claimed):
+        sink.emit(
+            "FP703",
+            f"{where}: under the declared witness the checked value "
+            f"reaches {tested}, which does not force outcome set "
+            f"{claimed} — the claimed range is laundered through an "
+            f"unproven pruned merge",
+            function=fn.name,
+            block=target_label,
+            pc=record.target_pc,
+        )
+
+
+def _witness_restricted_mfp(
+    summaries: Dict[str, BlockSummary],
+    seeds: Dict[str, Env],
+    witness: Set[Edge],
+) -> Dict[str, Env]:
+    """The MFP that may prune *only* the declared witness edges.
+
+    Identical worklist/join/widen discipline to
+    :func:`repro.staticcheck.mfp.solve_range_mfp`, with one deliberate
+    difference: a conditional edge is dropped only when the witness
+    declares it.  Every other edge propagates — an infeasible one with
+    :func:`_relaxed_refinement`, which applies each direction-implied
+    constraint that does not empty a binding but never produces the
+    empty environment — so undeclared pruning can never carry the
+    proof."""
+    states: Dict[str, Env] = dict(seeds)
+    join_counts: Dict[str, int] = {}
+    worklist: List[str] = list(seeds)
+    while worklist:
+        label = worklist.pop()
+        summary = summaries[label]
+        env_out, snapshots = transfer_block(summary, states[label])
+        if summary.is_return:
+            continue
+        edges: List[Tuple[str, Env]] = []
+        if summary.jump_target is not None:
+            edges.append((summary.jump_target, env_out))
+        else:
+            for direction in (True, False):
+                if (label, direction) in witness:
+                    continue  # the record claims this edge never runs
+                edge_env = edge_environment(
+                    summary, env_out, snapshots, direction
+                )
+                if edge_env is None:
+                    # Infeasible but undeclared: propagate a relaxed
+                    # refinement instead of pruning.
+                    edge_env = _relaxed_refinement(
+                        summary, env_out, direction
+                    )
+                next_label = (
+                    summary.taken_target
+                    if direction
+                    else summary.fallthrough_target
+                )
+                edges.append((next_label, edge_env))
+        for next_label, env in edges:
+            if next_label not in states:
+                states[next_label] = env
+                worklist.append(next_label)
+                continue
+            joined = env_join(states[next_label], env)
+            if joined == states[next_label]:
+                continue
+            count = join_counts.get(next_label, 0) + 1
+            join_counts[next_label] = count
+            if count > WIDEN_AFTER:
+                joined = env_widen(states[next_label], joined)
+            if joined != states[next_label]:
+                states[next_label] = joined
+                worklist.append(next_label)
+    return states
+
+
+def _relaxed_refinement(summary: BlockSummary, env_out: Env, taken: bool) -> Env:
+    """The direction's constraint refinement without the infeasibility
+    bail-outs.
+
+    Used for edges the auditor finds infeasible but the record does not
+    declare pruned.  Each direction-implied constraint is intersected
+    in — *including* ones that empty a binding.  An empty binding is a
+    per-variable fact the auditor derives locally (along this edge that
+    variable has no possible value) and it dissolves at the next join,
+    so a transiently-infeasible edge cannot poison the accumulated
+    fixpoint the way an unrefined environment would.  What the function
+    never does is drop the edge: every *other* variable's range still
+    flows, so an undeclared prune whose purpose was to stop some other
+    variable's hostile range cannot be silently re-enacted — deleting
+    that witness entry surfaces as ``FP703``."""
+    env: Env = dict(env_out)
+    for var, outcome in summary.constraints.get(taken, ()):
+        env_set(env, var, env_get(env, var).intersect_outcome(outcome))
+    return env

@@ -16,8 +16,10 @@ the inverse direction too:
   transfer fails to preserve the claimed outcome set, or the record's
   summary text differs from the independently rendered canonical one;
 * ``IP503`` — a SET entry survives a region that contains definition
-  sites of the checked variable *without* ``interproc`` provenance
-  (the kills-win rule was bypassed silently).
+  sites of the checked variable *without* ``interproc`` or
+  ``feasible-path`` provenance (the kills-win rule was bypassed
+  silently; feasible-path survivals are re-proved by the ``FP7xx``
+  pass instead).
 
 The shared trust base with the builder is the may-write model (alias
 sets, purity, :class:`~repro.analysis.defs.DefinitionMap`); the
@@ -33,7 +35,11 @@ from ..analysis.alias import analyze_aliases
 from ..analysis.defs import DefinitionMap
 from ..analysis.purity import PurityResult, analyze_purity
 from ..correlation.actions import BranchAction
-from ..correlation.provenance import REASON_INTERPROC, ActionProvenance
+from ..correlation.provenance import (
+    REASON_FEASIBLE,
+    REASON_INTERPROC,
+    ActionProvenance,
+)
 from ..correlation.tables import FunctionTables
 from ..ir.cfg import regions_by_edge
 from ..ir.function import IRFunction, IRModule
@@ -160,7 +166,10 @@ def _audit_function(
             if not sites:
                 continue
             record = tables.provenance_for(source_pc, taken, target_pc)
-            if record is None or record.reason != REASON_INTERPROC:
+            if record is None or record.reason not in (
+                REASON_INTERPROC,
+                REASON_FEASIBLE,
+            ):
                 sink.emit(
                     "IP503",
                     f"action {action.value} survives although the "

@@ -20,6 +20,7 @@ from .audit import audit_image, audit_program
 from .coverage import coverage_report
 from .deadcode import find_dead_branches
 from .diagnostics import Diagnostic
+from .feasaudit import audit_feasible
 from .interproc import audit_interproc
 from .irverify import verify_module_diagnostics
 
@@ -50,6 +51,11 @@ PASSES: Tuple[CheckPass, ...] = (
         lambda program, purity: audit_interproc(program, purity),
     ),
     CheckPass(
+        "feasible-audit",
+        "feasible-path action audit (FP7xx reproof)",
+        lambda program, purity: audit_feasible(program, purity),
+    ),
+    CheckPass(
         "image-audit",
         "binary table image audit",
         lambda program, purity: audit_image(program),
@@ -71,6 +77,7 @@ AUDIT_PASSES: Tuple[str, ...] = (
     "ir-verify",
     "correlation-audit",
     "interproc-audit",
+    "feasible-audit",
     "image-audit",
 )
 

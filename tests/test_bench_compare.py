@@ -117,15 +117,16 @@ def test_default_rules_gate_compile_time_and_detection():
     compile_paths = {r.path for r in by_bench["compile_time"]}
     assert ("total", "opt0_seconds") in compile_paths
     assert ("total", "opt2_seconds") in compile_paths
+    assert ("total", "opt3_seconds") in compile_paths
     # Detection rate gates in the "higher is better" direction: the
     # seeded campaigns are deterministic, so a drop is a real weakening
     # of the emitted tables.
     fig7 = by_bench["fig7_detection"]
     assert fig7
     assert all(rule.direction == "higher" for rule in fig7)
-    assert ("detection", "avg_pct_detected_of_changed") in {
-        r.path for r in fig7
-    }
+    fig7_paths = {r.path for r in fig7}
+    assert ("detection", "avg_pct_detected_of_changed") in fig7_paths
+    assert ("detection_opt3", "avg_pct_detected_of_changed") in fig7_paths
 
 
 def test_default_rules_gate_throughput_direction_aware():

@@ -2,7 +2,7 @@
 identical BCV/BSV/BAT tables for every workload in the registry.
 
 ``pack_program -> load_program`` must be lossless for every function of
-every registered server (at opt levels 0, 1 and 2), the packed blob sizes
+every registered server (at opt levels 0 through 3), the packed blob sizes
 must agree byte-for-byte with the Figure-8 bit accounting in
 ``repro.correlation.encoding``, and re-packing the loaded tables must
 reproduce the original image exactly.
@@ -16,7 +16,9 @@ from repro.pipeline import compile_program_cached
 from repro.workloads import all_workloads, workload_names
 
 
-@pytest.fixture(scope="module", params=[0, 1, 2], ids=["opt0", "opt1", "opt2"])
+@pytest.fixture(
+    scope="module", params=[0, 1, 2, 3], ids=["opt0", "opt1", "opt2", "opt3"]
+)
 def compiled_registry(request):
     opt = request.param
     return opt, {

@@ -13,6 +13,7 @@ from repro.correlation.binary_image import (
 )
 from repro.correlation.provenance import (
     REASON_CONFLICT,
+    REASON_FEASIBLE,
     REASON_INTERPROC,
     REASON_KILL,
     REASON_SUBSUMPTION,
@@ -25,7 +26,9 @@ from repro.pipeline import compile_program_cached
 from repro.workloads import get_workload, workload_names
 
 
-@pytest.fixture(scope="module", params=[0, 1, 2], ids=["opt0", "opt1", "opt2"])
+@pytest.fixture(
+    scope="module", params=[0, 1, 2, 3], ids=["opt0", "opt1", "opt2", "opt3"]
+)
 def programs(request):
     out = {}
     for name in workload_names():
@@ -64,10 +67,21 @@ def test_record_fields_are_well_formed(programs):
                     assert record.link_kind in ("load", "store")
                     assert record.implied
                     assert record.check
+                    assert record.witness is None
                     if record.reason == REASON_INTERPROC:
                         assert record.summary
                     else:
                         assert record.summary is None
+                elif record.reason == REASON_FEASIBLE:
+                    assert record.action in ("SET_T", "SET_NT")
+                    assert record.var
+                    assert record.implied
+                    assert record.check
+                    assert record.summary is None
+                    assert record.witness is not None
+                    for edge in record.witness:
+                        label, sep, direction = edge.rpartition(":")
+                        assert sep and label and direction in ("T", "NT")
                 else:
                     assert record.action == "SET_UN"
                     assert record.var
@@ -120,6 +134,27 @@ def test_describe_covers_all_reasons():
         summary="bump: x' = x + [1, 1]",
     )
     assert "calls preserve it (bump: x' = x + [1, 1])" in interproc.describe()
+    feasible = ActionProvenance(
+        **base,
+        action="SET_T",
+        reason=REASON_FEASIBLE,
+        var="x",
+        implied="[1, 1]",
+        check="x == 1",
+        witness=("bb3:T", "bb5:NT"),
+    )
+    assert "every feasible path" in feasible.describe()
+    assert "bb3:T, bb5:NT" in feasible.describe()
+    bare = ActionProvenance(
+        **base,
+        action="SET_T",
+        reason=REASON_FEASIBLE,
+        var="x",
+        implied="[1, 1]",
+        check="x == 1",
+        witness=(),
+    )
+    assert "pruned infeasible edges: none" in bare.describe()
 
 
 def test_unknown_reason_rejected():

@@ -14,7 +14,7 @@ from repro.staticcheck import AUDIT_PASSES, errors_in, run_passes
 from repro.workloads import get_workload, workload_names
 
 
-@pytest.mark.parametrize("opt", [0, 1, 2])
+@pytest.mark.parametrize("opt", [0, 1, 2, 3])
 @pytest.mark.parametrize("name", workload_names())
 def test_workload_audits_clean(name, opt):
     workload = get_workload(name)

@@ -1,7 +1,7 @@
 """Zero-false-positive regression: the paper's headline invariant.
 
 Every registered workload, run clean under IPDS monitoring, must raise
-no alarms — at opt levels 0, 1 and 2, serially and sharded across two
+no alarms — at opt levels 0, 1, 2 and 3, serially and sharded across two
 worker processes.  Until now this was only spot-checked inside attack
 campaigns; here it is a standing regression gate over the whole
 registry.
@@ -19,7 +19,9 @@ from repro.workloads import all_workloads, workload_names
 SESSIONS = 3
 
 
-@pytest.mark.parametrize("opt_level", [0, 1, 2], ids=["opt0", "opt1", "opt2"])
+@pytest.mark.parametrize(
+    "opt_level", [0, 1, 2, 3], ids=["opt0", "opt1", "opt2", "opt3"]
+)
 @pytest.mark.parametrize("name", workload_names())
 def test_clean_runs_never_alarm(name, opt_level):
     workload = next(w for w in all_workloads() if w.name == name)
@@ -36,13 +38,17 @@ def test_clean_runs_never_alarm(name, opt_level):
         )
 
 
-@pytest.mark.parametrize("opt_level", [0, 1, 2], ids=["opt0", "opt1", "opt2"])
+@pytest.mark.parametrize(
+    "opt_level", [0, 1, 2, 3], ids=["opt0", "opt1", "opt2", "opt3"]
+)
 def test_clean_sweep_serial(opt_level):
     runs = run_clean_sweep(sessions=2, opt_level=opt_level, jobs=1)
     assert runs == 2 * len(workload_names())
 
 
-@pytest.mark.parametrize("opt_level", [0, 1, 2], ids=["opt0", "opt1", "opt2"])
+@pytest.mark.parametrize(
+    "opt_level", [0, 1, 2, 3], ids=["opt0", "opt1", "opt2", "opt3"]
+)
 def test_clean_sweep_sharded(opt_level):
     """The same invariant must hold through the parallel engine."""
     runs = run_clean_sweep(sessions=2, opt_level=opt_level, jobs=2)

@@ -15,7 +15,12 @@ Measures what attaching observers costs one interpreter execution:
   one pass;
 * ``full_stack_segment`` — the same stack with the timing model in
   segment mode (``--timing-mode=segment``), including per-run segment
-  training: the campaign-speed configuration.
+  training: the campaign-speed configuration;
+* ``full_stack_traced`` — the full stack plus the opt-in tracing /
+  histogram instrumentation a traced session adds at run boundaries
+  (one hierarchical span, two histogram observations per run), so the
+  bench-diff gate pins both that tracing-off stays free and that
+  tracing-on overhead stays bounded.
 
 Run with ``pytest benchmarks/bench_observer_overhead.py --benchmark-only``.
 Writes ``BENCH_observer_overhead.json`` at the repo root with per-config
@@ -30,6 +35,7 @@ bench-diff gate watches direction-aware.
 """
 
 import json
+import time
 from pathlib import Path
 
 import pytest
@@ -38,6 +44,8 @@ from repro.baselines.compare import SyscallTraceObserver
 from repro.cpu.params import ProcessorParams
 from repro.cpu.pipeline import TimingModel
 from repro.cpu.simulator import TimingObserver
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 from repro.pipeline import observed_run
 from repro.runtime.observer import ExecutionObserver
 from repro.runtime.replay import TraceRecorder
@@ -51,7 +59,7 @@ CONSUMER_CONFIGS = [
 CONFIGS = (
     ["bare", "noop_events", "noop_instr"]
     + CONSUMER_CONFIGS
-    + ["full_stack", "full_stack_segment"]
+    + ["full_stack", "full_stack_segment", "full_stack_traced"]
 )
 
 BENCH_OUT = (
@@ -101,6 +109,16 @@ def _observers(config):
             SyscallTraceObserver(),
             TraceRecorder(),
         ]
+    if config == "full_stack_traced":
+        # The exact full_stack observer set; the tracing cost is added
+        # around the run in the benchmark body, where a traced session
+        # adds it (span + wall/throughput histogram observations).
+        return [
+            None,  # placeholder: fresh IPDS built per run
+            TimingObserver(TimingModel(ProcessorParams(), None)),
+            SyscallTraceObserver(),
+            TraceRecorder(),
+        ]
     raise ValueError(config)
 
 
@@ -110,11 +128,33 @@ def test_observer_overhead(benchmark, compiled_workloads, workload_inputs,
     workload, program = compiled_workloads[WORKLOAD]
     inputs = workload_inputs(WORKLOAD, SCALE)
 
+    # Long-lived across rounds like a campaign's tracer/registry: the
+    # per-run cost measured is span recording + histogram observation,
+    # not object construction.
+    tracer = Tracer() if config == "full_stack_traced" else None
+    registry = MetricsRegistry() if config == "full_stack_traced" else None
+
     def execute():
         observers = _observers(config)
-        if config in ("full_stack", "full_stack_segment", "ipds_only"):
+        if config in (
+            "full_stack", "full_stack_segment", "full_stack_traced",
+            "ipds_only",
+        ):
             observers[0] = program.new_ipds()
-        return observed_run(program, observers=observers, inputs=inputs)
+        if tracer is None:
+            return observed_run(program, observers=observers, inputs=inputs)
+        started = time.perf_counter()
+        with tracer.span("run", workload=WORKLOAD, scale=SCALE):
+            result = observed_run(
+                program, observers=observers, inputs=inputs
+            )
+        elapsed = time.perf_counter() - started
+        registry.observe_histogram("run.wall_seconds", elapsed)
+        if elapsed > 0:
+            registry.observe_histogram(
+                "run.steps_per_sec", result.steps / elapsed
+            )
+        return result
 
     # Warm outside the timed region (allocator, caches, CPU frequency).
     reference = execute()
@@ -161,6 +201,7 @@ def _write_report():
     # (lower is better), exact and segment mode side by side.
     full = _TIMINGS["full_stack"]
     segment = _TIMINGS["full_stack_segment"]
+    traced = _TIMINGS["full_stack_traced"]
     summary = {
         "full_stack_steps_per_sec": full["steps_per_sec"],
         "full_stack_overhead_vs_bare_pct": full["overhead_vs_bare_pct"],
@@ -173,6 +214,16 @@ def _write_report():
                 full["seconds_per_run"] / segment["seconds_per_run"], 3
             )
             if segment["seconds_per_run"]
+            else 0.0
+        ),
+        "full_stack_traced_steps_per_sec": traced["steps_per_sec"],
+        "tracing_overhead_vs_full_stack_pct": (
+            round(
+                100.0
+                * (traced["seconds_per_run"] / full["seconds_per_run"] - 1.0),
+                2,
+            )
+            if full["seconds_per_run"]
             else 0.0
         ),
     }

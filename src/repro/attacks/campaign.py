@@ -24,6 +24,7 @@ also monitored, and any alarm there fails the campaign loudly.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -92,6 +93,13 @@ class AttackOutcome:
     #: when the campaign runs with a ``timing_mode``; None otherwise, so
     #: timing-off campaigns stay byte-identical to before.
     cycles: Optional[int] = None
+    #: Per-alarm compile-time proof reasons ("subsumption", "kill",
+    #: "interproc", "feasible-path", ... or "unexplained" when the
+    #: forensics join degraded) — one entry per alarm report, in raise
+    #: order.  Populated only on forensics campaigns; the observatory
+    #: (``repro obs``) aggregates these into Figure-7-style
+    #: explained-correlation histograms.
+    proof_reasons: Tuple[str, ...] = ()
 
     def to_record(self, workload: str) -> dict:
         """The outcome as a plain JSON-ready record.
@@ -117,6 +125,8 @@ class AttackOutcome:
         # from campaigns without them stay byte-identical to before.
         if self.explanations:
             record["explanations"] = list(self.explanations)
+        if self.proof_reasons:
+            record["proof_reasons"] = list(self.proof_reasons)
         if self.cycles is not None:
             record["cycles"] = self.cycles
         return record
@@ -354,6 +364,7 @@ def run_attack_detailed(
         observers = (TimingObserver(timing_model), *extra_observers)
     else:
         observers = tuple(extra_observers)
+    attack_started = time.perf_counter()
     attacked, ipds = monitored_run(
         program,
         inputs=inputs,
@@ -363,13 +374,21 @@ def run_attack_detailed(
         observers=observers,
         alarm_sink=alarm_sink,
     )
+    attack_seconds = time.perf_counter() - attack_started
     reports: List[object] = []
     explanations: Tuple[str, ...] = ()
+    proof_reasons: Tuple[str, ...] = ()
     if forensics and ipds.detected:
         from ..forensics import explain_ipds
 
         reports = explain_ipds(ipds)
         explanations = tuple(report.causal_chain() for report in reports)
+        proof_reasons = tuple(
+            report.provenance.reason
+            if report.provenance is not None
+            else "unexplained"
+            for report in reports
+        )
 
     changed = (
         attacked.branch_trace != clean.branch_trace
@@ -388,6 +407,11 @@ def run_attack_detailed(
         metrics.increment("campaign.tamper_fired", int(attacked.tamper_fired))
         metrics.increment("campaign.control_flow_changed", int(changed))
         metrics.increment("campaign.detected", int(ipds.detected))
+        metrics.observe_histogram("attack.wall_seconds", attack_seconds)
+        if attack_seconds > 0:
+            metrics.observe_histogram(
+                "attack.steps_per_sec", attacked.steps / attack_seconds
+            )
     outcome = AttackOutcome(
         index=index,
         trigger_read=trigger,
@@ -402,6 +426,7 @@ def run_attack_detailed(
         explanations=explanations,
         alarms=tuple(str(alarm) for alarm in ipds.alarms),
         cycles=timing_model.stats.cycles if timing_model is not None else None,
+        proof_reasons=proof_reasons,
     )
     return AttackExecution(
         outcome=outcome,
@@ -426,6 +451,7 @@ def run_workload_campaign(
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
     timing_mode: Optional[str] = None,
+    tracer=None,
 ) -> WorkloadResult:
     """Attack one workload ``attacks`` times independently.
 
@@ -454,32 +480,39 @@ def run_workload_campaign(
             forensics=forensics,
             flight_recorder_depth=flight_recorder_depth,
             timing_mode=timing_mode,
+            tracer=tracer,
         )
-    if program is None:
-        from ..pipeline import compile_program_cached
+    from ..observability.tracing import maybe_span
 
-        program = compile_program_cached(
-            workload.source, workload.name, opt_level
+    with maybe_span(
+        tracer, "workload", workload=workload.name, attacks=attacks
+    ):
+        if program is None:
+            from ..pipeline import compile_program_cached
+
+            with maybe_span(tracer, "compile", workload=workload.name):
+                program = compile_program_cached(
+                    workload.source, workload.name, opt_level
+                )
+        if metrics is not None:
+            metrics.increment("campaign.workloads")
+            metrics.increment("campaign.jobs")
+        result = WorkloadResult(
+            workload=workload.name,
+            vuln_kind=workload.vuln_kind,
+            timing_mode=timing_mode,
         )
-    if metrics is not None:
-        metrics.increment("campaign.workloads")
-        metrics.increment("campaign.jobs")
-    result = WorkloadResult(
-        workload=workload.name,
-        vuln_kind=workload.vuln_kind,
-        timing_mode=timing_mode,
-    )
-    for index in range(attacks):
-        result.attacks.append(
-            run_attack(
-                program, workload, index,
-                seed_prefix=seed_prefix, step_limit=step_limit,
-                attack_model=attack_model, metrics=metrics,
-                forensics=forensics,
-                flight_recorder_depth=flight_recorder_depth,
-                timing_mode=timing_mode,
+        for index in range(attacks):
+            result.attacks.append(
+                run_attack(
+                    program, workload, index,
+                    seed_prefix=seed_prefix, step_limit=step_limit,
+                    attack_model=attack_model, metrics=metrics,
+                    forensics=forensics,
+                    flight_recorder_depth=flight_recorder_depth,
+                    timing_mode=timing_mode,
+                )
             )
-        )
     return result
 
 
@@ -496,6 +529,7 @@ def run_campaign(
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
     timing_mode: Optional[str] = None,
+    tracer=None,
 ) -> CampaignSummary:
     """The Figure-7 experiment, optionally sharded across processes.
 
@@ -522,6 +556,7 @@ def run_campaign(
         forensics=forensics,
         flight_recorder_depth=flight_recorder_depth,
         timing_mode=timing_mode,
+        tracer=tracer,
     )
 
 

@@ -28,7 +28,11 @@ Subcommands:
   committed baselines in ``benchmarks/baselines/`` (same convention);
 * ``serve``         — long-lived detection daemon multiplexing many
   concurrent sessions over a local socket (NDJSON protocol, shared
-  compile cache, per-session alarm policies; see DESIGN.md §4f).
+  compile cache, per-session alarm policies; see DESIGN.md §4f);
+* ``obs``           — campaign forensics observatory: aggregate a
+  campaign's ``--forensics --trace-out`` outcome log into
+  explained-correlation histograms (which compiler proofs caught the
+  detected attacks, per reason and per workload).
 
 ``--version`` prints the package version (sourced from pyproject.toml).
 
@@ -43,8 +47,11 @@ Observability: ``run``, ``attack``, ``campaign`` and ``timing`` accept
 JSONL when the path ends in ``.jsonl``) and ``--trace-out PATH``
 (committed control-flow events for the single-run commands — directly
 replayable with ``repro.cli replay`` — or a per-attack outcome log for
-campaigns).  ``run`` and ``replay`` accept ``--allow-unprotected`` for
-tolerant partial-coverage checking.
+campaigns).  The same verbs accept ``--prom-out PATH`` (Prometheus
+text-exposition rendering of the run's metrics, histograms included)
+and ``--chrome-trace-out PATH`` (hierarchical spans as Chrome
+trace-event JSON, loadable in Perfetto).  ``run`` and ``replay`` accept
+``--allow-unprotected`` for tolerant partial-coverage checking.
 """
 
 from __future__ import annotations
@@ -63,8 +70,12 @@ from .observability import (
     JsonlWriter,
     MetricsRegistry,
     RunManifest,
+    Tracer,
     export_trace,
+    maybe_span,
     write_manifest,
+    write_prometheus,
+    write_spans,
 )
 from .pipeline import compile_program, compile_program_cached
 from .runtime.flight_recorder import DEFAULT_DEPTH, FlightRecorder
@@ -146,6 +157,29 @@ def _new_flight_recorder(args: argparse.Namespace) -> Optional[FlightRecorder]:
     return FlightRecorder(args.flight_recorder_depth)
 
 
+def _new_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A span tracer when ``--chrome-trace-out`` asked for one."""
+    if not getattr(args, "chrome_trace_out", None):
+        return None
+    return Tracer()
+
+
+def _emit_observability(
+    args: argparse.Namespace,
+    metrics: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+) -> None:
+    """The shared ``--prom-out`` / ``--chrome-trace-out`` sink block."""
+    prom_out = getattr(args, "prom_out", None)
+    if prom_out:
+        write_prometheus(metrics, prom_out)
+        print(f"metrics: prometheus -> {prom_out}")
+    chrome_out = getattr(args, "chrome_trace_out", None)
+    if chrome_out and tracer is not None:
+        count = write_spans(tracer.finished, chrome_out)
+        print(f"spans: {count} -> {chrome_out}")
+
+
 def _report_forensics(args: argparse.Namespace, ipds) -> None:
     """Explain a recorder-carrying IPDS's alarms on stdout (and to
     ``--forensics-out`` as JSON when requested)."""
@@ -167,8 +201,10 @@ def _run_session(args: argparse.Namespace, spec, metrics: MetricsRegistry):
     """Drive one CLI-owned detection session to a terminal state."""
     from .service.engine import DetectionSession
 
-    session = DetectionSession(spec, metrics=metrics)
+    tracer = _new_tracer(args)
+    session = DetectionSession(spec, metrics=metrics, tracer=tracer)
     session.execute()
+    _emit_observability(args, metrics, tracer)
     return session
 
 
@@ -457,22 +493,28 @@ def cmd_explain(args: argparse.Namespace) -> int:
     from .runtime.replay import load_trace
     from .staticcheck import sarif_report, write_output
 
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        "explain", file=args.file, trace=args.trace, opt=args.opt
+    )
     try:
         if args.file in workload_names():
             source, name = get_workload(args.file).source, args.file
         else:
             source, name = _read_source(args.file), args.file
-        program = compile_program(source, name, args.opt)
+        with metrics.span("compile"):
+            program = compile_program(source, name, args.opt)
         tables, _ = load_program(program.to_image())
         with open(args.trace, "r", encoding="utf-8") as handle:
             events = list(load_trace(handle))
-        _, reports = explain_trace(
-            tables,
-            events,
-            depth=args.depth,
-            allow_unprotected=args.allow_unprotected,
-            history_limit=args.history,
-        )
+        with metrics.span("replay"):
+            _, reports = explain_trace(
+                tables,
+                events,
+                depth=args.depth,
+                allow_unprotected=args.allow_unprotected,
+                history_limit=args.history,
+            )
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_TOOL_ERROR
@@ -482,6 +524,16 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if args.sarif:
         diagnostics = [report.to_diagnostic() for report in reports]
         write_output(sarif_report([(name, diagnostics)]), args.sarif)
+    metrics.increment("explain.events", len(events))
+    metrics.increment("explain.alarms", len(reports))
+    _emit_manifest(
+        args,
+        manifest,
+        metrics,
+        events=len(events),
+        alarms=len(reports),
+        explained=sum(1 for report in reports if report.explained),
+    )
     return EXIT_DIAGNOSTICS if reports else EXIT_CLEAN
 
 
@@ -491,8 +543,29 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return run_diff(args)
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Aggregate a campaign outcome log into explained-correlation
+    histograms (``repro obs``).  Exit 0 on success, 2 on tool error."""
+    from .forensics.observatory import ObservatoryError, observe_log
+    from .staticcheck import write_output
+
+    try:
+        observation = observe_log(args.outcomes)
+    except (OSError, ObservatoryError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TOOL_ERROR
+    if args.json:
+        write_output(observation.to_json(), args.json)
+        if args.json != "-":
+            print(f"observatory report -> {args.json}")
+    if args.json != "-":
+        print(observation.render_text())
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
+    tracer = _new_tracer(args)
     manifest = RunManifest.begin(
         "campaign",
         workload=args.workload,
@@ -516,6 +589,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             forensics=args.forensics,
             flight_recorder_depth=args.flight_recorder_depth,
             timing_mode=args.timing_mode,
+            tracer=tracer,
         )
         print(render_figure7(summary))
         results = summary.results
@@ -537,6 +611,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             forensics=args.forensics,
             flight_recorder_depth=args.flight_recorder_depth,
             timing_mode=args.timing_mode,
+            tracer=tracer,
         )
         print(f"workload {workload.name} ({workload.vuln_kind}), "
               f"{result.total} attacks:")
@@ -563,6 +638,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.trace_out:
         count = _dump_outcomes(results, args.trace_out)
         print(f"outcomes: {count} records -> {args.trace_out}")
+    _emit_observability(args, metrics, tracer)
     _emit_manifest(args, manifest, metrics, **outcome_summary)
     return 0
 
@@ -578,6 +654,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         quarantine_dir=args.quarantine_dir,
         default_policy=args.policy,
+        trace_out=args.trace_out,
     )
     daemon.on_ready = lambda where: print(
         f"serving on {where} ({args.max_workers} workers)", flush=True
@@ -591,26 +668,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_timing(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
+    tracer = _new_tracer(args)
     manifest = RunManifest.begin(
         "timing", workload=args.workload, scale=args.scale,
         timing_mode=args.timing_mode,
     )
     workload = get_workload(args.workload)
-    with metrics.span("compile"):
-        program = compile_program_cached(workload.source, workload.name)
-    inputs = workload.make_inputs(
-        random.Random(f"cli:{workload.name}"), args.scale
-    )
-    observers: List[object] = []
-    recorder: Optional[TraceRecorder] = None
-    if args.trace_out:
-        recorder = TraceRecorder()
-        observers.append(recorder)
-    with metrics.span("simulate"):
-        comp = normalized_performance(
-            program, inputs, workload.name, observers=observers,
-            timing_mode=args.timing_mode,
+    with maybe_span(
+        tracer, "timing", workload=args.workload, scale=args.scale,
+        timing_mode=args.timing_mode,
+    ):
+        with maybe_span(tracer, "compile"), metrics.span("compile"):
+            program = compile_program_cached(workload.source, workload.name)
+        inputs = workload.make_inputs(
+            random.Random(f"cli:{workload.name}"), args.scale
         )
+        observers: List[object] = []
+        recorder: Optional[TraceRecorder] = None
+        if args.trace_out:
+            recorder = TraceRecorder()
+            observers.append(recorder)
+        with maybe_span(tracer, "simulate"), metrics.span("simulate"):
+            comp = normalized_performance(
+                program, inputs, workload.name, observers=observers,
+                timing_mode=args.timing_mode,
+            )
     metrics.increment("timing.instructions", comp.instructions)
     metrics.increment("timing.baseline_cycles", comp.baseline_cycles)
     metrics.increment("timing.ipds_cycles", comp.ipds_cycles)
@@ -623,6 +705,7 @@ def cmd_timing(args: argparse.Namespace) -> int:
     if recorder is not None:
         count = export_trace(recorder.events, args.trace_out)
         print(f"  trace           : {count} events -> {args.trace_out}")
+    _emit_observability(args, metrics, tracer)
     _emit_manifest(
         args,
         manifest,
@@ -679,6 +762,13 @@ def _add_observability_args(
                    help="write a JSON run manifest (counters, spans, "
                         "results); appends one line if path ends in .jsonl")
     p.add_argument("--trace-out", default=None, help=trace_help)
+    p.add_argument("--prom-out", default=None, metavar="PATH",
+                   help="write the run's metrics (counters, timers, "
+                        "histograms) in Prometheus text exposition format")
+    p.add_argument("--chrome-trace-out", default=None, metavar="PATH",
+                   help="record hierarchical spans and write Chrome "
+                        "trace-event JSON (Perfetto-loadable; a .jsonl "
+                        "path appends one span record per line instead)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -815,9 +905,22 @@ def build_parser() -> argparse.ArgumentParser:
         json_help="write the AlarmReport document ('-' for stdout)",
         sarif_help="write alarms as SARIF 2.1.0 FOR501/FOR502 "
                    "diagnostics ('-' for stdout)",
-        metrics=False,
     )
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "obs",
+        help="campaign forensics observatory: which compiler proofs "
+             "caught the detected attacks (reads a campaign "
+             "--forensics --trace-out outcome log)",
+    )
+    p.add_argument("outcomes",
+                   help="per-attack outcome JSONL from "
+                        "'campaign --forensics --trace-out'")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the observatory report as JSON "
+                        "('-' for stdout)")
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser(
         "bench-diff",
@@ -850,6 +953,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["log", "kill-session", "quarantine"],
                    help="default alarm policy for sessions that don't "
                         "name one (default: log)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record per-session spans under one daemon root "
+                        "span and write them at shutdown (Chrome "
+                        "trace-event JSON; .jsonl appends span records)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("timing", help="Figure-9 timing for a workload")

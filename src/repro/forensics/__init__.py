@@ -15,6 +15,15 @@ from .engine import (
     explain_ipds,
     explain_trace,
 )
+from .observatory import (
+    UNEXPLAINED,
+    CampaignObservation,
+    ObservatoryError,
+    WorkloadObservation,
+    observe_log,
+    observe_outcomes,
+    observe_records,
+)
 from .report import (
     CODE_DEGRADED,
     CODE_EXPLAINED,
@@ -27,10 +36,17 @@ __all__ = [
     "AlarmReport",
     "CODE_DEGRADED",
     "CODE_EXPLAINED",
+    "CampaignObservation",
     "DEFAULT_HISTORY",
+    "ObservatoryError",
+    "UNEXPLAINED",
+    "WorkloadObservation",
     "explain_alarms",
     "explain_ipds",
     "explain_trace",
+    "observe_log",
+    "observe_outcomes",
+    "observe_records",
     "render_reports_text",
     "reports_to_json",
 ]

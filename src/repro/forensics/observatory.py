@@ -1,0 +1,234 @@
+"""The campaign forensics observatory: which proofs catch attacks.
+
+The campaign answers Figure 7's *how many* attacks are detected; this
+module answers *why* — which compile-time correlation proofs
+(subsumption / kill / conflict / interproc / feasible-path) actually
+fired at detection time, aggregated across a whole campaign's outcome
+log.  It consumes the per-outcome records that
+``repro campaign --forensics --trace-out`` writes (one JSON object per
+attack, carrying ``proof_reasons`` per alarm) and renders
+explained-correlation histograms per provenance reason and per
+workload, as text or JSON (the ``repro obs`` CLI verb).
+
+Attribution rule: every *detected* attack is counted exactly once,
+under its **primary reason** — the proof behind the first alarm the
+IPDS raised (subsequent alarms of the same attack are cascade effects
+of the first divergence).  Detected attacks whose forensics join
+degraded (no provenance record matched, or the campaign ran without
+``--forensics``) land in the ``unexplained`` bucket, so the per-reason
+counts always sum exactly to the campaign's detected-attack total.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..correlation.provenance import VALID_REASONS
+
+#: Bucket for detected attacks with no resolvable provenance reason.
+UNEXPLAINED = "unexplained"
+
+#: Fixed rendering order: the compiler's proof kinds, then the
+#: degraded bucket (stable across campaigns for diffable reports).
+REASON_ORDER: Tuple[str, ...] = (*VALID_REASONS, UNEXPLAINED)
+
+#: Schema version of the JSON rendering.
+OBS_VERSION = 1
+
+
+class ObservatoryError(ValueError):
+    """The outcome log is malformed (not campaign ``--trace-out`` JSONL)."""
+
+
+@dataclass
+class WorkloadObservation:
+    """One workload's explained-correlation tallies."""
+
+    workload: str
+    attacks: int = 0
+    detected: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, record: Dict[str, Any]) -> None:
+        self.attacks += 1
+        if not record.get("detected"):
+            return
+        self.detected += 1
+        reason = primary_reason(record)
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "attacks": self.attacks,
+            "detected": self.detected,
+            "by_reason": {
+                reason: self.by_reason[reason]
+                for reason in sorted(self.by_reason)
+            },
+        }
+
+
+def primary_reason(record: Dict[str, Any]) -> str:
+    """The attribution bucket of one detected outcome record.
+
+    The first entry of ``proof_reasons`` (alarm raise order) when
+    present and a known reason; ``unexplained`` otherwise.
+    """
+    reasons = record.get("proof_reasons") or ()
+    if reasons and reasons[0] in VALID_REASONS:
+        return reasons[0]
+    return UNEXPLAINED
+
+
+@dataclass
+class CampaignObservation:
+    """The whole campaign's observatory aggregate."""
+
+    workloads: Dict[str, WorkloadObservation] = field(default_factory=dict)
+
+    @property
+    def attacks(self) -> int:
+        return sum(w.attacks for w in self.workloads.values())
+
+    @property
+    def detected(self) -> int:
+        return sum(w.detected for w in self.workloads.values())
+
+    def reason_totals(self) -> Dict[str, int]:
+        """Campaign-wide per-reason catch counts.
+
+        Invariant (asserted by the test suite and the CI gate): the
+        values sum exactly to :attr:`detected` — every detected attack
+        is attributed to exactly one bucket.
+        """
+        totals: Dict[str, int] = {}
+        for workload in self.workloads.values():
+            for reason, count in workload.by_reason.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
+
+    def record(self, record: Dict[str, Any]) -> None:
+        if not isinstance(record, dict) or "workload" not in record:
+            raise ObservatoryError(
+                "outcome record needs a 'workload' field — is this a "
+                "campaign --trace-out log?"
+            )
+        name = record["workload"]
+        observation = self.workloads.get(name)
+        if observation is None:
+            observation = self.workloads[name] = WorkloadObservation(name)
+        observation.record(record)
+
+    # -- renderings -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        totals = self.reason_totals()
+        return {
+            "version": OBS_VERSION,
+            "tool": "repro-obs",
+            "attacks": self.attacks,
+            "detected": self.detected,
+            "by_reason": {
+                reason: totals[reason] for reason in sorted(totals)
+            },
+            "workloads": [
+                self.workloads[name].to_dict()
+                for name in sorted(self.workloads)
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self, width: int = 40) -> str:
+        """Figure-7-style text histogram: one bar per proof reason,
+        scaled to the campaign's detected total, then the per-workload
+        breakdown table."""
+        totals = self.reason_totals()
+        lines = [
+            f"campaign observatory: {self.attacks} attacks, "
+            f"{self.detected} detected"
+        ]
+        peak = max(totals.values(), default=0)
+        for reason in REASON_ORDER:
+            count = totals.get(reason, 0)
+            if count == 0 and reason not in totals:
+                continue
+            bar = "#" * (
+                round(width * count / peak) if peak else 0
+            )
+            share = 100.0 * count / self.detected if self.detected else 0.0
+            lines.append(
+                f"  {reason:<14} {count:>6}  {share:5.1f}%  {bar}"
+            )
+        lines.append("")
+        lines.append(
+            f"  {'workload':<14} {'attacks':>8} {'detected':>9}  by_reason"
+        )
+        for name in sorted(self.workloads):
+            observation = self.workloads[name]
+            breakdown = ", ".join(
+                f"{reason}={observation.by_reason[reason]}"
+                for reason in REASON_ORDER
+                if reason in observation.by_reason
+            )
+            lines.append(
+                f"  {name:<14} {observation.attacks:>8} "
+                f"{observation.detected:>9}  {breakdown or '-'}"
+            )
+        return "\n".join(lines)
+
+
+def observe_records(records: Iterable[Dict[str, Any]]) -> CampaignObservation:
+    """Aggregate an iterable of outcome records."""
+    observation = CampaignObservation()
+    for record in records:
+        observation.record(record)
+    return observation
+
+
+def observe_outcomes(
+    results: Sequence[Any],
+) -> CampaignObservation:
+    """Aggregate live :class:`~repro.attacks.campaign.WorkloadResult`
+    objects (the in-process path; ``repro obs`` uses the JSONL one)."""
+    return observe_records(
+        outcome.to_record(result.workload)
+        for result in results
+        for outcome in result.attacks
+    )
+
+
+def load_outcome_log(path: str) -> List[Dict[str, Any]]:
+    """Parse a campaign ``--trace-out`` JSONL file into records.
+
+    Skips blank lines; raises :class:`ObservatoryError` on lines that
+    are not JSON objects (truncated writes, wrong file).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ObservatoryError(
+                    f"{path}:{number}: not JSON ({error})"
+                ) from None
+            if not isinstance(record, dict):
+                raise ObservatoryError(
+                    f"{path}:{number}: expected a JSON object, got "
+                    f"{type(record).__name__}"
+                )
+            records.append(record)
+    return records
+
+
+def observe_log(path: str) -> CampaignObservation:
+    """The ``repro obs`` entry point: aggregate one outcome log file."""
+    return observe_records(load_outcome_log(path))

@@ -16,27 +16,60 @@ from .benchdiff import (
     render_table,
 )
 from .manifest import RunManifest
-from .metrics import Counter, MetricsRegistry, Span, Timer
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Timer,
+    exponential_bounds,
+)
+from .prometheus import (
+    render_prometheus,
+    validate_exposition,
+    write_prometheus,
+)
 from .telemetry import (
     JsonlWriter,
     export_trace,
     write_manifest,
     write_metrics_jsonl,
 )
+from .tracing import (
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    maybe_span,
+    validate_chrome_trace,
+    write_spans,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_RULES",
+    "Histogram",
     "JsonlWriter",
     "MetricDelta",
     "MetricRule",
     "MetricsRegistry",
     "RunManifest",
     "Span",
+    "SpanRecord",
     "Timer",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace",
     "compare_dirs",
+    "exponential_bounds",
     "export_trace",
+    "maybe_span",
+    "render_prometheus",
     "render_table",
+    "validate_chrome_trace",
+    "validate_exposition",
     "write_manifest",
     "write_metrics_jsonl",
+    "write_prometheus",
+    "write_spans",
 ]

@@ -92,6 +92,24 @@ DEFAULT_RULES: Tuple[MetricRule, ...] = (
         max_change_pct=30.0,
         min_delta=40.0,
     ),
+    # The tracing-enabled full stack: throughput must stay up
+    # (direction "higher") and the marginal cost of the per-run span +
+    # histogram observations over the untraced full stack must stay a
+    # few percent — if tracing ever leaks into the interpreter hot
+    # loop, this pair trips long before users notice.
+    MetricRule(
+        "observer_overhead",
+        ("summary", "full_stack_traced_steps_per_sec"),
+        max_change_pct=25.0,
+        min_delta=20_000.0,
+        direction="higher",
+    ),
+    MetricRule(
+        "observer_overhead",
+        ("summary", "tracing_overhead_vs_full_stack_pct"),
+        max_change_pct=100.0,
+        min_delta=5.0,
+    ),
     MetricRule(
         "fig7_detection",
         ("total", "steps_per_sec"),

@@ -38,6 +38,7 @@ from ..attacks.campaign import (
     run_attack,
 )
 from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import TraceContext, Tracer, maybe_span
 from ..pipeline import monitored_run
 from ..runtime.flight_recorder import DEFAULT_DEPTH
 from ..workloads.registry import Workload, get_workload, resolve_workloads
@@ -62,6 +63,10 @@ class ShardTask:
     forensics: bool = False
     flight_recorder_depth: int = DEFAULT_DEPTH
     timing_mode: Optional[str] = None
+    #: Trace linkage for the worker's spans (two short strings — the
+    #: only tracing state that crosses the pickle boundary).  None means
+    #: tracing is off and the worker records no spans.
+    trace_context: Optional[TraceContext] = None
 
 
 @dataclass
@@ -78,6 +83,10 @@ class ShardResult:
     #: Merges refuse shards with differing modes — see
     #: :func:`merge_shard_results`.
     timing_mode: Optional[str] = None
+    #: Worker-side span records (plain dicts), parented under the
+    #: campaign root via the task's ``trace_context``; the parent tracer
+    #: adopts them at the merge point.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -128,27 +137,43 @@ def _workload_name(workload: Union[Workload, str]) -> str:
 def _run_shard(task: ShardTask) -> ShardResult:
     """Worker entry point: one shard of one workload's campaign."""
     workload = get_workload(task.workload)
-    program = cached_compile(workload.source, workload.name, task.opt_level)
-    registry = MetricsRegistry() if task.collect_metrics else None
-    outcomes = [
-        run_attack(
-            program,
-            workload,
-            index,
-            seed_prefix=task.seed_prefix,
-            step_limit=task.step_limit,
-            attack_model=task.attack_model,
-            metrics=registry,
-            forensics=task.forensics,
-            flight_recorder_depth=task.flight_recorder_depth,
-            timing_mode=task.timing_mode,
-        )
-        for index in task.indices
-    ]
+    tracer = (
+        Tracer(context=task.trace_context)
+        if task.trace_context is not None
+        else None
+    )
+    with maybe_span(
+        tracer,
+        "shard",
+        workload=task.workload,
+        attacks=len(task.indices),
+        first_index=task.indices[0] if task.indices else -1,
+    ):
+        with maybe_span(tracer, "shard.compile", workload=task.workload):
+            program = cached_compile(
+                workload.source, workload.name, task.opt_level
+            )
+        registry = MetricsRegistry() if task.collect_metrics else None
+        outcomes = [
+            run_attack(
+                program,
+                workload,
+                index,
+                seed_prefix=task.seed_prefix,
+                step_limit=task.step_limit,
+                attack_model=task.attack_model,
+                metrics=registry,
+                forensics=task.forensics,
+                flight_recorder_depth=task.flight_recorder_depth,
+                timing_mode=task.timing_mode,
+            )
+            for index in task.indices
+        ]
     return ShardResult(
         outcomes=outcomes,
         metrics=registry.snapshot() if registry is not None else None,
         timing_mode=task.timing_mode,
+        spans=tracer.span_dicts() if tracer is not None else [],
     )
 
 
@@ -270,6 +295,7 @@ def run_workload_sharded(
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
     timing_mode: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> WorkloadResult:
     """One workload's campaign, sharded across ``jobs`` processes."""
     summary = run_campaign(
@@ -284,6 +310,7 @@ def run_workload_sharded(
         forensics=forensics,
         flight_recorder_depth=flight_recorder_depth,
         timing_mode=timing_mode,
+        tracer=tracer,
     )
     return summary.results[0]
 
@@ -301,6 +328,7 @@ def run_campaign(
     forensics: bool = False,
     flight_recorder_depth: int = DEFAULT_DEPTH,
     timing_mode: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CampaignSummary:
     """The full campaign, sharded across a process pool.
 
@@ -313,93 +341,119 @@ def run_campaign(
     that are folded back into the parent registry at the merge point,
     so the numbers are job-count-independent (spans, being wall-clock,
     are not — they measure the actual schedule).
+
+    ``tracer`` (optional) records a hierarchical span tree: one
+    ``campaign`` root, per-workload child spans, and — on the sharded
+    path — per-shard worker spans linked back under the root via the
+    :class:`TraceContext` shipped in each :class:`ShardTask`.
     """
     jobs = _normalize_jobs(jobs)
     chosen = resolve_workloads(workloads)
     if metrics is not None:
         metrics.increment("campaign.workloads", len(chosen))
         metrics.increment("campaign.jobs", jobs)
-    if jobs == 1 or attacks <= 0 or not chosen:
-        results = []
-        for workload in chosen:
-            if metrics is not None:
-                with metrics.span(f"workload.{workload.name}"):
-                    results.append(
-                        _serial_workload(
-                            workload, attacks, seed_prefix, step_limit,
-                            attack_model, opt_level, metrics,
-                            forensics, flight_recorder_depth,
-                            timing_mode,
-                        )
-                    )
-            else:
-                results.append(
-                    _serial_workload(
-                        workload, attacks, seed_prefix, step_limit,
-                        attack_model, opt_level,
-                        forensics=forensics,
-                        flight_recorder_depth=flight_recorder_depth,
-                        timing_mode=timing_mode,
-                    )
-                )
-        return CampaignSummary(results)
-
-    # Warm the in-process cache before forking so fork-based workers
-    # inherit compiled programs for free; spawn-based workers fall back
-    # to compiling (through their own cache) once per process.
-    for workload in chosen:
-        cached_compile(workload.source, workload.name, opt_level)
-
-    collect_metrics = metrics is not None
-    futures: Dict[str, List[Future]] = {}
-    with ProcessPoolExecutor(max_workers=jobs) as executor:
-        try:
-            for workload in chosen:
-                futures[workload.name] = [
-                    executor.submit(
-                        _run_shard,
-                        ShardTask(
-                            workload=workload.name,
-                            indices=block,
-                            seed_prefix=seed_prefix,
-                            step_limit=step_limit,
-                            attack_model=attack_model,
-                            opt_level=opt_level,
-                            collect_metrics=collect_metrics,
-                            forensics=forensics,
-                            flight_recorder_depth=flight_recorder_depth,
-                            timing_mode=timing_mode,
-                        ),
-                    )
-                    for block in shard_indices(attacks, jobs)
-                ]
+    with maybe_span(
+        tracer,
+        "campaign",
+        workloads=len(chosen),
+        attacks=attacks,
+        jobs=jobs,
+        attack_model=attack_model,
+        opt_level=opt_level,
+    ):
+        if jobs == 1 or attacks <= 0 or not chosen:
             results = []
             for workload in chosen:
-                shard_results = [
-                    future.result() for future in futures[workload.name]
-                ]
-                if metrics is not None:
-                    with metrics.span(f"workload.{workload.name}.merge"):
+                with maybe_span(
+                    tracer, "workload",
+                    workload=workload.name, attacks=attacks,
+                ):
+                    if metrics is not None:
+                        with metrics.span(f"workload.{workload.name}"):
+                            results.append(
+                                _serial_workload(
+                                    workload, attacks, seed_prefix,
+                                    step_limit, attack_model, opt_level,
+                                    metrics, forensics,
+                                    flight_recorder_depth, timing_mode,
+                                )
+                            )
+                    else:
+                        results.append(
+                            _serial_workload(
+                                workload, attacks, seed_prefix, step_limit,
+                                attack_model, opt_level,
+                                forensics=forensics,
+                                flight_recorder_depth=flight_recorder_depth,
+                                timing_mode=timing_mode,
+                            )
+                        )
+            return CampaignSummary(results)
+
+        # Warm the in-process cache before forking so fork-based workers
+        # inherit compiled programs for free; spawn-based workers fall
+        # back to compiling (through their own cache) once per process.
+        for workload in chosen:
+            cached_compile(workload.source, workload.name, opt_level)
+
+        collect_metrics = metrics is not None
+        trace_context = (
+            tracer.current_context() if tracer is not None else None
+        )
+        futures: Dict[str, List[Future]] = {}
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            try:
+                for workload in chosen:
+                    futures[workload.name] = [
+                        executor.submit(
+                            _run_shard,
+                            ShardTask(
+                                workload=workload.name,
+                                indices=block,
+                                seed_prefix=seed_prefix,
+                                step_limit=step_limit,
+                                attack_model=attack_model,
+                                opt_level=opt_level,
+                                collect_metrics=collect_metrics,
+                                forensics=forensics,
+                                flight_recorder_depth=flight_recorder_depth,
+                                timing_mode=timing_mode,
+                                trace_context=trace_context,
+                            ),
+                        )
+                        for block in shard_indices(attacks, jobs)
+                    ]
+                results = []
+                for workload in chosen:
+                    shard_results = [
+                        future.result() for future in futures[workload.name]
+                    ]
+                    if metrics is not None:
+                        with metrics.span(f"workload.{workload.name}.merge"):
+                            merged = merge_shard_results(
+                                workload, attacks, shard_results
+                            )
+                        metrics.increment(
+                            "campaign.shards", len(shard_results)
+                        )
+                        for shard in shard_results:
+                            metrics.merge_snapshot(shard.metrics)
+                    else:
                         merged = merge_shard_results(
                             workload, attacks, shard_results
                         )
-                    metrics.increment(
-                        "campaign.shards", len(shard_results)
-                    )
-                    for shard in shard_results:
-                        metrics.merge_snapshot(shard.metrics)
-                else:
-                    merged = merge_shard_results(
-                        workload, attacks, shard_results
-                    )
-                results.append(merged)
-        except BaseException:
-            # Ctrl-C (KeyboardInterrupt) and shard failures alike:
-            # cancel queued shards and return immediately rather than
-            # draining the pool; the CLI maps the interrupt to exit 130.
-            executor.shutdown(wait=False, cancel_futures=True)
-            raise
-    return CampaignSummary(results)
+                    if tracer is not None:
+                        for shard in shard_results:
+                            tracer.adopt(shard.spans)
+                    results.append(merged)
+            except BaseException:
+                # Ctrl-C (KeyboardInterrupt) and shard failures alike:
+                # cancel queued shards and return immediately rather
+                # than draining the pool; the CLI maps the interrupt to
+                # exit 130.
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+        return CampaignSummary(results)
 
 
 def run_clean_sweep(

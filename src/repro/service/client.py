@@ -135,12 +135,22 @@ class ServeClient:
         return self._request("hello")
 
     def submit(
-        self, spec: Dict[str, Any], policy: Optional[Any] = None
+        self,
+        spec: Dict[str, Any],
+        policy: Optional[Any] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> str:
-        """Submit one session; returns its assigned session id."""
+        """Submit one session; returns its assigned session id.
+
+        ``trace`` is an optional :class:`TraceContext` dict
+        (``trace_id`` / ``span_id``): the daemon parents the session's
+        spans under the *client's* trace instead of its own root.
+        """
         fields: Dict[str, Any] = {"spec": spec}
         if policy is not None:
             fields["policy"] = policy
+        if trace is not None:
+            fields["trace"] = trace
         message = self._request("submit", **fields)
         if message.get("event") != "accepted":
             raise ProtocolError(f"unexpected submit response: {message}")
@@ -177,6 +187,11 @@ class ServeClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._request("metrics")["metrics"]
+
+    def metrics_prometheus(self) -> str:
+        """The daemon's registry as Prometheus text exposition
+        (``metrics`` op with ``format: "prometheus"``)."""
+        return self._request("metrics", format="prometheus")["prometheus"]
 
     def sessions(self) -> List[Dict[str, Any]]:
         return self._request("sessions")["sessions"]

@@ -28,6 +28,8 @@ import time
 from typing import Any, Dict, Optional
 
 from ..observability.metrics import MetricsRegistry
+from ..observability.prometheus import render_prometheus
+from ..observability.tracing import TraceContext, Tracer, write_spans
 from ..parallel.cache import compile_cache_stats
 from .engine import DetectionSession
 from .policy import AlarmPolicy, make_policy
@@ -55,6 +57,7 @@ class DetectionDaemon:
         max_workers: int = DEFAULT_MAX_WORKERS,
         quarantine_dir: Optional[str] = None,
         default_policy: Optional[str] = None,
+        trace_out: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -64,6 +67,15 @@ class DetectionDaemon:
         self.max_workers = max_workers
         self.quarantine_dir = quarantine_dir
         self.default_policy = default_policy
+        self.trace_out = trace_out
+        #: Daemon-lifetime tracer (None = tracing off).  Sessions record
+        #: spans into per-session tracers parented under the daemon root
+        #: span; finished session spans are adopted here on the loop
+        #: thread and exported to ``trace_out`` at shutdown.
+        self.tracer: Optional[Tracer] = (
+            Tracer(service="repro-serve") if trace_out else None
+        )
+        self._trace_root: Optional[TraceContext] = None
         self.registry = SessionRegistry()
         self.metrics = MetricsRegistry()
         #: Optional callback invoked with the bound address once the
@@ -115,13 +127,27 @@ class DetectionDaemon:
         if self.on_ready is not None:
             self.on_ready(self.socket_path or f"{self.host}:{self.port}")
         try:
-            async with server:
-                await self._stop.wait()
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "serve",
+                    address=self.socket_path or f"{self.host}:{self.port}",
+                    max_workers=self.max_workers,
+                ) as root:
+                    self._trace_root = root.context
+                    async with server:
+                        await self._stop.wait()
+            else:
+                async with server:
+                    await self._stop.wait()
             # One scheduling beat for connection handlers to flush
             # their final acks before the loop tears the tasks down.
             await asyncio.sleep(0.05)
         finally:
             self._executor.shutdown(wait=True)
+            if self.tracer is not None and self.trace_out:
+                write_spans(
+                    self.tracer.finished, self.trace_out, service="repro-serve"
+                )
 
     # -- connection handling ----------------------------------------------
 
@@ -201,7 +227,23 @@ class DetectionDaemon:
             elif op == "sessions":
                 reply("sessions", sessions=self._sessions_payload())
             elif op == "metrics":
-                reply("metrics", metrics=self.metrics_payload())
+                # "format" is a protocol-v1 additive field: absent or
+                # "json" keeps the historical payload; "prometheus"
+                # adds the text-exposition rendering alongside it.
+                fmt = message.get("format", "json")
+                if fmt == "prometheus":
+                    reply(
+                        "metrics",
+                        metrics=self.metrics_payload(),
+                        prometheus=render_prometheus(self.metrics),
+                    )
+                elif fmt == "json":
+                    reply("metrics", metrics=self.metrics_payload())
+                else:
+                    raise ProtocolError(
+                        f"unknown metrics format {fmt!r} "
+                        "(expected 'json' or 'prometheus')"
+                    )
             elif op == "kill":
                 session_id = message.get("session", "")
                 reply(
@@ -255,13 +297,42 @@ class DetectionDaemon:
             except RuntimeError:
                 pass  # loop already closed (daemon shutting down)
 
+        # Distributed-trace propagation (protocol v1 additive field): a
+        # client may hand its own trace context in the submit message;
+        # otherwise traced sessions hang under the daemon root span.
+        session_tracer = None
+        trace_parent = None
+        client_trace = message.get("trace")
+        if isinstance(client_trace, dict) and client_trace.get("trace_id"):
+            trace_parent = TraceContext.from_dict(client_trace)
+            session_tracer = Tracer(context=trace_parent)
+        elif self.tracer is not None:
+            trace_parent = self._trace_root
+            session_tracer = Tracer(context=trace_parent)
         session = DetectionSession(
-            spec, session_id=session_id, policy=policy, emit=emit
+            spec,
+            session_id=session_id,
+            policy=policy,
+            emit=emit,
+            tracer=session_tracer,
+            trace_parent=trace_parent,
         )
         self.registry.add(session)
         self.metrics.increment("serve.submitted")
         reply("accepted", session=session_id, mode=spec.mode)
-        future = loop.run_in_executor(self._executor, session.run)
+        submitted = time.monotonic()
+
+        def run_session():
+            # Runs on the worker thread; the queue wait lands in the
+            # session-local registry and is merged on the loop thread at
+            # completion, so the daemon registry is never touched here.
+            session.metrics.observe_histogram(
+                "serve.queue_wait_seconds",
+                max(time.monotonic() - submitted, 0.0),
+            )
+            return session.run()
+
+        future = loop.run_in_executor(self._executor, run_session)
         future.add_done_callback(
             lambda _future: self._on_session_done(session)
         )
@@ -275,6 +346,8 @@ class DetectionDaemon:
             self.metrics.increment(
                 f"serve.alarms.{session.program_name}", len(session.alarms)
             )
+        if self.tracer is not None and session.tracer is not None:
+            self.tracer.adopt(session.tracer.span_dicts())
 
     def _sessions_payload(self) -> list:
         return [
@@ -293,8 +366,15 @@ class DetectionDaemon:
 
     def metrics_payload(self) -> Dict[str, Any]:
         """The ``metrics`` op body: daemon counters, session states,
-        shared-cache effectiveness, and aggregate throughput."""
-        uptime = max(time.monotonic() - self._started, 1e-9)
+        shared-cache effectiveness, and aggregate throughput.
+
+        ``uptime_monotonic_seconds`` is the raw monotonic-clock reading
+        (unrounded), so clients can rate-compute without re-deriving the
+        clock; ``steps_per_second`` guards the zero-uptime window
+        explicitly instead of dividing by a clamped epsilon (which
+        reported absurd throughput on a freshly started daemon).
+        """
+        uptime = max(time.monotonic() - self._started, 0.0)
         active = self.registry.active()
         self.metrics.set_gauge("serve.sessions_active", active)
         self.metrics.set_gauge(
@@ -303,12 +383,18 @@ class DetectionDaemon:
         steps = self.metrics.value("interp.steps")
         snapshot = self.metrics.snapshot()
         cache = compile_cache_stats().since(self._cache_baseline)
-        return {
+        payload = {
             "uptime_seconds": round(uptime, 3),
+            "uptime_monotonic_seconds": uptime,
             "sessions": self.registry.counts(),
             "sessions_active": active,
-            "steps_per_second": round(steps / uptime, 1),
+            "steps_per_second": (
+                round(steps / uptime, 1) if uptime > 0 else 0.0
+            ),
             "compile_cache": cache.to_dict(),
             "counters": snapshot["counters"],
             "gauges": snapshot.get("gauges", {}),
         }
+        if "histograms" in snapshot:
+            payload["histograms"] = snapshot["histograms"]
+        return payload

@@ -30,12 +30,19 @@ from __future__ import annotations
 
 import enum
 import io
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..interp.interpreter import RunResult, TamperSpec
 from ..lang.errors import ReproError
 from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import (
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    maybe_span,
+)
 from ..pipeline import (
     ProtectedProgram,
     compile_program_cached,
@@ -178,6 +185,10 @@ class SessionResult:
     forensics: Optional[str] = None
     trace_event_count: int = 0
     error: Optional[str] = None
+    #: Distributed-tracing linkage (trace_id / span_id of the session's
+    #: root span) — present only when the session ran with a tracer
+    #: attached, so untraced payloads keep their protocol-v1 shape.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -203,6 +214,8 @@ class SessionResult:
             record["forensics"] = self.forensics
         if self.error is not None:
             record["error"] = self.error
+        if self.trace is not None:
+            record["trace"] = dict(self.trace)
         return record
 
 
@@ -243,12 +256,17 @@ class DetectionSession:
         policy: Optional[AlarmPolicy] = None,
         emit: Optional[EmitFn] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        trace_parent: Optional[TraceContext] = None,
     ) -> None:
         spec.validate()
         self.spec = spec
         self.session_id = session_id
         self.policy = policy if policy is not None else LogPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.trace_parent = trace_parent
+        self.session_span: Optional[SpanRecord] = None
         self._emit_fn = emit
         self.state = SessionState.CREATED
         self.alarms: List[str] = []
@@ -321,8 +339,15 @@ class DetectionSession:
     def _compile(self) -> ProtectedProgram:
         source, name = self.spec.resolve_program_source()
         self.program_name = name
-        with self.metrics.span("compile"):
-            program = compile_program_cached(source, name, self.spec.opt_level)
+        started = time.perf_counter()
+        with maybe_span(self.tracer, "session.compile", program=name):
+            with self.metrics.span("compile"):
+                program = compile_program_cached(
+                    source, name, self.spec.opt_level
+                )
+        self.metrics.observe_histogram(
+            "session.compile_seconds", time.perf_counter() - started
+        )
         self.program = program
         return program
 
@@ -347,7 +372,8 @@ class DetectionSession:
         )
         self.ipds = ipds
         extra, recorder = self._session_observers()
-        with self.metrics.span("execute"):
+        with maybe_span(self.tracer, "session.execute"), \
+                self.metrics.span("execute"):
             result = observed_run(
                 program,
                 observers=[ipds, *extra],
@@ -378,7 +404,8 @@ class DetectionSession:
         )
         self.ipds = ipds
         extra, recorder = self._session_observers()
-        with self.metrics.span("attack"):
+        with maybe_span(self.tracer, "session.attack"), \
+                self.metrics.span("attack"):
             attacked = observed_run(
                 program,
                 observers=[ipds, *extra],
@@ -405,20 +432,26 @@ class DetectionSession:
         workload = get_workload(self.spec.workload)
         program = self._compile()
         extra, recorder = self._session_observers()
-        execution = run_attack_detailed(
-            program,
-            workload,
-            self.spec.attack_index,
-            seed_prefix=self.spec.seed_prefix,
-            step_limit=self.spec.effective_step_limit,
-            attack_model=self.spec.attack_model,
-            metrics=self.metrics,
-            forensics=self.spec.forensics,
-            flight_recorder_depth=self.spec.flight_recorder_depth,
-            timing_mode=self.spec.timing_mode,
-            extra_observers=extra,
-            alarm_sink=self._on_alarm,
-        )
+        with maybe_span(
+            self.tracer,
+            "session.attack",
+            workload=workload.name,
+            attack_index=self.spec.attack_index,
+        ), self.metrics.span("attack"):
+            execution = run_attack_detailed(
+                program,
+                workload,
+                self.spec.attack_index,
+                seed_prefix=self.spec.seed_prefix,
+                step_limit=self.spec.effective_step_limit,
+                attack_model=self.spec.attack_model,
+                metrics=self.metrics,
+                forensics=self.spec.forensics,
+                flight_recorder_depth=self.spec.flight_recorder_depth,
+                timing_mode=self.spec.timing_mode,
+                extra_observers=extra,
+                alarm_sink=self._on_alarm,
+            )
         self.ipds = execution.ipds
         self.run_result = execution.attacked
         self.clean_result = execution.clean
@@ -454,18 +487,34 @@ class DetectionSession:
         self._set_state(SessionState.RUNNING)
         self.metrics.increment("session.started")
         killed = False
+        started = time.perf_counter()
         try:
-            if self.spec.mode == "run":
-                self._execute_run()
-            elif self.spec.mode == "replay":
-                self._execute_replay()
-            elif self.spec.tamper is not None:
-                self._execute_attack_explicit()
-            else:
-                self._execute_attack_indexed()
+            with maybe_span(
+                self.tracer,
+                "session",
+                parent=self.trace_parent,
+                session=self.session_id,
+                mode=self.spec.mode,
+                program=self.program_name,
+            ) as span:
+                self.session_span = span
+                if self.spec.mode == "run":
+                    self._execute_run()
+                elif self.spec.mode == "replay":
+                    self._execute_replay()
+                elif self.spec.tamper is not None:
+                    self._execute_attack_explicit()
+                else:
+                    self._execute_attack_indexed()
         except SessionKilled as kill:
             killed = True
             self.error = str(kill)
+        wall = time.perf_counter() - started
+        self.metrics.observe_histogram("session.wall_seconds", wall)
+        if self.run_result is not None and wall > 0:
+            self.metrics.observe_histogram(
+                "session.steps_per_sec", self.run_result.steps / wall
+            )
         if killed:
             self._set_state(SessionState.KILLED)
         elif self.alarms:
@@ -533,4 +582,16 @@ class DetectionSession:
             )
         result.outcome = self.outcome_record
         result.forensics = self.forensics_json
+        if self.session_span is not None:
+            # Finished spans stay mutable until export; stamp the final
+            # program name and terminal state onto the session span.
+            self.session_span.set_attributes(
+                program=self.program_name,
+                state=self.state.value,
+                detected=self.detected,
+            )
+            result.trace = {
+                "trace_id": self.session_span.trace_id,
+                "span_id": self.session_span.span_id,
+            }
         return result

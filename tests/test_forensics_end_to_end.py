@@ -100,9 +100,10 @@ def test_registry_alarms_explained_through_sidecar(name, opt_level):
 
 @pytest.mark.parametrize("name", ["telnetd", "sshd"])
 def test_forensics_does_not_perturb_campaigns(name):
-    """Forensics on vs off: identical outcomes except the explanations
-    field, which is empty when off — so forensics-off reports are
-    byte-identical to a build without the feature."""
+    """Forensics on vs off: identical outcomes except the forensics-only
+    fields (explanations, proof_reasons), which are empty when off — so
+    forensics-off reports are byte-identical to a build without the
+    feature."""
     workload = get_workload(name)
     program = compile_program_cached(workload.source, name, 0)
     base = run_workload_campaign(
@@ -113,9 +114,13 @@ def test_forensics_does_not_perturb_campaigns(name):
     )
     for off, on in zip(base.attacks, traced.attacks):
         assert off.explanations == ()
+        assert off.proof_reasons == ()
         if on.detected:
             assert on.explanations
-        assert dataclasses.replace(on, explanations=()) == off
+            assert len(on.proof_reasons) == len(on.alarms)
+        assert dataclasses.replace(
+            on, explanations=(), proof_reasons=()
+        ) == off
 
 
 def test_campaign_forensics_chains_name_the_correlation():

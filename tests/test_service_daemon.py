@@ -248,6 +248,104 @@ def test_protocol_errors_do_not_kill_the_daemon(daemon):
         client.shutdown()
 
 
+def test_metrics_prometheus_format_and_histograms(daemon):
+    import time
+
+    from repro.observability import validate_exposition
+
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        sid = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 1}
+        )
+        assert client.result(sid)["state"] == "alarmed"
+
+        # Session telemetry folds into the daemon registry on a loop
+        # callback that races the next request: poll until it lands.
+        for _ in range(200):
+            metrics = client.metrics()
+            if "histograms" in metrics:
+                break
+            time.sleep(0.01)
+        assert metrics["uptime_monotonic_seconds"] > 0
+        histograms = metrics["histograms"]
+        assert histograms["session.wall_seconds"]["count"] == 1
+        assert histograms["session.compile_seconds"]["count"] == 1
+        assert histograms["serve.queue_wait_seconds"]["count"] == 1
+        assert histograms["session.steps_per_sec"]["count"] == 1
+
+        text = client.metrics_prometheus()
+        assert validate_exposition(text) == []
+        assert "repro_serve_submitted_total 1" in text
+        assert 'repro_session_wall_seconds_bucket{le="+Inf"} 1' in text
+
+        # Unknown formats are protocol errors; the daemon survives.
+        with pytest.raises(ProtocolError):
+            client._request("metrics", format="xml")
+        assert client.hello()["protocol"] == 1
+        client.shutdown()
+
+
+def test_metrics_payload_zero_uptime_guard(daemon):
+    import time
+
+    daemon._started = time.monotonic() + 3600  # clock not yet advanced
+    payload = daemon.metrics_payload()
+    assert payload["uptime_monotonic_seconds"] == 0.0
+    assert payload["steps_per_second"] == 0.0
+
+
+def test_client_supplied_trace_context_parents_the_session(daemon):
+    from repro.observability import Tracer
+
+    client_tracer = Tracer(service="edge-client")
+    with client_tracer.span("client-request"):
+        context = client_tracer.current_context()
+
+    with ServeClient(socket_path=daemon.socket_path) as client:
+        traced = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 1},
+            trace=context.to_dict(),
+        )
+        plain = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 0}
+        )
+        results = client.results([traced, plain])
+        # The session joined the client's trace, not a daemon-local one.
+        assert results[traced]["trace"]["trace_id"] == client_tracer.trace_id
+        # Untraced submissions keep the historical result shape.
+        assert "trace" not in results[plain]
+        client.shutdown()
+
+
+def test_daemon_trace_out_writes_one_connected_tree(tmp_path):
+    from repro.observability import validate_chrome_trace
+
+    trace_path = tmp_path / "daemon-trace.json"
+    instance = DetectionDaemon(
+        socket_path=str(tmp_path / "traced.sock"),
+        max_workers=2,
+        trace_out=str(trace_path),
+    )
+    thread = threading.Thread(target=instance.run, daemon=True)
+    thread.start()
+    assert instance.wait_ready(10)
+    with ServeClient(socket_path=instance.socket_path) as client:
+        sid = client.submit(
+            {"mode": "attack", "workload": "telnetd", "attack_index": 1}
+        )
+        result = client.result(sid)
+        assert result["state"] == "alarmed"
+        assert result["trace"]["trace_id"] == instance.tracer.trace_id
+        client.shutdown()
+    thread.join(10)
+    assert not thread.is_alive()
+
+    document = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(document) == []
+    names = {event["name"] for event in document["traceEvents"]}
+    assert {"serve", "session", "session.compile", "session.attack"} <= names
+
+
 def test_cli_serve_smoke(tmp_path, capsys):
     """``repro serve`` through the CLI entry point (in-process)."""
     from repro.cli import main

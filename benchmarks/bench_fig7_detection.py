@@ -20,7 +20,10 @@ per-workload and aggregate events/sec and steps/sec, the seed numbers
 of the bench trajectory.  A second campaign sweep at ``--opt 3``
 (feasible-path-sensitive tables) records its detection rates under
 ``detection_opt3`` — the gated proof that the extra SET entries never
-weaken detection.
+weaken detection.  The summary also joins every attack against the
+static detectability prover (``repro predict``) and records the
+across-workload ``predicted_lower_bound`` on the detected-of-changed
+rate per opt level, asserting zero soundness violations in passing.
 """
 
 import json
@@ -34,6 +37,7 @@ from repro.attacks import CampaignSummary, run_workload_campaign
 from repro.observability import MetricsRegistry
 from repro.parallel import compile_cache_stats
 from repro.reporting import render_figure7
+from repro.staticcheck.detectvalidate import validate_workload
 from repro.workloads import workload_names
 
 ATTACKS = int(os.environ.get("REPRO_FIG7_ATTACKS", "30"))
@@ -137,6 +141,34 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
     opt3_summary = CampaignSummary(
         [_OPT3_RESULTS[n] for n in workload_names()]
     )
+    # Static lower bound: join the campaigns just run (same outcomes,
+    # no re-execution) against the detectability prover at each exact
+    # tamper point.  The prover's claims are hard — a DET801 attack
+    # that escaped or a DET803 attack that alarmed is a soundness bug,
+    # and the bound can never exceed the measured rate.
+    predicted_lower_bound = {}
+    for opt_level, results in ((0, _RESULTS), (3, _OPT3_RESULTS)):
+        rows = []
+        for name in workload_names():
+            workload, _ = compiled_workloads[name]
+            rows.append(
+                validate_workload(
+                    workload, opt_level=opt_level, result=results[name]
+                )
+            )
+        for row in rows:
+            assert not row.violations, (row.workload, opt_level)
+            assert (
+                row.predicted_lower_bound_pct
+                <= row.measured_pct_detected_of_changed + 1e-9
+            ), (row.workload, opt_level)
+        predicted_lower_bound[f"opt{opt_level}"] = round(
+            sum(r.predicted_lower_bound_pct for r in rows) / len(rows), 3
+        )
+    # Richer opt-3 tables can only prove more attacks detected.
+    assert (
+        predicted_lower_bound["opt3"] >= predicted_lower_bound["opt0"]
+    ), predicted_lower_bound
     print()
     print(render_figure7(summary))
     if _METRICS:
@@ -167,6 +199,7 @@ def test_fig7_summary_shape(benchmark, compiled_workloads):
                             opt3_summary.avg_pct_detected_of_changed, 3
                         ),
                     },
+                    "predicted_lower_bound": predicted_lower_bound,
                     "workloads": _METRICS,
                     "total": {
                         "seconds": round(total_seconds, 6),

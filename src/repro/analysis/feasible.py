@@ -452,8 +452,19 @@ def propagate_from_edge(
         return None
     start = source.taken_target if taken else source.fallthrough_target
     states: Dict[str, FeasEnv] = {start: seed}
+    _iterate_states(programs, facts_of_label, states, [start], prune)
+    return states, _fixpoint_pruned(programs, facts_of_label, states, prune)
+
+
+def _iterate_states(
+    programs: Dict[str, BlockProgram],
+    facts_of_label: Dict[str, BranchFacts],
+    states: Dict[str, FeasEnv],
+    worklist: List[str],
+    prune: bool,
+) -> None:
+    """Run the forward range worklist to a fixpoint, in place."""
     join_counts: Dict[str, int] = {}
-    worklist: List[str] = [start]
     while worklist:
         label = worklist.pop()
         program = programs[label]
@@ -493,9 +504,19 @@ def propagate_from_edge(
                 states[next_label] = joined
                 worklist.append(next_label)
 
-    # Pruned edges are decided at the *fixpoint*: an edge skipped early
-    # in the iteration may have become feasible once more state joined
-    # in, and only fixpoint-infeasible edges are honest witnesses.
+
+def _fixpoint_pruned(
+    programs: Dict[str, BlockProgram],
+    facts_of_label: Dict[str, BranchFacts],
+    states: Dict[str, FeasEnv],
+    prune: bool,
+) -> Set[Tuple[str, bool]]:
+    """Conditional edges infeasible at the fixpoint.
+
+    Pruned edges are decided at the *fixpoint*: an edge skipped early
+    in the iteration may have become feasible once more state joined
+    in, and only fixpoint-infeasible edges are honest witnesses.
+    """
     pruned: Set[Tuple[str, bool]] = set()
     if prune:
         for label, env_in in states.items():
@@ -507,7 +528,34 @@ def propagate_from_edge(
             for direction in (True, False):
                 if _edge_env(facts, env_out, snapshots, direction) is None:
                     pruned.add((label, direction))
-    return states, pruned
+    return pruned
+
+
+def entry_reachability(
+    fn: IRFunction,
+    def_map: DefinitionMap,
+    facts_by_pc: Dict[int, BranchFacts],
+) -> Tuple[Set[str], Set[Tuple[str, bool]]]:
+    """Entry-seeded feasible propagation: which blocks any feasible
+    execution can reach, and which conditional edges are pruned.
+
+    Same machinery as :func:`propagate_from_edge`, but seeded at the
+    function entry with everything unknown — the whole-function view.
+    Returns ``(reached block labels, pruned conditional edges)``.
+    Consumers: the opt-3 dead-branch lint (``DEAD405`` — blocks only
+    reachable along pruned edges) and the detectability prover's
+    clean-prefix BSV refinement (the must-state at a tamper point only
+    needs to hold over *feasible* clean prefixes).
+    """
+    programs = summarize_blocks(fn, def_map)
+    facts_of_label = {
+        facts.block_label: facts for facts in facts_by_pc.values()
+    }
+    entry = fn.entry.label
+    states: Dict[str, FeasEnv] = {entry: {}}
+    _iterate_states(programs, facts_of_label, states, [entry], prune=True)
+    pruned = _fixpoint_pruned(programs, facts_of_label, states, prune=True)
+    return set(states), pruned
 
 
 def analyze_feasible(

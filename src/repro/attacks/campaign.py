@@ -100,8 +100,14 @@ class AttackOutcome:
     #: (``repro obs``) aggregates these into Figure-7-style
     #: explained-correlation histograms.
     proof_reasons: Tuple[str, ...] = ()
+    #: Frame stack at the tamper moment, outer→inner ``(function,
+    #: block, resume index, frame base)`` — the static detectability
+    #: prover's program points.  ``None`` when the tamper never fired.
+    #: Carried on the dataclass (so sharded merges keep it) but not
+    #: serialized by default: see ``to_record``.
+    tamper_site: Optional[Tuple[Tuple[str, str, int, int], ...]] = None
 
-    def to_record(self, workload: str) -> dict:
+    def to_record(self, workload: str, include_site: bool = False) -> dict:
         """The outcome as a plain JSON-ready record.
 
         The one shape every sink shares — campaign ``--trace-out``
@@ -129,6 +135,11 @@ class AttackOutcome:
             record["proof_reasons"] = list(self.proof_reasons)
         if self.cycles is not None:
             record["cycles"] = self.cycles
+        # Opt-in for the same reason: the detectability validator asks
+        # for the site explicitly; every other sink's logs stay
+        # byte-identical with the field present on the dataclass.
+        if include_site and self.tamper_site is not None:
+            record["tamper_site"] = [list(frame) for frame in self.tamper_site]
         return record
 
 
@@ -427,6 +438,7 @@ def run_attack_detailed(
         alarms=tuple(str(alarm) for alarm in ipds.alarms),
         cycles=timing_model.stats.cycles if timing_model is not None else None,
         proof_reasons=proof_reasons,
+        tamper_site=attacked.tamper_site,
     )
     return AttackExecution(
         outcome=outcome,

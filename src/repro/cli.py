@@ -411,7 +411,110 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_coverage(args: argparse.Namespace) -> int:
     from .staticcheck import COVERAGE_PASSES
 
+    if getattr(args, "compare_opt", False):
+        return _coverage_compare_opt(args)
     return _run_staticcheck(args, COVERAGE_PASSES, args.fail_on)
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from .staticcheck import PREDICT_PASSES
+
+    return _run_staticcheck(args, PREDICT_PASSES, args.fail_on)
+
+
+def _protected_branch_labels(program) -> set:
+    """The identity set ``--compare-opt`` tracks: (function, block) of
+    every BCV-verified conditional branch."""
+    labels = set()
+    for fn_name, tables in program.tables.by_function.items():
+        for meta in tables.branch_meta:
+            if tables.is_checked(meta.pc):
+                labels.add((fn_name, meta.block_label))
+    return labels
+
+
+def _coverage_compare_opt(args: argparse.Namespace) -> int:
+    """``repro coverage --compare-opt``: protected-branch monotonicity
+    across optimization levels.
+
+    Levels 1→2→3 share one optimized IR and only deepen the analysis
+    (interprocedural summaries, then feasible-path pruning), so their
+    protected-branch *sets* must grow monotonically — any branch
+    protected at opt N still protected at opt N+1.  A violation means
+    a deeper analysis lost a correlation it already had, and exits 1.
+
+    The 0→1 step is reported but not asserted: the optimizer rewrites
+    the IR itself (folding stores that were correlation evidence), so
+    branches protected at opt 0 can legitimately disappear.
+    """
+    from .lang.errors import ReproError
+
+    metrics = MetricsRegistry()
+    manifest = RunManifest.begin(
+        args.command, target=args.target, compare_opt=True
+    )
+    violations = []
+    try:
+        targets = _staticcheck_targets(args)
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TOOL_ERROR
+    for label, source, name in targets:
+        try:
+            with metrics.span("compile"):
+                programs = {
+                    opt: compile_program(source, name, opt)
+                    for opt in (0, 1, 2, 3)
+                }
+        except (OSError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_TOOL_ERROR
+        sets = {
+            opt: _protected_branch_labels(program)
+            for opt, program in programs.items()
+        }
+        totals = {
+            opt: sum(
+                len(tables.branch_pcs)
+                for tables in program.tables.by_function.values()
+            )
+            for opt, program in programs.items()
+        }
+        print(f"== {name}")
+        print("  opt  protected  total  pct     delta")
+        for opt in (0, 1, 2, 3):
+            count, total = len(sets[opt]), totals[opt]
+            pct = 100.0 * count / total if total else 0.0
+            if opt == 0:
+                delta = ""
+            else:
+                gained = len(sets[opt] - sets[opt - 1])
+                lost = len(sets[opt - 1] - sets[opt])
+                delta = f"+{gained}/-{lost} vs opt{opt - 1}"
+                if opt == 1:
+                    delta += "  (informational: optimizer rewrites the IR)"
+                elif lost:
+                    missing = sorted(sets[opt - 1] - sets[opt])
+                    violations.append((name, opt, missing))
+                    delta += "  MONOTONICITY VIOLATION"
+            print(
+                f"  {opt}    {count:<9} {total:<6} {pct:5.1f}%  {delta}"
+            )
+    for name, opt, missing in violations:
+        lost = ", ".join(f"{fn}/{block}" for fn, block in missing)
+        print(
+            f"VIOLATION: {name}: branches protected at opt{opt - 1} "
+            f"lost at opt{opt}: {lost}",
+            file=sys.stderr,
+        )
+    _emit_manifest(
+        args,
+        manifest,
+        metrics,
+        targets=len(targets),
+        violations=len(violations),
+    )
+    return EXIT_DIAGNOSTICS if violations else EXIT_CLEAN
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -799,6 +902,8 @@ def build_parser() -> argparse.ArgumentParser:
          "warning", cmd_lint),
         ("coverage", "static protection-coverage report (COV6xx)",
          "never", cmd_coverage),
+        ("predict", "static tamper-detectability verdicts (DET8xx)",
+         "never", cmd_predict),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("target",
@@ -808,6 +913,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default=default_fail,
                        help=f"exit 1 at/above this severity "
                             f"(default: {default_fail})")
+        if name == "coverage":
+            p.add_argument(
+                "--compare-opt", action="store_true",
+                help="compile at opt 0-3 and assert protected-branch "
+                     "set monotonicity across the fixed-IR chain "
+                     "1→2→3 (0→1 reported informationally)")
         _add_report_args(p)
         p.set_defaults(func=func)
 

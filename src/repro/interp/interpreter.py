@@ -106,6 +106,12 @@ class RunResult:
     return_value: Optional[int]
     tamper_fired: bool
     reads_consumed: int
+    #: Frame stack at the tamper moment, outer→inner:
+    #: ``(function, block label, instruction index, frame base)`` per
+    #: live activation.  ``None`` when no tampering fired.  The indices
+    #: are the *resume* points — each frame's next instruction after
+    #: the corruption lands (the static prover's program point Q).
+    tamper_site: Optional[Tuple[Tuple[str, str, int, int], ...]] = None
 
     @property
     def ok(self) -> bool:
@@ -161,6 +167,9 @@ class Interpreter:
         self._call_depth_limit = call_depth_limit
         self._tamper = tamper
         self._tamper_fired = False
+        self._tamper_site: Optional[
+            Tuple[Tuple[str, str, int, int], ...]
+        ] = None
         self._bus = build_bus(observers, event_listeners, instruction_listener)
         # Dispatch targets are resolved once per hook: None means "no
         # subscriber", so the hot paths skip both the call and the
@@ -233,6 +242,7 @@ class Interpreter:
             return_value=return_value,
             tamper_fired=self._tamper_fired,
             reads_consumed=self._input_cursor,
+            tamper_site=self._tamper_site,
         )
 
     def live_activations(self) -> List[Tuple[str, int]]:
@@ -323,6 +333,7 @@ class Interpreter:
         ):
             self.memory.write(self._tamper.address, self._tamper.value)
             self._tamper_fired = True
+            self._record_tamper_site()
 
     def _maybe_tamper_after_step(self) -> None:
         self._maybe_probe("step", self._steps)
@@ -334,6 +345,22 @@ class Interpreter:
         ):
             self.memory.write(self._tamper.address, self._tamper.value)
             self._tamper_fired = True
+            self._record_tamper_site()
+
+    def _record_tamper_site(self) -> None:
+        """Snapshot the frame stack at the corruption moment.
+
+        Step triggers run after ``_step`` returns, so every frame's
+        ``index`` already points at its next instruction.  Read
+        triggers run inside the ``Call(read_int)`` arm: the innermost
+        index still names the call itself — which only writes a
+        register, so treating it as the resume point is conservative
+        and correct for the prover (the call is v-clean).
+        """
+        self._tamper_site = tuple(
+            (a.function.name, a.block_label, a.index, a.frame_base)
+            for a in self._stack
+        )
 
     def _read_input(self) -> int:
         if self._input_cursor < len(self._inputs):

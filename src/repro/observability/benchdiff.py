@@ -149,6 +149,24 @@ DEFAULT_RULES: Tuple[MetricRule, ...] = (
         min_delta=2.0,
         direction="higher",
     ),
+    # The static detection-rate lower bound (repro predict joined
+    # against the seeded campaigns).  Fully deterministic — seeds,
+    # layouts, and the prover are all fixed — so ANY drop means the
+    # prover proves strictly less than it used to: zero tolerance.
+    MetricRule(
+        "fig7_detection",
+        ("predicted_lower_bound", "opt0"),
+        max_change_pct=0.0,
+        min_delta=0.0,
+        direction="higher",
+    ),
+    MetricRule(
+        "fig7_detection",
+        ("predicted_lower_bound", "opt3"),
+        max_change_pct=0.0,
+        min_delta=0.0,
+        direction="higher",
+    ),
 )
 
 

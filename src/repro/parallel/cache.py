@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Version salt for the cache key; bump when ``ProtectedProgram``'s
 #: pickled shape or the compilation pipeline changes incompatibly.
-CACHE_SCHEMA = 3
+CACHE_SCHEMA = 4
 
 #: Environment variable naming the disk cache directory.  Unset (or set
 #: to ``""``, ``"0"`` or ``"off"``) leaves only the in-memory layer on.

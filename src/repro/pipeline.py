@@ -38,6 +38,10 @@ class ProtectedProgram:
     tables: ProgramTables
     build_stats: List[BuildStats]
     source_name: str = "<source>"
+    #: The optimization level the tables were built at.  Static passes
+    #: that consume level-gated facts (the opt-3 feasible-path pruning)
+    #: key off this instead of re-deriving it from table contents.
+    opt_level: int = 0
 
     def new_ipds(
         self,
@@ -113,7 +117,11 @@ def compile_program(
         feasible=opt_level >= 3,
     )
     program = ProtectedProgram(
-        module=module, tables=tables, build_stats=stats, source_name=name
+        module=module,
+        tables=tables,
+        build_stats=stats,
+        source_name=name,
+        opt_level=opt_level,
     )
     if check:
         from .staticcheck import AUDIT_PASSES, errors_in, run_passes

@@ -17,6 +17,13 @@ Entry points: :func:`run_passes` (programmatic), ``repro audit`` and
 from .audit import audit_image, audit_program
 from .coverage import coverage_report
 from .deadcode import find_dead_branches
+from .detectability import (
+    DetectabilityAnalysis,
+    POSSIBLY_DETECTED,
+    PROVEN_DETECTED,
+    PROVEN_UNDETECTED,
+    predict_detectability,
+)
 from .feasaudit import audit_feasible
 from .interproc import audit_interproc
 from .diagnostics import (
@@ -43,6 +50,7 @@ from .registry import (
     COVERAGE_PASSES,
     LINT_PASSES,
     PASSES,
+    PREDICT_PASSES,
     CheckPass,
     pass_by_name,
     run_passes,
@@ -55,8 +63,13 @@ __all__ = [
     "CheckPass",
     "Diagnostic",
     "DiagnosticSink",
+    "DetectabilityAnalysis",
     "LINT_PASSES",
     "PASSES",
+    "POSSIBLY_DETECTED",
+    "PREDICT_PASSES",
+    "PROVEN_DETECTED",
+    "PROVEN_UNDETECTED",
     "Severity",
     "Span",
     "StaticCheckError",
@@ -72,6 +85,7 @@ __all__ = [
     "json_report",
     "max_severity",
     "pass_by_name",
+    "predict_detectability",
     "render_text",
     "run_passes",
     "sarif_report",

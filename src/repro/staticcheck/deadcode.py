@@ -8,6 +8,15 @@ state permits (``DEAD403``), and blocks the range analysis proves
 never execute (``DEAD404``).  All findings are warnings: dead code is
 wasted protection coverage, not a soundness break — an infeasible
 direction simply never fires its BAT actions.
+
+At opt level 3 the lint additionally consumes the feasible-path facts
+the table builder used: the entry-seeded per-edge propagation
+(:func:`repro.analysis.feasible.entry_reachability`) prunes
+conditional edges the correlation sharpening proves infeasible, so a
+block the plain range MFP still reaches can become unreachable *along
+feasible paths only* — ``DEAD405``, reported with the block so the
+wasted coverage shows up exactly where the opt-3 analysis earned its
+extra precision.
 """
 
 from __future__ import annotations
@@ -15,7 +24,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..analysis.alias import analyze_aliases
+from ..analysis.branch_info import analyze_branches
 from ..analysis.defs import DefinitionMap
+from ..analysis.feasible import entry_reachability
 from ..analysis.purity import PurityResult, analyze_purity
 from ..ir.function import IRFunction, IRModule
 from .diagnostics import Diagnostic, DiagnosticSink
@@ -26,14 +37,16 @@ PASS_NAME = "dead-branch"
 
 
 def find_dead_branches(
-    module: IRModule, purity: Optional[PurityResult] = None
+    module: IRModule,
+    purity: Optional[PurityResult] = None,
+    opt_level: int = 0,
 ) -> List[Diagnostic]:
     sink = DiagnosticSink(PASS_NAME)
     if purity is None:
         analyze_aliases(module)
         purity = analyze_purity(module)
     for fn in module.functions:
-        _check_function(sink, fn, module, purity)
+        _check_function(sink, fn, module, purity, opt_level)
     return sink.diagnostics
 
 
@@ -42,6 +55,7 @@ def _check_function(
     fn: IRFunction,
     module: IRModule,
     purity: PurityResult,
+    opt_level: int = 0,
 ) -> None:
     if not fn.blocks:
         return
@@ -49,12 +63,38 @@ def _check_function(
     summaries = summarize_function(fn, def_map)
     states = solve_range_mfp(summaries, {fn.entry.label: {}})
 
+    # Opt-3 refinement: blocks the range MFP reaches but the builder's
+    # feasible-edge propagation does not.
+    feasible_reached = None
+    pruned_edges = frozenset()
+    if opt_level >= 3:
+        facts_by_pc = analyze_branches(fn, def_map)
+        feasible_reached, pruned = entry_reachability(fn, def_map, facts_by_pc)
+        pruned_edges = frozenset(pruned)
+
     for block in fn.blocks:
         summary = summaries[block.label]
         if block.label not in states:
             sink.emit(
                 "DEAD404",
                 "range analysis proves this block never executes",
+                function=fn.name,
+                block=block.label,
+            )
+            continue
+        if feasible_reached is not None and block.label not in feasible_reached:
+            # Reachable under plain range reasoning, but every path in
+            # reaches it through an edge the opt-3 feasible-path
+            # analysis pruned.
+            culprits = sorted(
+                f"{label}:{'T' if taken else 'NT'}"
+                for label, taken in pruned_edges
+            )
+            sink.emit(
+                "DEAD405",
+                "block unreachable once feasible-path pruning removes "
+                f"edges {', '.join(culprits)}; its branches can never "
+                "fire their BAT actions at opt 3",
                 function=fn.name,
                 block=block.label,
             )

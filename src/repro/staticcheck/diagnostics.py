@@ -119,6 +119,11 @@ CODES: Dict[str, CodeInfo] = {
         CodeInfo("DEAD402", Severity.WARNING, "branch condition is constant: never taken"),
         CodeInfo("DEAD403", Severity.WARNING, "branch direction statically infeasible"),
         CodeInfo("DEAD404", Severity.WARNING, "block unreachable under range analysis"),
+        CodeInfo("DEAD405", Severity.WARNING, "block unreachable along feasible paths only"),
+        # -- static tamper detectability (pass: detectability) -----------
+        CodeInfo("DET801", Severity.NOTE, "tampering provably detected on every continuation"),
+        CodeInfo("DET802", Severity.NOTE, "tampering possibly detected: an escaping path exists"),
+        CodeInfo("DET803", Severity.NOTE, "tampering provably undetected: no branch depends on it"),
     ]
 }
 

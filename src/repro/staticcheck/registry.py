@@ -19,6 +19,7 @@ from ..observability.metrics import MetricsRegistry
 from .audit import audit_image, audit_program
 from .coverage import coverage_report
 from .deadcode import find_dead_branches
+from .detectability import predict_detectability
 from .diagnostics import Diagnostic
 from .feasaudit import audit_feasible
 from .interproc import audit_interproc
@@ -63,12 +64,21 @@ PASSES: Tuple[CheckPass, ...] = (
     CheckPass(
         "dead-branch",
         "infeasible/dead branch and unreachable code detection",
-        lambda program, purity: find_dead_branches(program.module, purity),
+        lambda program, purity: find_dead_branches(
+            program.module,
+            purity,
+            opt_level=getattr(program, "opt_level", 0),
+        ),
     ),
     CheckPass(
         "coverage",
         "static protection-coverage report",
         lambda program, purity: coverage_report(program, purity),
+    ),
+    CheckPass(
+        "detectability",
+        "static tamper-detectability prover (DET8xx verdicts)",
+        lambda program, purity: predict_detectability(program, purity),
     ),
 )
 
@@ -86,6 +96,9 @@ LINT_PASSES: Tuple[str, ...] = ("dead-branch",)
 
 #: ``repro coverage`` — informational protection-coverage report.
 COVERAGE_PASSES: Tuple[str, ...] = ("coverage",)
+
+#: ``repro predict`` — static tamper-detectability verdicts.
+PREDICT_PASSES: Tuple[str, ...] = ("detectability",)
 
 
 def pass_by_name(name: str) -> CheckPass:

@@ -397,6 +397,69 @@ def test_unknown_workload_rejected():
         main(["campaign", "nginx"])
 
 
+# -- predict / coverage --compare-opt -----------------------------------
+
+
+def test_predict_emits_det_verdicts(source_file, capsys):
+    assert main(["predict", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "DET80" in out  # at least one verdict class reported
+    assert "figure1.c@opt0" in out
+
+
+def test_predict_workload_sarif_and_json(tmp_path, capsys):
+    import json
+
+    sarif = tmp_path / "predict.sarif"
+    report = tmp_path / "predict.json"
+    assert main(
+        [
+            "predict", "telnetd",
+            "--opt", "2",
+            "--sarif", str(sarif),
+            "--json", str(report),
+        ]
+    ) == 0
+    capsys.readouterr()
+    log = json.loads(sarif.read_text())
+    assert log["version"] == "2.1.0"
+    [run] = log["runs"]
+    rule_ids = {result["ruleId"] for result in run["results"]}
+    assert rule_ids <= {"DET801", "DET802", "DET803"}
+    assert rule_ids
+    payload = json.loads(report.read_text())
+    assert payload["targets"][0]["name"] == "telnetd@opt2"
+
+
+def test_predict_never_gates_by_default(source_file):
+    # Verdicts are notes — below every gating threshold.
+    assert main(["predict", source_file]) == 0
+    assert main(["predict", source_file, "--fail-on", "warning"]) == 0
+
+
+def test_coverage_compare_opt_reports_monotonic_table(capsys):
+    assert main(["coverage", "telnetd", "--compare-opt"]) == 0
+    out = capsys.readouterr().out
+    assert "== telnetd" in out
+    assert "informational" in out  # the opt-1 row is not gated
+    assert "vs opt2" in out  # per-opt delta column present
+    assert "MONOTONICITY VIOLATION" not in out
+
+
+def test_coverage_compare_opt_manifest(tmp_path, capsys):
+    import json
+
+    manifest = tmp_path / "m.json"
+    assert main(
+        ["coverage", "telnetd", "--compare-opt",
+         "--metrics-out", str(manifest)]
+    ) == 0
+    capsys.readouterr()
+    record = json.loads(manifest.read_text())
+    assert record["command"] == "coverage"
+    assert record["results"]["violations"] == 0
+
+
 # -- forensics: explain / --forensics / bench-diff ----------------------
 
 

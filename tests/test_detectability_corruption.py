@@ -1,0 +1,372 @@
+"""Corruption properties for the detectability prover (DET8xx).
+
+The prover's verdicts rest on exactly the artifacts the auditors
+already guard: the BAT action tables, the BCV check vector, and (at
+opt 3) the feasible-path provenance witnesses.  These tests corrupt
+each artifact one mutation at a time and assert the safety-net
+disjunction: the affected verdict flips, **or** an existing audit
+(correlation ``COR2xx`` / feasible ``FP7xx``) flags the corruption.  A
+laundered table can never both keep a ``DET801``/``DET803`` claim and
+pass the audits — so ``repro audit`` + ``repro predict`` together
+never certify corrupted tables.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.alias import analyze_aliases
+from repro.analysis.purity import analyze_purity
+from repro.correlation.actions import BranchAction
+from repro.correlation.provenance import REASON_FEASIBLE
+from repro.pipeline import compile_program
+from repro.staticcheck import audit_program, errors_in
+from repro.staticcheck.detectability import (
+    POSSIBLY_DETECTED,
+    PROVEN_DETECTED,
+    PROVEN_UNDETECTED,
+    DetectabilityAnalysis,
+)
+from repro.staticcheck.feasaudit import audit_feasible
+
+# Two checks of the same unmodified global: any tamper landing between
+# them with a value that flips the remembered direction is *proven*
+# detected — the second check must contradict the BSV on every path.
+TWIN_TEMPLATE = """
+int v;
+void main() {{
+    v = read_int();
+    if (v {op} {bound}) {{ emit(1); }} else {{ emit(2); }}
+    if (v {op} {bound}) {{ emit(3); }} else {{ emit(4); }}
+}}
+"""
+
+# Same shape as the feasible-path demo: the first branch decides the
+# later checks only if the middle infeasible edge is pruned, so the
+# opt-3 SET entries carry load-bearing pruned-edge witnesses.
+PRUNE_SOURCE = """
+int mode;
+int level;
+void main() {
+  int n = read_int();
+  mode = 0;
+  level = 0;
+  if (n > 2) {
+    mode = 1;
+    level = 1;
+  }
+  if (mode == 1) {
+    emit(7);
+  } else {
+    level = 5;
+  }
+  if (level > 1) { emit(8); } else { emit(9); }
+}
+"""
+
+OPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+def twin_source(op: str = ">", bound: int = 5) -> str:
+    return TWIN_TEMPLATE.format(op=op, bound=bound)
+
+
+def fresh_analysis(program) -> DetectabilityAnalysis:
+    analyze_aliases(program.module)
+    purity = analyze_purity(program.module)
+    return DetectabilityAnalysis(program, purity)
+
+
+def det801_points(program, analysis=None):
+    """Every (block, value) where tampering the global at block entry
+    of ``main`` is proven detected."""
+    analysis = analysis or fresh_analysis(program)
+    var = next(g for g in program.module.globals if g.name == "v")
+    fn = program.module.function("main")
+    points = []
+    for block in fn.blocks:
+        for region in analysis.regions_for(var):
+            verdict, _ = analysis.point_verdict(
+                var, fn.name, block.label, region.representative
+            )
+            if verdict == PROVEN_DETECTED:
+                points.append((block.label, region.representative))
+    return points
+
+
+def set_entries(tables):
+    found = []
+    for key, entries in tables.bat.items():
+        for i, (target, action) in enumerate(entries):
+            if action in (BranchAction.SET_T, BranchAction.SET_NT):
+                found.append((key, i, (target, action)))
+    return found
+
+
+def flipped(action: BranchAction) -> BranchAction:
+    return (
+        BranchAction.SET_NT
+        if action is BranchAction.SET_T
+        else BranchAction.SET_T
+    )
+
+
+@pytest.mark.parametrize("opt", [0, 2])
+def test_twin_program_has_proven_detected_points(opt):
+    # The corruption properties below are vacuous unless the fresh
+    # tables actually prove some tamper detected; pin that they do.
+    program = compile_program(twin_source(), opt_level=opt)
+    assert det801_points(program), "no DET801 point on fresh tables"
+    assert audit_program(program) == []
+
+
+# ----------------------------------------------------------------------
+# BAT corruption: flipping a SET action
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("opt", [0, 2])
+def test_set_flip_flips_verdict_or_is_audited(opt):
+    program = compile_program(twin_source(), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    baseline = det801_points(program)
+    assert baseline
+    bat = dict(tables.bat)
+    for key, index, (target, action) in set_entries(tables):
+        original = bat[key]
+        corrupt = list(original)
+        corrupt[index] = (target, flipped(action))
+        bat[key] = tuple(corrupt)
+        tables.bat = bat
+        try:
+            audited = any(
+                d.code == "COR205" for d in errors_in(audit_program(program))
+            )
+            analysis = fresh_analysis(program)
+            var = next(g for g in program.module.globals if g.name == "v")
+            surviving = [
+                (block, value)
+                for block, value in baseline
+                if analysis.point_verdict(var, "main", block, value)[0]
+                == PROVEN_DETECTED
+            ]
+            assert audited or surviving != baseline, (
+                f"flip of {action.value} at {key} kept every DET801 "
+                f"verdict and passed the audit"
+            )
+        finally:
+            bat[key] = original
+            tables.bat = bat
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    op=st.sampled_from(OPS),
+    bound=st.integers(min_value=-8, max_value=8),
+    opt=st.sampled_from([0, 2]),
+)
+def test_random_set_flips_never_certify(op, bound, opt):
+    """Property: on random twin programs, every SET flip is either
+    caught by the correlation audit or demotes some proven verdict."""
+    program = compile_program(twin_source(op, bound), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    baseline = det801_points(program)
+    bat = dict(tables.bat)
+    for key, index, (target, action) in set_entries(tables):
+        original = bat[key]
+        corrupt = list(original)
+        corrupt[index] = (target, flipped(action))
+        bat[key] = tuple(corrupt)
+        tables.bat = bat
+        try:
+            if any(
+                d.code == "COR205" for d in errors_in(audit_program(program))
+            ):
+                continue
+            analysis = fresh_analysis(program)
+            var = next(g for g in program.module.globals if g.name == "v")
+            surviving = [
+                (block, value)
+                for block, value in baseline
+                if analysis.point_verdict(var, "main", block, value)[0]
+                == PROVEN_DETECTED
+            ]
+            assert surviving != baseline, (
+                f"unaudited flip at {key} kept all verdicts "
+                f"({op} {bound}, opt {opt})"
+            )
+        finally:
+            bat[key] = original
+            tables.bat = bat
+
+
+# ----------------------------------------------------------------------
+# BCV corruption: deleting check slots
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("opt", [0, 2])
+def test_bcv_slot_deletion_flips_verdict_or_is_audited(opt):
+    program = compile_program(twin_source(), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    baseline = det801_points(program)
+    assert baseline
+    for slot in sorted(tables.bcv_slots):
+        # replace() reruns __post_init__, so the precomputed per-branch
+        # runtime plan reflects the deleted check slot.
+        program.tables.by_function["main"] = replace(
+            tables, bcv_slots=tables.bcv_slots - {slot}
+        )
+        try:
+            audited = bool(audit_program(program))
+            analysis = fresh_analysis(program)
+            var = next(g for g in program.module.globals if g.name == "v")
+            surviving = [
+                (block, value)
+                for block, value in baseline
+                if analysis.point_verdict(var, "main", block, value)[0]
+                == PROVEN_DETECTED
+            ]
+            assert audited or surviving != baseline, (
+                f"deleting BCV slot {slot} kept every DET801 verdict "
+                f"and passed the audit"
+            )
+        finally:
+            program.tables.by_function["main"] = tables
+
+
+@pytest.mark.parametrize("opt", [0, 2])
+def test_empty_bcv_leaves_no_proven_detection(opt):
+    """With no checked branch at all there is nowhere an alarm can
+    fire, so no DET801 can survive — the verdict flip alone (before
+    any audit runs) already withdraws the proof."""
+    program = compile_program(twin_source(), opt_level=opt)
+    tables = program.tables.by_function["main"]
+    assert det801_points(program)
+    program.tables.by_function["main"] = replace(
+        tables, bcv_slots=frozenset()
+    )
+    try:
+        assert det801_points(program) == []
+    finally:
+        program.tables.by_function["main"] = tables
+
+
+def test_irrelevant_global_stays_proven_undetected_under_corruption():
+    """DET803 rests on the dependence closure over the IR, not on the
+    tables: emptying the BCV cannot manufacture a detection claim, and
+    the verdict stays PROVEN_UNDETECTED for a never-branched-on
+    global."""
+    source = """
+    int g;
+    void main() {
+        g = read_int();
+        int v = read_int();
+        if (v > 5) { emit(1); } else { emit(2); }
+    }
+    """
+    program = compile_program(source)
+    tables = program.tables.by_function["main"]
+    var = next(g for g in program.module.globals if g.name == "g")
+    fn = program.module.function("main")
+    for bcv in (tables.bcv_slots, frozenset()):
+        program.tables.by_function["main"] = replace(tables, bcv_slots=bcv)
+        analysis = fresh_analysis(program)
+        for block in fn.blocks:
+            verdict, _ = analysis.point_verdict(var, "main", block.label, 99)
+            assert verdict == PROVEN_UNDETECTED
+
+
+# ----------------------------------------------------------------------
+# Feasible-path witness laundering (opt 3)
+# ----------------------------------------------------------------------
+
+
+def _tamper(tables, index, **changes):
+    records = list(tables.provenance)
+    records[index] = replace(records[index], **changes)
+    tables.provenance = tuple(records)
+    tables._prov_index = None
+
+
+def _feasible_indices(tables):
+    return [
+        i
+        for i, r in enumerate(tables.provenance)
+        if r.reason == REASON_FEASIBLE
+    ]
+
+
+def test_deleting_witnesses_is_always_audited():
+    """Laundering a feasible-path witness (deleting the pruned-edge
+    declarations that carried the proof) must be caught by the FP7xx
+    audit: at least one record's proof is load-bearing, and deleting
+    its witness flags FP703."""
+    program = compile_program(PRUNE_SOURCE, opt_level=3)
+    tables = program.tables.by_function["main"]
+    indices = _feasible_indices(tables)
+    assert indices, "opt 3 emitted no feasible-path records"
+    assert audit_feasible(program) == []
+    flagged = []
+    for index in indices:
+        if not tables.provenance[index].witness:
+            continue
+        original = tables.provenance
+        _tamper(tables, index, witness=())
+        try:
+            codes = {d.code for d in audit_feasible(program)}
+            if "FP703" in codes:
+                flagged.append(index)
+        finally:
+            tables.provenance = original
+            tables._prov_index = None
+    assert flagged, "no witness deletion was flagged FP703"
+
+
+def test_fabricated_witness_edge_is_always_audited():
+    program = compile_program(PRUNE_SOURCE, opt_level=3)
+    tables = program.tables.by_function["main"]
+    for index in _feasible_indices(tables):
+        record = tables.provenance[index]
+        original = tables.provenance
+        _tamper(tables, index, witness=(record.witness or ()) + ("bb999:T",))
+        try:
+            codes = {d.code for d in audit_feasible(program)}
+            assert "FP702" in codes, (
+                f"fabricated witness edge on record {index} not flagged"
+            )
+        finally:
+            tables.provenance = original
+            tables._prov_index = None
+
+
+def test_laundered_witnesses_cannot_change_verdicts_silently():
+    """The prover derives its opt-3 pruning from the IR, never from the
+    provenance sidecar — so witness laundering leaves every DET verdict
+    bit-identical while the FP7xx audit turns red.  The audit, not the
+    prover, is the guard for this artifact, and the disjunction holds
+    through its second arm."""
+    program = compile_program(PRUNE_SOURCE, opt_level=3)
+    tables = program.tables.by_function["main"]
+    analysis = fresh_analysis(program)
+    var = next(g for g in program.module.globals if g.name == "level")
+    fn = program.module.function("main")
+    before = {
+        (block.label, region.representative): analysis.point_verdict(
+            var, "main", block.label, region.representative
+        )[0]
+        for block in fn.blocks
+        for region in analysis.regions_for(var)
+    }
+    assert set(before.values()) & {PROVEN_DETECTED, POSSIBLY_DETECTED}
+    for index in _feasible_indices(tables):
+        _tamper(tables, index, witness=())
+    laundered = fresh_analysis(program)
+    after = {
+        point: laundered.point_verdict(var, "main", point[0], point[1])[0]
+        for point in before
+    }
+    assert after == before
+    assert audit_feasible(program), "laundering escaped the FP7xx audit"

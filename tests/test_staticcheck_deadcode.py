@@ -2,10 +2,12 @@
 
 import pytest
 
+import repro.staticcheck.deadcode as deadcode_mod
 from repro.ir import CondBranch, Const, Load, lower_program
 from repro.lang import parse_program
 from repro.pipeline import compile_program
 from repro.staticcheck import find_dead_branches
+from repro.workloads import get_workload, workload_names
 
 CLAMP = """
 int v;
@@ -85,3 +87,87 @@ def test_constant_never_taken_branch():
     found = find_dead_branches(module)
     assert "DEAD402" in codes(found)
     assert "DEAD404" in codes(found)  # then-arm is dead
+
+
+# ----------------------------------------------------------------------
+# DEAD405: feasible-path pruning at opt 3
+# ----------------------------------------------------------------------
+#
+# The plain range MFP and the builder's feasible-edge propagation are
+# twin interval domains, so on every shape we have found so far they
+# prove the same reached set (the workloads below pin that).  DEAD405
+# exists for the day they diverge; its plumbing is exercised by
+# narrowing the feasible reached set directly.
+
+
+def test_dead405_fires_when_feasible_pruning_shrinks_reachability(
+    monkeypatch,
+):
+    program = compile_program(LIVE, opt_level=3)
+    fn = program.module.function("main")
+    labels = [block.label for block in fn.blocks]
+    victim = labels[1]  # the taken arm of the diamond
+    reduced = frozenset(label for label in labels if label != victim)
+    pruned = {(labels[0], True)}
+
+    monkeypatch.setattr(
+        deadcode_mod,
+        "entry_reachability",
+        lambda fn_, def_map, facts: (reduced, pruned),
+    )
+    found = find_dead_branches(program.module, opt_level=3)
+    dead405 = [d for d in found if d.code == "DEAD405"]
+    assert [d.span.block for d in dead405] == [victim]
+    (diag,) = dead405
+    assert diag.severity.value == "warning"
+    # The message names the pruned edges so the report points at the
+    # opt-3 facts that earned the extra precision.
+    assert f"{labels[0]}:T" in diag.message
+    assert "feasible-path pruning" in diag.message
+
+
+def test_dead405_needs_opt3(monkeypatch):
+    # Below opt 3 the feasible facts are never computed: the pruning
+    # hook must not even be consulted.
+    def explode(*_args, **_kwargs):
+        raise AssertionError("entry_reachability consulted below opt 3")
+
+    monkeypatch.setattr(deadcode_mod, "entry_reachability", explode)
+    program = compile_program(LIVE, opt_level=2)
+    assert find_dead_branches(program.module, opt_level=2) == []
+
+
+def test_dead404_wins_over_dead405(monkeypatch):
+    # A block the plain MFP already proves dead stays DEAD404 even when
+    # the feasible set also excludes it: DEAD405 is reserved for the
+    # *extra* precision of the opt-3 facts.
+    program = compile_program(CLAMP, opt_level=3)
+    fn = program.module.function("main")
+    labels = [block.label for block in fn.blocks]
+    monkeypatch.setattr(
+        deadcode_mod,
+        "entry_reachability",
+        lambda fn_, def_map, facts: (frozenset(), {(labels[0], True)}),
+    )
+    found = find_dead_branches(program.module, opt_level=3)
+    by_block = {}
+    for diag in found:
+        if diag.code in ("DEAD404", "DEAD405"):
+            by_block.setdefault(diag.span.block, []).append(diag.code)
+    assert all(len(codes_) == 1 for codes_ in by_block.values()), by_block
+    # The clamp's guarded arm is DEAD404 (plain MFP), everything else
+    # the narrowed feasible set excludes is DEAD405.
+    assert "DEAD404" in {c for codes_ in by_block.values() for c in codes_}
+    assert "DEAD405" in {c for codes_ in by_block.values() for c in codes_}
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workloads_are_dead405_clean_at_opt3(name):
+    # Standing empirical fact: on every registry workload the feasible
+    # propagation reaches exactly the blocks the plain MFP reaches, so
+    # the opt-3 refinement adds no DEAD405 today.  If a future
+    # sharpening makes them diverge this pins that the divergence was
+    # deliberate.
+    program = compile_program(get_workload(name).source, name, 3)
+    found = find_dead_branches(program.module, opt_level=3)
+    assert "DEAD405" not in codes(found)

@@ -1,0 +1,41 @@
+"""Local mirror of the CI ``mypy --strict`` gate.
+
+CI type-checks the prover and analysis layers; this test runs the same
+command when mypy happens to be installed locally so type regressions
+surface before push.  The container image deliberately ships without
+mypy, so the test skips cleanly there — the CI lint job remains the
+authoritative gate.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_prover_and_analysis_layers_pass_mypy_strict():
+    env = dict(os.environ, MYPYPATH="src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--strict",
+            "--follow-imports=silent",
+            "-p",
+            "repro.staticcheck",
+            "-p",
+            "repro.analysis",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
